@@ -1,0 +1,58 @@
+// EXTENSION / related-work baseline: the paper cites A³ (Ham et al., HPCA
+// 2020) as the only prior attention accelerator. This bench reproduces A³'s
+// approximation on the same workload and compares it with this paper's
+// exact systolic-array approach: output fidelity, skipped score MACs, and
+// estimated attention-stage cycles per head at s = 64.
+#include <cstdio>
+
+#include "baseline/a3.hpp"
+#include "core/accelerator.hpp"
+#include "table.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/ops.hpp"
+
+int main() {
+  using namespace tfacc;
+  const int s = 64, dk = 64;
+  Rng rng(1);
+  MatF q(s, dk), k(s, dk), v(s, dk);
+  fill_normal(q, rng, 0, 1);
+  fill_normal(k, rng, 0, 1);
+  fill_normal(v, rng, 0, 1);
+  const Mask mask = no_mask(s, s);
+  const MatF exact = attention_head(q, k, v, mask);
+
+  bench::title("A3-style approximate attention vs exact (one head, s = 64)");
+  std::printf("%12s | %12s %12s %14s | %12s\n", "iterations", "cosine",
+              "mean cand", "MACs skipped", "A3 cycles");
+  bench::rule(76);
+  for (int iters : {8, 16, 32, 64, 128, 256}) {
+    A3Config cfg;
+    cfg.search_iterations = iters;
+    const A3Result res = a3_attention(q, k, v, mask, cfg);
+    std::printf("%12d | %12.5f %12.1f %13.1f%% | %12lld\n", iters,
+                cosine_similarity(exact, res.output), res.mean_candidates,
+                100.0 * res.score_macs_saved,
+                static_cast<long long>(a3_attention_cycles(
+                    s, s, dk, res.mean_candidates, cfg)));
+  }
+
+  // The exact design's attention stage per head: Q·Kᵀ op + softmax + Attn·V
+  // op on the 64×64 SA (projections excluded on both sides).
+  Accelerator acc;
+  const AcceleratorConfig& c = acc.config();
+  const Cycle qkt = 64 + c.tile_drain_cycles + c.weight_load_cycles;
+  const Cycle av = 64 + c.tile_drain_cycles + c.weight_load_cycles;
+  const Cycle softmax = 2 * 64 + c.softmax_pipeline_depth;
+  std::printf("\nexact SA attention stage per head: QKt %lld + softmax %lld "
+              "(overlapped) + AV %lld ~= %lld cycles\n",
+              static_cast<long long>(qkt), static_cast<long long>(softmax),
+              static_cast<long long>(av),
+              static_cast<long long>(qkt + av));
+  std::printf(
+      "\nShape check: A3 trades output fidelity for skipped score MACs; at\n"
+      "s = 64 the exact SA attention stage is already tiny (Eq. 3: 0.39%% of\n"
+      "the ResBlock), which is this paper's argument for keeping attention\n"
+      "exact and spending area on the shared projection datapath instead.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// EXTENSION (the paper's stated future work): latency of the *complete*
+// Transformer inference on the accelerator — full encoder pass and greedy
+// decoding — including per-layer weight DMA (the Fig. 5 weight memory holds
+// one layer) and the KV-cache decoding mode. GPU baseline from the same
+// calibrated eager model used for Table III.
+#include <cstdio>
+
+#include "core/full_model.hpp"
+#include "perf/gpu_model.hpp"
+#include "table.hpp"
+
+int main() {
+  using namespace tfacc;
+  const ModelConfig cfg = ModelConfig::transformer_base();
+  const int s = 64;
+
+  bench::title("Full encoder pass (6 layers, s = 64, Transformer-base)");
+  std::printf("%-22s | %12s %12s %12s | %10s\n", "weight streaming",
+              "compute cyc", "DMA cyc", "exposed", "total us");
+  bench::rule(84);
+  for (bool db : {true, false}) {
+    DmaConfig dma;
+    dma.double_buffered = db;
+    const FullModelScheduler sched({}, dma);
+    const FullModelReport rep = sched.encoder_pass(cfg, s);
+    std::printf("%-22s | %12lld %12lld %12lld | %10.1f\n",
+                db ? "double-buffered" : "serial reload",
+                static_cast<long long>(rep.compute_cycles),
+                static_cast<long long>(rep.dma_cycles),
+                static_cast<long long>(rep.dma_exposed_cycles),
+                rep.microseconds());
+  }
+  const double gpu_layer =
+      gpu_mha_latency(s, cfg.d_model, cfg.num_heads).total_us +
+      gpu_ffn_latency(s, cfg.d_model, cfg.d_ff).total_us;
+  std::printf("GPU eager baseline (6 layers): %.1f us\n",
+              6.0 * gpu_layer);
+
+  bench::title("Greedy decoding, 32 output tokens from a 64-token source");
+  std::printf("%-28s | %14s %12s | %10s\n", "decoder mode", "compute cyc",
+              "exposed DMA", "ms total");
+  bench::rule(76);
+  const FullModelScheduler sched;
+  const FullModelReport naive = sched.greedy_decode(cfg, 64, 32, false);
+  const FullModelReport cached = sched.greedy_decode(cfg, 64, 32, true);
+  std::printf("%-28s | %14lld %12lld | %10.2f\n", "naive (recompute rows)",
+              static_cast<long long>(naive.compute_cycles),
+              static_cast<long long>(naive.dma_exposed_cycles),
+              naive.microseconds() / 1000.0);
+  std::printf("%-28s | %14lld %12lld | %10.2f\n", "KV cache",
+              static_cast<long long>(cached.compute_cycles),
+              static_cast<long long>(cached.dma_exposed_cycles),
+              cached.microseconds() / 1000.0);
+  std::printf(
+      "\nKV caching removes %.0f%% of decode compute — less than one might\n"
+      "expect, because below ~%d rows every tile pass is bounded by the\n"
+      "64-cycle weight load, not by row streaming. Weight movement (loads +\n"
+      "DMA) is the first-order cost of autoregressive decoding on this\n"
+      "architecture, the same wall real LLM serving hits.\n",
+      100.0 * (1.0 - static_cast<double>(cached.compute_cycles) /
+                         naive.compute_cycles),
+      64 - 8);
+
+  bench::title("Tokens/second vs output length (KV cache, double-buffered)");
+  std::printf("%10s | %12s %12s\n", "out tokens", "ms", "tok/s");
+  bench::rule();
+  for (int out : {8, 16, 32, 64, 128}) {
+    const FullModelReport rep = sched.greedy_decode(cfg, 64, out, true);
+    std::printf("%10d | %12.2f %12.0f\n", out, rep.microseconds() / 1000.0,
+                out / (rep.microseconds() * 1e-6));
+  }
+
+  bench::title("DMA bandwidth sensitivity (KV cache, 32 tokens)");
+  std::printf("%16s | %12s %14s\n", "bytes/cycle", "ms total",
+              "exposed DMA %");
+  bench::rule();
+  for (double bpc : {16.0, 32.0, 64.0, 128.0, 256.0}) {
+    DmaConfig dma;
+    dma.bytes_per_cycle = bpc;
+    const FullModelScheduler s2({}, dma);
+    const FullModelReport rep = s2.greedy_decode(cfg, 64, 32, true);
+    std::printf("%16.0f | %12.2f %13.1f%%\n", bpc,
+                rep.microseconds() / 1000.0,
+                100.0 * rep.dma_exposed_cycles / rep.total_cycles);
+  }
+  return 0;
+}

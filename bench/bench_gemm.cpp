@@ -1,0 +1,88 @@
+// Supporting micro-benchmarks: the GEMM kernels that back the functional
+// models (FP32 reference, INT8 datapath) and the clocked systolic-array
+// simulator itself — the cost of simulation, not of the hardware.
+#include <benchmark/benchmark.h>
+
+#include "common/random.hpp"
+#include "quant/quantizer.hpp"
+#include "sim/systolic_rtl.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace tfacc;
+
+void BM_GemmF32(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  MatF a(64, n), b(n, 64);
+  fill_normal(a, rng, 0, 1);
+  fill_normal(b, rng, 0, 1);
+  for (auto _ : state) {
+    MatF c = gemm(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * 64 * 64 * n);
+}
+BENCHMARK(BM_GemmF32)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_GemmI8(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  MatI8 a(64, n), b(n, 64);
+  fill_uniform_i8(a, rng);
+  fill_uniform_i8(b, rng);
+  for (auto _ : state) {
+    MatI32 c = gemm_i8(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2ll * 64 * 64 * n);
+}
+BENCHMARK(BM_GemmI8)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_GemmNtI8(benchmark::State& state) {
+  Rng rng(3);
+  MatI8 a(64, 64), b(64, 64);
+  fill_uniform_i8(a, rng);
+  fill_uniform_i8(b, rng);
+  for (auto _ : state) {
+    MatI32 c = gemm_nt_i8(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmNtI8);
+
+void BM_RequantizeI8(benchmark::State& state) {
+  Rng rng(4);
+  MatI32 acc(64, 64);
+  for (int r = 0; r < 64; ++r)
+    for (int c = 0; c < 64; ++c) acc(r, c) = rng.uniform_int(-100000, 100000);
+  const auto fps = FixedPointScale::from_double(3.1e-4);
+  for (auto _ : state) {
+    MatI8 q = requantize_i8(acc, fps);
+    benchmark::DoNotOptimize(q.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64);
+}
+BENCHMARK(BM_RequantizeI8);
+
+void BM_SystolicRtlTick(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(5);
+  MatI8 a(64, k), b(k, 64);
+  fill_uniform_i8(a, rng);
+  fill_uniform_i8(b, rng);
+  SystolicArrayRtl sa(64, 64);
+  for (auto _ : state) {
+    auto res = sa.run(a, b);
+    benchmark::DoNotOptimize(res.out.data());
+  }
+  // Simulated hardware cycles per wall-second of simulation.
+  state.SetItemsProcessed(state.iterations() *
+                          SystolicArrayRtl::expected_cycles(64, k, 64));
+}
+BENCHMARK(BM_SystolicRtlTick)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// EXTENSION ablations on the quantized datapath:
+//   (a) per-tensor vs per-column weight quantization accuracy (the s
+//       requantizers of Fig. 5 sit per column anyway, so per-column scales
+//       are nearly free in hardware);
+//   (b) weight-memory bit-flip robustness of both ResBlocks — output
+//       fidelity vs bit-error rate.
+#include <cstdio>
+
+#include "core/accelerator.hpp"
+#include "quant/fault.hpp"
+#include "reference/functional.hpp"
+#include "table.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace tfacc;
+
+ModelConfig bench_cfg() {
+  ModelConfig cfg;
+  cfg.name = "robustness";
+  cfg.d_model = 256;
+  cfg.d_ff = 1024;
+  cfg.num_heads = 4;
+  cfg.head_dim = 64;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const ModelConfig cfg = bench_cfg();
+  const int s = 32;
+  Rng rng(1);
+  const MhaWeights mw = MhaWeights::random(cfg, rng);
+  const FfnWeights fw = FfnWeights::random(cfg, rng);
+
+  MhaQuantized::Calibration calib;
+  std::vector<MatF> ffn_calib;
+  for (int i = 0; i < 3; ++i) {
+    MatF x(s, cfg.d_model);
+    fill_normal(x, rng, 0, 1);
+    calib.q.push_back(x);
+    calib.kv.push_back(x);
+    calib.mask.push_back(no_mask(s, s));
+    ffn_calib.push_back(x);
+  }
+  MatF x(s, cfg.d_model);
+  fill_normal(x, rng, 0, 1);
+  const Mask mask = no_mask(s, s);
+  const MatF mha_ref = mha_resblock(x, x, mw, mask);
+  const MatF ffn_ref = ffn_resblock(x, fw);
+
+  bench::title("Weight-scale granularity ablation (MSE vs FP32 reference)");
+  std::printf("%-14s | %16s %16s | %10s\n", "block", "per-tensor MSE",
+              "per-column MSE", "ratio");
+  bench::rule(70);
+  for (const char* which : {"MHA", "FFN"}) {
+    double mse_tensor = 0, mse_col = 0;
+    for (WeightGranularity g :
+         {WeightGranularity::kPerTensor, WeightGranularity::kPerColumn}) {
+      double* slot =
+          (g == WeightGranularity::kPerTensor) ? &mse_tensor : &mse_col;
+      if (std::string(which) == "MHA") {
+        const auto qm = MhaQuantized::build(mw, calib, SoftmaxImpl::kHardware,
+                                            CalibMethod::kMaxAbs, g);
+        *slot = mse(mha_ref, qm.dequantize_out(qm.forward(
+                                 qm.quantize_q(x), qm.quantize_kv(x), mask)));
+      } else {
+        const auto qf = FfnQuantized::build(fw, ffn_calib,
+                                            CalibMethod::kMaxAbs, 0.0f, g);
+        *slot = mse(ffn_ref, qf.dequantize_out(qf.forward(qf.quantize_in(x))));
+      }
+    }
+    std::printf("%-14s | %16.6g %16.6g | %9.2fx\n", which, mse_tensor,
+                mse_col, mse_tensor / mse_col);
+  }
+
+  bench::title("Weight-memory bit-flip robustness (cosine vs fault-free)");
+  std::printf("%12s | %12s %12s | %14s\n", "BER", "MHA cosine", "FFN cosine",
+              "flips (FFN)");
+  bench::rule(64);
+  const auto qm_clean =
+      MhaQuantized::build(mw, calib, SoftmaxImpl::kHardware);
+  const auto qf_clean = FfnQuantized::build(fw, ffn_calib);
+  const MatI8 qi = qm_clean.quantize_q(x);
+  const MatF mha_base = qm_clean.dequantize_out(qm_clean.forward(qi, qi, mask));
+  const MatI8 xi = qf_clean.quantize_in(x);
+  const MatF ffn_base = qf_clean.dequantize_out(qf_clean.forward(xi));
+  for (double ber : {0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}) {
+    MhaQuantized qm = qm_clean;
+    FfnQuantized qf = qf_clean;
+    Rng frng(42);
+    inject_faults(qm, ber, frng);
+    const std::int64_t flips = inject_faults(qf, ber, frng);
+    const double mc = cosine_similarity(
+        mha_base, qm.dequantize_out(qm.forward(qi, qi, mask)));
+    const double fc =
+        cosine_similarity(ffn_base, qf.dequantize_out(qf.forward(xi)));
+    std::printf("%12.0e | %12.6f %12.6f | %14lld\n", ber, mc, fc,
+                static_cast<long long>(flips));
+  }
+  std::printf("\nINT8 inference degrades gracefully below ~1e-4 BER; the\n"
+              "LayerNorm renormalization absorbs part of the perturbation.\n");
+  return 0;
+}

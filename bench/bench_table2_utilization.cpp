@@ -1,0 +1,74 @@
+// Reproduces Table II: utilization report for the accelerator and its
+// primary modules on the xcvu13p, from the calibrated analytic resource
+// model (see DESIGN.md §4 for the substitution rationale), plus the
+// Section V.B power figure.
+#include <cstdio>
+
+#include "core/accelerator.hpp"
+#include "perf/resource_model.hpp"
+#include "table.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double lut, regs, bram, dsp;
+};
+
+}  // namespace
+
+int main() {
+  using namespace tfacc;
+  const ResourceModel model;
+  const auto table = model.utilization_table(ModelConfig::transformer_base(),
+                                             64);
+  const PaperRow paper[] = {
+      {"Top", 471563, 217859, 498, 129},
+      {"64x64 SA", 420867, 173110, 0, 0},
+      {"Softmax", 21190, 32623, 0, 0},
+      {"LayerNorm", 10551, 5325, 27.5, 129},
+      {"Weight Memory", 3379, 80, 456, 0},
+  };
+  const auto avail = xcvu13p_available();
+
+  bench::title(
+      "Table II — utilization report (xcvu13p, s = 64, Transformer-base)");
+  std::printf("%-15s | %9s %9s | %9s %9s | %7s %7s | %5s %5s\n", "module",
+              "LUT", "model", "Regs", "model", "BRAM", "model", "DSP",
+              "model");
+  bench::rule(96);
+  std::printf("%-15s | %9.0f %9s | %9.0f %9s | %7.0f %7s | %5.0f %5s\n",
+              avail.name.c_str(), avail.lut, "-", avail.registers, "-",
+              avail.bram, "-", avail.dsp, "-");
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    std::printf(
+        "%-15s | %9.0f %9.0f | %9.0f %9.0f | %7.1f %7.1f | %5.0f %5.0f\n",
+        paper[i].name, paper[i].lut, table[i].lut, paper[i].regs,
+        table[i].registers, paper[i].bram, table[i].bram, paper[i].dsp,
+        table[i].dsp);
+  }
+  std::printf("\nDeltas (model vs paper): Top LUT %+.1f%%, Top Regs %+.1f%%, "
+              "Top BRAM %+.1f%%, Top DSP %+.1f%%\n",
+              bench::delta_pct(table[0].lut, paper[0].lut),
+              bench::delta_pct(table[0].registers, paper[0].regs),
+              bench::delta_pct(table[0].bram, paper[0].bram),
+              bench::delta_pct(table[0].dsp, paper[0].dsp));
+
+  bench::title("Section V.B — power at 200 MHz");
+  Accelerator acc;
+  const double util = acc.time_mha(64, 64, 512, 8).sa_mac_utilization();
+  const double watts = model.total_power_w(64, 64, 200.0, util);
+  std::printf("paper: 16.7 W total (13.3 dynamic + 3.4 static)\n");
+  std::printf("model: %.1f W total at measured SA MAC utilization %.1f%% "
+              "(delta %+.1f%%)\n",
+              watts, 100.0 * util, bench::delta_pct(watts, 16.7));
+
+  bench::title("Scaling — SA size vs resources (model)");
+  std::printf("%10s | %10s %10s\n", "SA rows", "LUT", "Regs");
+  bench::rule();
+  for (int rows : {16, 32, 64, 128}) {
+    const auto sa = model.systolic_array(rows, 64);
+    std::printf("%10d | %10.0f %10.0f\n", rows, sa.lut, sa.registers);
+  }
+  return 0;
+}

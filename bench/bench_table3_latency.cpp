@@ -1,0 +1,63 @@
+// Reproduces Table III: FPGA vs GPU latency and speed-up for both ResBlocks
+// (batch 1, s = 64). FPGA latency comes from the cycle-level simulator at
+// 200 MHz; the GPU baseline is the calibrated V100 eager-mode model
+// (DESIGN.md §4).
+#include <cstdio>
+
+#include "core/accelerator.hpp"
+#include "perf/gpu_model.hpp"
+#include "table.hpp"
+
+int main() {
+  using namespace tfacc;
+  Accelerator acc;
+
+  const double fpga_mha = acc.time_mha(64, 64, 512, 8).microseconds();
+  const double fpga_ffn = acc.time_ffn(64, 512, 2048).microseconds();
+  const double gpu_mha = gpu_mha_latency(64, 512, 8).total_us;
+  const double gpu_ffn = gpu_ffn_latency(64, 512, 2048).total_us;
+
+  bench::title("Table III — FPGA vs GPU latency (batch 1, s = 64)");
+  std::printf("%-14s | %21s | %21s | %17s\n", "", "FPGA latency (us)",
+              "GPU latency (us)", "speed-up");
+  std::printf("%-14s | %10s %10s | %10s %10s | %8s %8s\n", "block", "paper",
+              "ours", "paper", "ours", "paper", "ours");
+  bench::rule(84);
+  std::printf("%-14s | %10.1f %10.1f | %10.1f %10.1f | %7.1fx %7.1fx\n",
+              "MHA ResBlock", 106.7, fpga_mha, 1557.8, gpu_mha, 14.6,
+              gpu_mha / fpga_mha);
+  std::printf("%-14s | %10.1f %10.1f | %10.1f %10.1f | %7.1fx %7.1fx\n",
+              "FFN ResBlock", 210.5, fpga_ffn, 713.4, gpu_ffn, 3.4,
+              gpu_ffn / fpga_ffn);
+
+  bench::title("GPU-side per-op breakdown (modeled eager-mode execution)");
+  for (const auto& [name, lat] :
+       {std::pair<const char*, GpuLatency>{"MHA", gpu_mha_latency(64, 512, 8)},
+        std::pair<const char*, GpuLatency>{"FFN",
+                                           gpu_ffn_latency(64, 512, 2048)}}) {
+    std::printf("\n%s (%zu framework ops, %.1f us total):\n", name,
+                lat.ops.size(), lat.total_us);
+    std::printf("  %-16s %10s %10s\n", "op", "dispatch", "compute");
+    for (const auto& op : lat.ops)
+      std::printf("  %-16s %9.1f  %9.1f\n", op.name.c_str(), op.dispatch_us,
+                  op.compute_us);
+  }
+
+  bench::title("Speed-up vs sequence length (where the crossover lives)");
+  std::printf("%6s | %10s %10s %8s | %10s %10s %8s\n", "s", "MHA fpga",
+              "MHA gpu", "speedup", "FFN fpga", "FFN gpu", "speedup");
+  bench::rule(84);
+  for (int s : {16, 32, 64, 128, 256}) {
+    const double fm = acc.time_mha(s, s, 512, 8).microseconds();
+    const double ff = acc.time_ffn(s, 512, 2048).microseconds();
+    const double gm = gpu_mha_latency(s, 512, 8).total_us;
+    const double gf = gpu_ffn_latency(s, 512, 2048).total_us;
+    std::printf("%6d | %10.1f %10.1f %7.1fx | %10.1f %10.1f %7.1fx\n", s, fm,
+                gm, gm / fm, ff, gf, gf / ff);
+  }
+  std::printf(
+      "\nShape check: the FPGA wins most on the MHA (many small launch-bound\n"
+      "GPU ops), less on the FFN (GPU amortizes into two big GEMMs) — and the\n"
+      "gap narrows as s grows, matching the paper's 14.6x vs 3.4x contrast.\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Minimal fixed-width table printing shared by the bench binaries, so every
+// table/figure reproduction prints a readable paper-vs-measured comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace tfacc::bench {
+
+inline void rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void title(const std::string& text) {
+  std::printf("\n== %s ==\n", text.c_str());
+}
+
+/// Percentage delta of measured vs paper, e.g. -0.73.
+inline double delta_pct(double measured, double paper) {
+  return paper == 0.0 ? 0.0 : 100.0 * (measured - paper) / paper;
+}
+
+}  // namespace tfacc::bench

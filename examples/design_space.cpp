@@ -1,0 +1,93 @@
+// Design-space exploration with the public API: sweep the systolic-array
+// geometry and micro-architectural parameters, reporting latency, resource
+// and power trade-offs — the kind of study the accelerator model enables
+// beyond the paper's single design point.
+//
+//   $ ./examples/design_space
+#include <cstdio>
+
+#include "core/accelerator.hpp"
+#include "core/memories.hpp"
+#include "perf/resource_model.hpp"
+
+int main() {
+  using namespace tfacc;
+  const ResourceModel resources;
+  const auto avail = xcvu13p_available();
+
+  std::printf("design-space exploration: Transformer-base encoder layer,\n"
+              "batch 1, s = 64 (MHA + FFN ResBlock per layer)\n\n");
+  std::printf("%8s %6s | %10s %10s | %9s %8s | %8s %9s\n", "SA rows",
+              "drain", "MHA cyc", "FFN cyc", "layer us", "tok/s", "kLUT",
+              "LUT %");
+  for (int rows : {16, 32, 64, 128}) {
+    for (int drain : {4, 8, 16}) {
+      AcceleratorConfig cfg;
+      cfg.sa_rows = rows;
+      cfg.tile_drain_cycles = drain;
+      Accelerator acc(cfg);
+      const Cycle mha = acc.time_mha(64, 64, 512, 8).total_cycles;
+      const Cycle ffn = acc.time_ffn(64, 512, 2048).total_cycles;
+      const double layer_us =
+          static_cast<double>(mha + ffn) / cfg.clock_mhz;
+      const double tokens_per_s = 64.0 / (layer_us * 1e-6) /
+                                  6.0;  // 6 encoder layers
+      const auto sa = resources.systolic_array(rows, 64);
+      std::printf("%8d %6d | %10lld %10lld | %9.1f %8.0f | %8.0f %8.1f%%\n",
+                  rows, drain, static_cast<long long>(mha),
+                  static_cast<long long>(ffn), layer_us, tokens_per_s,
+                  sa.lut / 1000.0, 100.0 * sa.lut / avail.lut);
+    }
+  }
+
+  std::printf("\naccumulator depth vs FFN spill (64x64 SA):\n");
+  std::printf("%12s | %10s %14s\n", "depth tiles", "FFN cyc", "spill cyc");
+  for (int depth : {4, 8, 16, 32}) {
+    AcceleratorConfig cfg;
+    cfg.accum_depth_tiles = depth;
+    Accelerator acc(cfg);
+    const RunReport rep = acc.time_ffn(64, 512, 2048);
+    std::printf("%12d | %10lld %14lld\n", depth,
+                static_cast<long long>(rep.total_cycles),
+                static_cast<long long>(rep.accum_spill));
+  }
+
+  std::printf("\nclock scaling at the paper's design point (64x64, drain 8):\n");
+  std::printf("%10s | %12s %12s %10s\n", "clock MHz", "MHA us", "FFN us",
+              "power W");
+  Accelerator acc;
+  const RunReport mha = acc.time_mha(64, 64, 512, 8);
+  const RunReport ffn = acc.time_ffn(64, 512, 2048);
+  for (double mhz : {100.0, 150.0, 200.0, 250.0}) {
+    std::printf("%10.0f | %12.2f %12.2f %10.1f\n", mhz,
+                static_cast<double>(mha.total_cycles) / mhz,
+                static_cast<double>(ffn.total_cycles) / mhz,
+                resources.total_power_w(64, 64, mhz,
+                                        mha.sa_mac_utilization()));
+  }
+
+  std::printf("\nmodel scaling at 64x64, s = 64:\n");
+  std::printf("%-18s | %12s %12s %12s\n", "model", "MHA cyc", "FFN cyc",
+              "weights BRAM");
+  for (const auto& cfg : ModelConfig::table1()) {
+    const Cycle m = acc.time_mha(64, 64, cfg.d_model, cfg.num_heads)
+                        .total_cycles;
+    const Cycle f = acc.time_ffn(64, cfg.d_model, cfg.d_ff).total_cycles;
+    std::printf("%-18s | %12lld %12lld %12.0f\n", cfg.name.c_str(),
+                static_cast<long long>(m), static_cast<long long>(f),
+                resources.weight_memory(cfg).bram);
+  }
+
+  std::printf("\non-chip buffer inventory (Fig. 5), Transformer-base, s = 64:\n");
+  const MemoryLayout layout =
+      MemoryLayout::compute(ModelConfig::transformer_base(), 64);
+  std::printf("%-28s | %10s %8s\n", "buffer", "bytes", "BRAM36");
+  for (const auto& b : layout.buffers)
+    std::printf("%-28s | %10lld %8lld\n", b.name.c_str(),
+                static_cast<long long>(b.bytes),
+                static_cast<long long>((b.bytes + 4607) / 4608));
+  std::printf("%-28s | %10lld %8.0f  (device: 2688 BRAM36%s)\n", "total",
+              static_cast<long long>(layout.total_bytes()), layout.bram36(),
+              layout.fits(2688) ? ", fits" : ", DOES NOT FIT");
+  return 0;
+}

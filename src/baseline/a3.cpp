@@ -1,0 +1,155 @@
+#include "baseline/a3.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace tfacc {
+
+void A3Config::validate() const {
+  TFACC_CHECK_MSG(search_iterations > 0,
+                  "search_iterations " << search_iterations);
+  TFACC_CHECK_MSG(dot_lanes > 0, "dot_lanes " << dot_lanes);
+}
+
+namespace {
+
+/// Per-dimension key ordering: indices sorted ascending by component value.
+/// The greedy search walks each dimension from both ends (largest positive
+/// and most negative components).
+std::vector<std::vector<int>> sort_keys_per_dimension(const MatF& k) {
+  std::vector<std::vector<int>> sorted(static_cast<std::size_t>(k.cols()));
+  for (int j = 0; j < k.cols(); ++j) {
+    auto& order = sorted[static_cast<std::size_t>(j)];
+    order.resize(static_cast<std::size_t>(k.rows()));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return k(a, j) < k(b, j); });
+  }
+  return sorted;
+}
+
+/// One query row's greedy candidate search. Each dimension j maintains two
+/// cursors (low end / high end of the sorted key list); at every iteration
+/// the globally largest remaining partial product q_j·K(i,j) is consumed
+/// and key i becomes a candidate.
+void search_candidates(const MatF& q, int row, const MatF& k,
+                       const std::vector<std::vector<int>>& sorted,
+                       const std::uint8_t* mask_row, int iterations,
+                       std::vector<char>& candidate) {
+  const int d = k.cols();
+  const int s = k.rows();
+  struct Cursor {
+    int lo = 0;
+    int hi = 0;
+  };
+  std::vector<Cursor> cur(static_cast<std::size_t>(d));
+  for (auto& c : cur) c.hi = s - 1;
+
+  auto partial = [&](int j, bool from_high) {
+    const auto& order = sorted[static_cast<std::size_t>(j)];
+    const Cursor& c = cur[static_cast<std::size_t>(j)];
+    if (c.lo > c.hi) return -std::numeric_limits<float>::infinity();
+    const int key = from_high ? order[static_cast<std::size_t>(c.hi)]
+                              : order[static_cast<std::size_t>(c.lo)];
+    return q(row, j) * k(key, j);
+  };
+
+  for (int it = 0; it < iterations; ++it) {
+    float best = -std::numeric_limits<float>::infinity();
+    int best_j = -1;
+    bool best_high = true;
+    for (int j = 0; j < d; ++j) {
+      // The profitable end depends on the sign of q_j: positive components
+      // pair with large key values, negative with small ones.
+      const bool from_high = q(row, j) >= 0.0f;
+      const float p = partial(j, from_high);
+      if (p > best) {
+        best = p;
+        best_j = j;
+        best_high = from_high;
+      }
+    }
+    if (best_j < 0 || best == -std::numeric_limits<float>::infinity()) break;
+    auto& c = cur[static_cast<std::size_t>(best_j)];
+    const auto& order = sorted[static_cast<std::size_t>(best_j)];
+    const int key = best_high ? order[static_cast<std::size_t>(c.hi--)]
+                              : order[static_cast<std::size_t>(c.lo++)];
+    if (mask_row[key] == 0) candidate[static_cast<std::size_t>(key)] = 1;
+  }
+}
+
+}  // namespace
+
+A3Result a3_attention(const MatF& q, const MatF& k, const MatF& v,
+                      const Mask& mask, const A3Config& cfg) {
+  cfg.validate();
+  TFACC_CHECK_ARG(q.cols() == k.cols() && k.rows() == v.rows());
+  TFACC_CHECK_ARG(mask.rows() == q.rows() && mask.cols() == k.rows());
+
+  const auto sorted = sort_keys_per_dimension(k);
+  const float tau = std::sqrt(static_cast<float>(q.cols()));
+
+  A3Result res;
+  res.output = MatF(q.rows(), v.cols());
+  std::int64_t total_candidates = 0;
+  for (int r = 0; r < q.rows(); ++r) {
+    std::vector<char> candidate(static_cast<std::size_t>(k.rows()), 0);
+    search_candidates(q, r, k, sorted, mask.row(r), cfg.search_iterations,
+                      candidate);
+
+    // Exact scores over the candidate set only; softmax over candidates.
+    float mx = -std::numeric_limits<float>::infinity();
+    std::vector<float> score(static_cast<std::size_t>(k.rows()),
+                             -std::numeric_limits<float>::infinity());
+    int n_cand = 0;
+    for (int i = 0; i < k.rows(); ++i) {
+      if (!candidate[static_cast<std::size_t>(i)]) continue;
+      float dot = 0.0f;
+      for (int j = 0; j < q.cols(); ++j) dot += q(r, j) * k(i, j);
+      score[static_cast<std::size_t>(i)] = dot / tau;
+      mx = std::max(mx, score[static_cast<std::size_t>(i)]);
+      ++n_cand;
+    }
+    total_candidates += n_cand;
+    if (n_cand == 0) continue;  // fully masked or empty budget → zeros
+    float denom = 0.0f;
+    for (int i = 0; i < k.rows(); ++i)
+      if (candidate[static_cast<std::size_t>(i)])
+        denom += std::exp(score[static_cast<std::size_t>(i)] - mx);
+    for (int i = 0; i < k.rows(); ++i) {
+      if (!candidate[static_cast<std::size_t>(i)]) continue;
+      const float p =
+          std::exp(score[static_cast<std::size_t>(i)] - mx) / denom;
+      for (int c = 0; c < v.cols(); ++c) res.output(r, c) += p * v(i, c);
+    }
+  }
+  res.mean_candidates =
+      static_cast<double>(total_candidates) / std::max(1, q.rows());
+  const double exact_macs =
+      static_cast<double>(q.rows()) * k.rows() * q.cols();
+  const double done_macs = static_cast<double>(total_candidates) * q.cols();
+  res.score_macs_saved = 1.0 - done_macs / exact_macs;
+  return res;
+}
+
+std::int64_t a3_attention_cycles(int s_q, int s_kv, int d_k,
+                                 double mean_candidates,
+                                 const A3Config& cfg) {
+  cfg.validate();
+  TFACC_CHECK_ARG(s_q > 0 && s_kv > 0 && d_k > 0);
+  // Per query row: the greedy search issues one selection per cycle; exact
+  // scoring streams candidate·d_k MACs through dot_lanes; the softmax and
+  // weighted sum pipeline over the candidates (2 passes).
+  const double score_cycles =
+      std::ceil(mean_candidates * d_k / cfg.dot_lanes);
+  const double per_row =
+      cfg.search_iterations + score_cycles + 2.0 * mean_candidates;
+  return static_cast<std::int64_t>(std::ceil(per_row * s_q));
+}
+
+}  // namespace tfacc

@@ -1,0 +1,56 @@
+// A³-style approximate attention baseline (Ham et al., "A³: Accelerating
+// Attention Mechanisms in Neural Networks with Approximation", HPCA 2020).
+//
+// The paper positions itself against A³ as the only prior attention
+// accelerator ("which is not specifically designed for the Transformer").
+// This module reproduces A³'s core idea as a software model so the two
+// approaches can be compared on the same workloads:
+//
+//   - Preprocess keys: per dimension, sort key indices by component value.
+//   - Candidate search: greedily pop the key whose single-component partial
+//     product with the query is largest (looking at both ends of each
+//     sorted dimension), for a fixed iteration budget — keys touched become
+//     candidates.
+//   - Compute exact dot products (and softmax) only over the candidates;
+//     non-candidates are treated as -inf (zero probability).
+//
+// A cycle model in the A³ spirit (one candidate-search iteration per cycle,
+// pipelined dot products over candidates) allows latency comparisons with
+// the exact systolic-array design of src/core.
+#pragma once
+
+#include "reference/functional.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tfacc {
+
+struct A3Config {
+  /// Greedy candidate-search iterations per query row (the approximation
+  /// knob; >= s·d effectively degenerates to exact attention).
+  int search_iterations = 64;
+  /// Dot-product lanes of the modeled A³ unit (exact-score throughput).
+  int dot_lanes = 64;
+
+  void validate() const;
+};
+
+/// Result of the approximate attention with instrumentation.
+struct A3Result {
+  MatF output;                 ///< s_q × d_v attention output
+  double mean_candidates = 0;  ///< avg candidate-set size per query row
+  double score_macs_saved = 0; ///< fraction of Q·Kᵀ MACs skipped vs exact
+};
+
+/// Approximate Attention(Q, K, V) with masking semantics matching Eq. 4
+/// (masked keys are never candidates; fully-masked rows yield zeros).
+A3Result a3_attention(const MatF& q, const MatF& k, const MatF& v,
+                      const Mask& mask, const A3Config& cfg);
+
+/// Cycle estimate of one head's attention on the modeled A³ unit:
+/// preprocessing is amortized (done once per key matrix); per query row:
+/// search_iterations cycles + ceil(candidates·d_k / dot_lanes) score cycles
+/// + softmax/weighted-sum pipeline over the candidates.
+std::int64_t a3_attention_cycles(int s_q, int s_kv, int d_k,
+                                 double mean_candidates, const A3Config& cfg);
+
+}  // namespace tfacc

@@ -1,0 +1,70 @@
+// Runtime precondition / invariant checking for the tfacc library.
+//
+// Per the C++ Core Guidelines (I.5/I.6, P.6/P.7) we state preconditions
+// explicitly and catch violations early. Violations throw, so callers can
+// test error paths and no misuse silently corrupts a simulation.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tfacc {
+
+/// Thrown when a TFACC_CHECK* precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace tfacc
+
+/// Check an invariant; throws tfacc::CheckError with location info on failure.
+#define TFACC_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::tfacc::detail::check_failed("check", #cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Check an invariant with a streamed message:
+///   TFACC_CHECK_MSG(a == b, "a=" << a << " b=" << b);
+#define TFACC_CHECK_MSG(cond, stream_expr)                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream tfacc_check_os_;                                   \
+      tfacc_check_os_ << stream_expr;                                       \
+      ::tfacc::detail::check_failed("check", #cond, __FILE__, __LINE__,     \
+                                    tfacc_check_os_.str());                 \
+    }                                                                       \
+  } while (false)
+
+/// Check a caller-supplied argument (precondition).
+#define TFACC_CHECK_ARG(cond)                                                \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::tfacc::detail::check_failed("argument check", #cond, __FILE__,       \
+                                    __LINE__, "");                           \
+  } while (false)
+
+#define TFACC_CHECK_ARG_MSG(cond, stream_expr)                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream tfacc_check_os_;                                   \
+      tfacc_check_os_ << stream_expr;                                       \
+      ::tfacc::detail::check_failed("argument check", #cond, __FILE__,      \
+                                    __LINE__, tfacc_check_os_.str());       \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,46 @@
+// Deterministic, seedable random sources used across tests, weight
+// initialization and synthetic-workload generation. Everything in this
+// repository is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace tfacc {
+
+/// A thin wrapper over std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    std::uniform_int_distribution<int> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool flip(double p_true = 0.5) {
+    std::bernoulli_distribution d(p_true);
+    return d(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tfacc

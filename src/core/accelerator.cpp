@@ -1,0 +1,323 @@
+#include "core/accelerator.hpp"
+
+#include <limits>
+
+#include "tensor/ops.hpp"
+
+namespace tfacc {
+
+namespace {
+
+/// Per-head SA/Softmax intervals of the MHA flow (Algorithm 1 lines 2-8).
+struct HeadIntervals {
+  Interval q1, k1, d, sm, v1, a;
+};
+
+struct MhaSchedule {
+  std::vector<HeadIntervals> heads;
+  std::vector<Interval> g;
+  Interval ln;
+};
+
+struct FfnSchedule {
+  std::vector<Interval> h;
+  std::vector<Interval> g;
+  Interval ln;
+};
+
+MhaSchedule schedule_mha(const AcceleratorConfig& cfg, SaModule& sa,
+                         SoftmaxModule& sm, LayerNormModule& ln, int s_q,
+                         int s_kv, int d_model, int num_heads) {
+  const int hd = cfg.sa_cols;
+  MhaSchedule sched;
+  sched.heads.reserve(static_cast<std::size_t>(num_heads));
+  Cycle p_ready = 0;
+  for (int h = 0; h < num_heads; ++h) {
+    const std::string tag = "head" + std::to_string(h);
+    HeadIntervals hi;
+    // Lines 3-4: Temp1 = Q·W_Qi + b, Temp2 = K·W_Ki + b.
+    hi.q1 = sa.schedule(s_q, d_model, hd, 0, SaModule::kStaticWeight,
+                        tag + ".QWq");
+    hi.k1 = sa.schedule(s_kv, d_model, hd, 0, SaModule::kStaticWeight,
+                        tag + ".KWk");
+    // Line 5: softmax input = Temp1 · Temp2ᵀ (K₁ᵀ is a runtime operand).
+    hi.d = sa.schedule(s_q, hd, s_kv, hi.q1.end, hi.k1.end, tag + ".QKt");
+    // Line 6: softmax runs in parallel with V·W_Vi (the overlap claim).
+    hi.sm = sm.schedule(hi.d.end, s_kv, tag + ".softmax");
+    hi.v1 = sa.schedule(s_kv, d_model, hd,
+                        cfg.overlap_softmax ? 0 : hi.sm.end,
+                        SaModule::kStaticWeight, tag + ".VWv");
+    // Line 7: P_i = softmax · Temp2 (V₁ is a runtime operand).
+    hi.a = sa.schedule(s_q, s_kv, hd, hi.sm.end, hi.v1.end, tag + ".AV");
+    p_ready = hi.a.end;
+    sched.heads.push_back(hi);
+  }
+  // Lines 9-11: G_i = P·W_Gi + b + Q_i, one op per 64-column block.
+  Cycle g_done = p_ready;
+  for (int i = 0; i < d_model / hd; ++i) {
+    const Interval g_iv = sa.schedule(s_q, d_model, hd, p_ready,
+                                      SaModule::kStaticWeight,
+                                      "G" + std::to_string(i));
+    g_done = g_iv.end;
+    sched.g.push_back(g_iv);
+  }
+  // Line 12: LayerNorm.
+  sched.ln = ln.schedule(g_done, d_model, "LayerNorm");
+  return sched;
+}
+
+FfnSchedule schedule_ffn(const AcceleratorConfig& cfg, SaModule& sa,
+                         LayerNormModule& ln, int s, int d_model, int d_ff) {
+  const int bc = cfg.sa_cols;
+  FfnSchedule sched;
+  // Lines 15-17: P_i = ReLU(X·W_1i + b_1i), 4h blocks.
+  Cycle h_done = 0;
+  for (int i = 0; i < d_ff / bc; ++i) {
+    const Interval iv = sa.schedule(s, d_model, bc, 0,
+                                    SaModule::kStaticWeight,
+                                    "H" + std::to_string(i));
+    h_done = iv.end;
+    sched.h.push_back(iv);
+  }
+  // Lines 18-20: G_i = P·W_2i + b_2i + X_i; P is the full s×d_ff matrix.
+  Cycle g_done = h_done;
+  for (int i = 0; i < d_model / bc; ++i) {
+    const Interval iv = sa.schedule(s, d_ff, bc, h_done,
+                                    SaModule::kStaticWeight,
+                                    "G" + std::to_string(i));
+    g_done = iv.end;
+    sched.g.push_back(iv);
+  }
+  sched.ln = ln.schedule(g_done, d_model, "LayerNorm");
+  return sched;
+}
+
+void finalize_report(RunReport& rep, const AcceleratorConfig& cfg,
+                     const SaModule& sa) {
+  rep.clock_mhz = cfg.clock_mhz;
+  rep.total_cycles = rep.timeline.end_time();
+  rep.sa_busy = rep.timeline.module("SA").busy_cycles();
+  rep.softmax_busy = rep.timeline.module("Softmax").busy_cycles();
+  rep.layernorm_busy = rep.timeline.module("LayerNorm").busy_cycles();
+  rep.sa_stream = sa.ideal_stream_cycles();
+  rep.exposed_weight_load = sa.exposed_load_cycles();
+  rep.accum_spill = sa.spill_cycles();
+}
+
+void record_softmax_slack(RunReport& rep, const MhaSchedule& sched) {
+  Cycle slack = std::numeric_limits<Cycle>::max();
+  for (const auto& hi : sched.heads)
+    slack = std::min(slack, hi.v1.end - hi.sm.end);
+  rep.softmax_slack_min = sched.heads.empty() ? 0 : slack;
+  rep.softmax_hidden = rep.softmax_slack_min >= 0;
+}
+
+std::vector<std::int32_t> bias_slice(const std::vector<std::int32_t>& bias,
+                                     int offset, int len) {
+  return std::vector<std::int32_t>(bias.begin() + offset,
+                                   bias.begin() + offset + len);
+}
+
+}  // namespace
+
+Accelerator::Accelerator(AcceleratorConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+}
+
+Accelerator::MhaResult Accelerator::run_mha(const MhaQuantized& block,
+                                            const MatI8& q, const MatI8& kv,
+                                            const Mask& mask) const {
+  TFACC_CHECK_ARG(q.cols() == block.d_model && kv.cols() == block.d_model);
+  TFACC_CHECK_ARG(mask.rows() == q.rows() && mask.cols() == kv.rows());
+  TFACC_CHECK_ARG_MSG(block.head_dim == cfg_.sa_cols,
+                      "head_dim " << block.head_dim << " != SA columns "
+                                  << cfg_.sa_cols);
+
+  MhaResult res;
+  RunReport& rep = res.report;
+  SaModule sa(cfg_, rep.timeline);
+  SoftmaxModule sm(cfg_, rep.timeline);
+  LayerNormModule ln(cfg_, rep.timeline);
+
+  const MhaSchedule sched =
+      schedule_mha(cfg_, sa, sm, ln, q.rows(), kv.rows(), block.d_model,
+                   block.num_heads);
+
+  // Functional pass, op for op in the scheduled order (Algorithm 1).
+  std::vector<MatI8> p_blocks;
+  p_blocks.reserve(block.heads.size());
+  for (int h = 0; h < block.num_heads; ++h) {
+    const auto& head = block.heads[static_cast<std::size_t>(h)];
+    const MatI8 q1 = head.wq.forward(q);
+    const MatI8 k1 = head.wk.forward(kv);
+    const MatI32 scores = gemm_nt_i8(q1, k1);
+    const MatI8 probs = block.softmax(scores, mask, h);
+    const MatI8 v1 = head.wv.forward(kv);
+    const MatI32 a_acc = gemm_i8(probs, v1);
+    p_blocks.push_back(requantize_i8(a_acc, head.av_requant));
+  }
+  const MatI8 p = hconcat(p_blocks);
+
+  const int hd = block.head_dim;
+  const MatI16 g_res = requantize_i8_to_i16(q, block.residual_to_g);
+  const auto wg_blocks = split_cols(block.wg.w, hd);
+  MatI16 g(q.rows(), block.d_model);
+  for (int i = 0; i < block.d_model / hd; ++i) {
+    const MatI32 acc = add_bias_i32(
+        gemm_i8(p, wg_blocks[static_cast<std::size_t>(i)]),
+        bias_slice(block.wg.bias, i * hd, hd));
+    const MatI16 proj = requantize_i16(acc, block.wg_to_g);
+    const MatI16 res_blk = g_res.block(0, i * hd, q.rows(), hd);
+    g.set_block(0, i * hd, saturating_add_i16(proj, res_blk));
+  }
+  res.out = block.norm(g);
+
+  record_softmax_slack(rep, sched);
+  finalize_report(rep, cfg_, sa);
+  return res;
+}
+
+Accelerator::FfnResult Accelerator::run_ffn(const FfnQuantized& block,
+                                            const MatI8& x) const {
+  TFACC_CHECK_ARG(x.cols() == block.d_model);
+  TFACC_CHECK_ARG(block.d_model % cfg_.sa_cols == 0 &&
+                  block.d_ff % cfg_.sa_cols == 0);
+
+  FfnResult res;
+  RunReport& rep = res.report;
+  SaModule sa(cfg_, rep.timeline);
+  LayerNormModule ln(cfg_, rep.timeline);
+  const FfnSchedule sched =
+      schedule_ffn(cfg_, sa, ln, x.rows(), block.d_model, block.d_ff);
+  (void)sched;
+
+  const int bc = cfg_.sa_cols;
+  const auto w1_blocks = split_cols(block.w1.w, bc);
+  std::vector<MatI8> h_blocks;
+  h_blocks.reserve(w1_blocks.size());
+  for (int i = 0; i < block.d_ff / bc; ++i) {
+    const MatI32 acc = add_bias_i32(
+        gemm_i8(x, w1_blocks[static_cast<std::size_t>(i)]),
+        bias_slice(block.w1.bias, i * bc, bc));
+    h_blocks.push_back(block.w1.requantize(relu_i32(acc), i * bc));
+  }
+  const MatI8 hidden = hconcat(h_blocks);
+
+  const auto w2_blocks = split_cols(block.w2.w, bc);
+  const MatI16 g_res = requantize_i8_to_i16(x, block.residual_to_g);
+  MatI16 g(x.rows(), block.d_model);
+  for (int i = 0; i < block.d_model / bc; ++i) {
+    const MatI32 acc = add_bias_i32(
+        gemm_i8(hidden, w2_blocks[static_cast<std::size_t>(i)]),
+        bias_slice(block.w2.bias, i * bc, bc));
+    const MatI16 proj = requantize_i16(acc, block.w2_to_g);
+    const MatI16 res_blk = g_res.block(0, i * bc, x.rows(), bc);
+    g.set_block(0, i * bc, saturating_add_i16(proj, res_blk));
+  }
+  res.out = block.norm(g);
+
+  finalize_report(rep, cfg_, sa);
+  return res;
+}
+
+RunReport Accelerator::time_mha(int s_q, int s_kv, int d_model,
+                                int num_heads) const {
+  TFACC_CHECK_ARG(d_model == num_heads * cfg_.sa_cols);
+  RunReport rep;
+  SaModule sa(cfg_, rep.timeline);
+  SoftmaxModule sm(cfg_, rep.timeline);
+  LayerNormModule ln(cfg_, rep.timeline);
+  const MhaSchedule sched =
+      schedule_mha(cfg_, sa, sm, ln, s_q, s_kv, d_model, num_heads);
+  record_softmax_slack(rep, sched);
+  finalize_report(rep, cfg_, sa);
+  return rep;
+}
+
+RunReport Accelerator::time_mha_cached(int s_new, int s_total, int d_model,
+                                       int num_heads,
+                                       int project_kv_rows) const {
+  TFACC_CHECK_ARG(s_new > 0 && s_total >= s_new);
+  TFACC_CHECK_ARG(project_kv_rows >= 0);
+  TFACC_CHECK_ARG(d_model == num_heads * cfg_.sa_cols);
+  RunReport rep;
+  SaModule sa(cfg_, rep.timeline);
+  SoftmaxModule sm(cfg_, rep.timeline);
+  LayerNormModule ln(cfg_, rep.timeline);
+  const int hd = cfg_.sa_cols;
+
+  Cycle slack_min = std::numeric_limits<Cycle>::max();
+  Cycle p_ready = 0;
+  for (int h = 0; h < num_heads; ++h) {
+    const std::string tag = "head" + std::to_string(h);
+    const Interval q1 = sa.schedule(s_new, d_model, hd, 0,
+                                    SaModule::kStaticWeight, tag + ".QWq");
+    Cycle k_ready = SaModule::kStaticWeight;  // cached K₁ᵀ is resident
+    Cycle v_ready = SaModule::kStaticWeight;
+    if (project_kv_rows > 0) {
+      k_ready = sa.schedule(project_kv_rows, d_model, hd, 0,
+                            SaModule::kStaticWeight, tag + ".KWk")
+                    .end;
+      v_ready = sa.schedule(project_kv_rows, d_model, hd, 0,
+                            SaModule::kStaticWeight, tag + ".VWv")
+                    .end;
+    }
+    const Interval d = sa.schedule(s_new, hd, s_total, q1.end, k_ready,
+                                   tag + ".QKt");
+    const Interval smv = sm.schedule(d.end, s_total, tag + ".softmax");
+    const Interval a = sa.schedule(s_new, s_total, hd, smv.end, v_ready,
+                                   tag + ".AV");
+    slack_min = std::min(slack_min, a.start - smv.end);
+    p_ready = a.end;
+  }
+  Cycle g_done = p_ready;
+  for (int i = 0; i < d_model / hd; ++i)
+    g_done = sa.schedule(s_new, d_model, hd, p_ready,
+                         SaModule::kStaticWeight, "G" + std::to_string(i))
+                 .end;
+  ln.schedule(g_done, d_model, "LayerNorm");
+  rep.softmax_slack_min = num_heads > 0 ? slack_min : 0;
+  rep.softmax_hidden = rep.softmax_slack_min >= 0;
+  finalize_report(rep, cfg_, sa);
+  return rep;
+}
+
+RunReport Accelerator::time_ffn(int s, int d_model, int d_ff) const {
+  TFACC_CHECK_ARG(d_model % cfg_.sa_cols == 0 && d_ff % cfg_.sa_cols == 0);
+  RunReport rep;
+  SaModule sa(cfg_, rep.timeline);
+  LayerNormModule ln(cfg_, rep.timeline);
+  schedule_ffn(cfg_, sa, ln, s, d_model, d_ff);
+  finalize_report(rep, cfg_, sa);
+  return rep;
+}
+
+namespace {
+
+Accelerator::StreamReport to_stream(const RunReport& rep,
+                                    const AcceleratorConfig& cfg) {
+  Accelerator::StreamReport sr;
+  sr.first_latency = rep.total_cycles;
+  // Steady state drops the cold weight load and hides the LayerNorm tail
+  // under the next run's SA work.
+  sr.steady_interval =
+      rep.total_cycles - cfg.weight_load_cycles - rep.layernorm_busy;
+  sr.clock_mhz = cfg.clock_mhz;
+  TFACC_CHECK(sr.steady_interval > 0);
+  return sr;
+}
+
+}  // namespace
+
+Accelerator::StreamReport Accelerator::stream_mha(int s_q, int s_kv,
+                                                  int d_model,
+                                                  int num_heads) const {
+  return to_stream(time_mha(s_q, s_kv, d_model, num_heads), cfg_);
+}
+
+Accelerator::StreamReport Accelerator::stream_ffn(int s, int d_model,
+                                                  int d_ff) const {
+  return to_stream(time_ffn(s, d_model, d_ff), cfg_);
+}
+
+}  // namespace tfacc

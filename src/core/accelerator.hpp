@@ -1,0 +1,111 @@
+// The top-level accelerator model (Fig. 5) and its controller (Algorithm 1).
+//
+// run_mha / run_ffn execute a whole ResBlock: functionally (bit-exact INT8,
+// matching the quantized models of src/quant by construction) and
+// cycle-wise (every SA / Softmax / LayerNorm operation reserved on a
+// Timeline following the paper's computation flow, including the
+// softmax-under-V·W_V overlap and the Fig. 7 LayerNorm strategies).
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "core/modules.hpp"
+#include "quant/qresblock.hpp"
+#include "sim/timeline.hpp"
+
+namespace tfacc {
+
+/// Cycle-level outcome of one ResBlock run.
+struct RunReport {
+  Cycle total_cycles = 0;
+  Cycle sa_busy = 0;            ///< SA busy cycles (stream + drain + spill)
+  Cycle sa_stream = 0;          ///< MAC-issuing cycles only
+  Cycle softmax_busy = 0;
+  Cycle layernorm_busy = 0;
+  Cycle exposed_weight_load = 0;
+  Cycle accum_spill = 0;
+  /// min over heads of (V·W_V end − softmax end); >= 0 means the Softmax
+  /// module met the paper's "no later than V·W_V" condition on every head.
+  Cycle softmax_slack_min = 0;
+  bool softmax_hidden = true;
+  double clock_mhz = 200.0;
+  Timeline timeline;
+
+  /// Fraction of total cycles the SA was busy ("the SA hardly stops").
+  double sa_utilization() const {
+    return total_cycles == 0 ? 0.0
+                             : static_cast<double>(sa_busy) / total_cycles;
+  }
+  /// Fraction of total cycles the SA issued MACs (excludes drain bubbles).
+  double sa_mac_utilization() const {
+    return total_cycles == 0 ? 0.0
+                             : static_cast<double>(sa_stream) / total_cycles;
+  }
+  /// Wall-clock latency at the configured clock.
+  double microseconds() const {
+    return static_cast<double>(total_cycles) / clock_mhz;
+  }
+};
+
+/// The reconfigurable MHA/FFN ResBlock accelerator.
+class Accelerator {
+ public:
+  explicit Accelerator(AcceleratorConfig cfg = {});
+
+  const AcceleratorConfig& config() const { return cfg_; }
+
+  struct MhaResult {
+    MatI8 out;
+    RunReport report;
+  };
+  /// Algorithm 1, lines 1-13. q/kv are INT8 inputs at the block's calibrated
+  /// scales; kv plays both K and V (Fig. 3a: K = V).
+  MhaResult run_mha(const MhaQuantized& block, const MatI8& q,
+                    const MatI8& kv, const Mask& mask) const;
+
+  struct FfnResult {
+    MatI8 out;
+    RunReport report;
+  };
+  /// Algorithm 1, lines 14-22.
+  FfnResult run_ffn(const FfnQuantized& block, const MatI8& x) const;
+
+  /// Timing-only variants (no data): cycle counts for a given shape.
+  /// Used by latency sweeps where weights/activations are irrelevant.
+  RunReport time_mha(int s_q, int s_kv, int d_model, int num_heads) const;
+  RunReport time_ffn(int s, int d_model, int d_ff) const;
+
+  /// Timing of one KV-cached attention step: `s_new` fresh query rows attend
+  /// over `s_total` keys/values, of which only `project_kv_rows` rows are
+  /// projected this step (0 = K/V fully cached in the data memory).
+  /// Used by the full-model decoder schedule (core/full_model.hpp).
+  RunReport time_mha_cached(int s_new, int s_total, int d_model,
+                            int num_heads, int project_kv_rows) const;
+
+  /// Steady-state throughput of back-to-back invocations of the same
+  /// ResBlock (workload-level batching): weights stay resident, so only the
+  /// very first run pays the initial tile load, and the LayerNorm tail of
+  /// run i overlaps the SA work of run i+1 (they are different modules).
+  struct StreamReport {
+    Cycle first_latency = 0;     ///< latency of the first invocation
+    Cycle steady_interval = 0;   ///< cycles between completions afterwards
+    double clock_mhz = 200.0;
+
+    Cycle total_cycles(int n) const {
+      return n <= 0 ? 0 : first_latency + (n - 1) * steady_interval;
+    }
+    /// Sustained sequences per second at the steady interval.
+    double sequences_per_second() const {
+      return clock_mhz * 1e6 / static_cast<double>(steady_interval);
+    }
+  };
+  StreamReport stream_mha(int s_q, int s_kv, int d_model,
+                          int num_heads) const;
+  StreamReport stream_ffn(int s, int d_model, int d_ff) const;
+
+ private:
+  AcceleratorConfig cfg_;
+};
+
+}  // namespace tfacc

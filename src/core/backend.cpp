@@ -1,0 +1,32 @@
+#include "core/backend.hpp"
+
+namespace tfacc {
+
+ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
+                                    const Accelerator& acc,
+                                    AcceleratorStats* stats) {
+  ResBlockBackend b;
+  b.mha = [&qt, &acc, stats](const MatF& q, const MatF& kv,
+                             const MhaWeights& w, const Mask& mask) {
+    const MhaQuantized& qm = qt.mha_for(w);
+    const auto result =
+        acc.run_mha(qm, qm.quantize_q(q), qm.quantize_kv(kv), mask);
+    if (stats != nullptr) {
+      ++stats->mha_runs;
+      stats->mha_cycles += result.report.total_cycles;
+    }
+    return qm.dequantize_out(result.out);
+  };
+  b.ffn = [&qt, &acc, stats](const MatF& x, const FfnWeights& w) {
+    const FfnQuantized& qf = qt.ffn_for(w);
+    const auto result = acc.run_ffn(qf, qf.quantize_in(x));
+    if (stats != nullptr) {
+      ++stats->ffn_runs;
+      stats->ffn_cycles += result.report.total_cycles;
+    }
+    return qf.dequantize_out(result.out);
+  };
+  return b;
+}
+
+}  // namespace tfacc

@@ -1,0 +1,34 @@
+// Glue between the host-side Transformer decode loop and the accelerator:
+// a ResBlockBackend that runs every MHA/FFN ResBlock through the cycle-level
+// simulator, accumulating the cycle cost of a whole inference — the way the
+// paper envisions deployment (embedding/output layers on the host, ResBlocks
+// on the FPGA).
+#pragma once
+
+#include "core/accelerator.hpp"
+#include "quant/qtransformer.hpp"
+#include "reference/transformer.hpp"
+
+namespace tfacc {
+
+/// Aggregated accelerator activity across an inference run.
+struct AcceleratorStats {
+  long mha_runs = 0;
+  long ffn_runs = 0;
+  Cycle mha_cycles = 0;
+  Cycle ffn_cycles = 0;
+
+  Cycle total_cycles() const { return mha_cycles + ffn_cycles; }
+  double microseconds(double clock_mhz) const {
+    return static_cast<double>(total_cycles()) / clock_mhz;
+  }
+};
+
+/// Backend that executes every ResBlock on `acc` using the quantized blocks
+/// in `qt`. `stats` (optional) accumulates cycles across calls. All referenced
+/// objects must outlive the backend.
+ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
+                                    const Accelerator& acc,
+                                    AcceleratorStats* stats = nullptr);
+
+}  // namespace tfacc

@@ -1,0 +1,92 @@
+// Full-model inference scheduling — the paper's stated future work
+// ("In the future, we will build a FPGA or ASIC accelerator for the complete
+// Transformer inference").
+//
+// The Fig. 5 weight memory holds one layer's weights (456 BRAM36 ≈ the FFN
+// pair). Running a whole stack therefore interleaves per-layer weight DMA
+// from off-chip memory with ResBlock compute. This scheduler models both
+// policies: serial reload, and a double-buffered weight memory that
+// prefetches layer i+1 while layer i computes (costing 2× weight BRAM).
+//
+// Greedy decoding is modeled at the workload level: the encoder runs once;
+// each emitted token re-runs the decoder stack. Both the naive mode
+// (recompute all t query rows each step, which is what the batch-style
+// ResBlock engine naturally does) and a KV-cache mode (only the new row is
+// projected; K/V of earlier positions are reused from the data memory) are
+// provided.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/accelerator.hpp"
+
+namespace tfacc {
+
+/// Off-chip weight streaming parameters.
+struct DmaConfig {
+  /// Payload bytes per accelerator cycle (e.g. a 512-bit interface at the
+  /// core clock = 64 B/cycle = 12.8 GB/s at 200 MHz).
+  double bytes_per_cycle = 64.0;
+  /// Prefetch next layer's weights during current layer's compute.
+  bool double_buffered = true;
+
+  void validate() const;
+};
+
+/// One scheduled stage of a full-model pass.
+struct StageLatency {
+  std::string name;
+  Cycle compute = 0;      ///< ResBlock cycles (from the Accelerator model)
+  Cycle dma = 0;          ///< weight-streaming cycles for this stage
+  Cycle dma_exposed = 0;  ///< DMA cycles not hidden behind compute
+};
+
+/// Aggregate of a full-model pass.
+struct FullModelReport {
+  std::vector<StageLatency> stages;
+  Cycle compute_cycles = 0;
+  Cycle dma_cycles = 0;
+  Cycle dma_exposed_cycles = 0;
+  Cycle total_cycles = 0;
+  double clock_mhz = 200.0;
+
+  double microseconds() const {
+    return static_cast<double>(total_cycles) / clock_mhz;
+  }
+};
+
+/// Weight bytes of one MHA ResBlock (4 d_model² INT8 weights + biases).
+std::int64_t mha_weight_bytes(const ModelConfig& cfg);
+/// Weight bytes of one FFN ResBlock (2 d_model·d_ff INT8 weights + biases).
+std::int64_t ffn_weight_bytes(const ModelConfig& cfg);
+
+class FullModelScheduler {
+ public:
+  FullModelScheduler(AcceleratorConfig acc_cfg = {}, DmaConfig dma = {});
+
+  /// One full encoder pass over an s-token batch-1 sequence:
+  /// num_encoder_layers × (MHA + FFN), with per-layer weight streaming.
+  FullModelReport encoder_pass(const ModelConfig& cfg, int s) const;
+
+  /// Greedy translation: one encoder pass + out_len decoder passes.
+  /// With `kv_cache`, decoder self-attention at step t projects only the
+  /// new row (queries 1 row against t cached keys); without it, the whole
+  /// t-row block recomputes.
+  FullModelReport greedy_decode(const ModelConfig& cfg, int src_len,
+                                int out_len, bool kv_cache) const;
+
+  const Accelerator& accelerator() const { return acc_; }
+
+ private:
+  Cycle dma_cycles(std::int64_t bytes) const;
+  /// Fold a compute stage with its (possibly prefetched) weight DMA.
+  void push_stage(FullModelReport& rep, std::string name, Cycle compute,
+                  std::int64_t weight_bytes) const;
+
+  Accelerator acc_;
+  DmaConfig dma_;
+};
+
+}  // namespace tfacc

@@ -1,0 +1,59 @@
+#include "core/memories.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/full_model.hpp"
+
+namespace tfacc {
+
+MemoryLayout MemoryLayout::compute(const ModelConfig& cfg, int s,
+                                   bool double_buffer_weights) {
+  cfg.validate();
+  TFACC_CHECK_ARG(s > 0);
+  const std::int64_t s64 = s;
+  const std::int64_t dm = cfg.d_model;
+  const std::int64_t dff = cfg.d_ff;
+
+  MemoryLayout layout;
+  auto add = [&layout](std::string name, std::int64_t bytes) {
+    layout.buffers.push_back(BufferSpec{std::move(name), bytes});
+  };
+  // Fig. 5 annotations, INT8 activations unless noted.
+  add("input Q/X (s x 64h)", s64 * dm);
+  add("input K=V (s x 64h)", s64 * dm);
+  add("Temp1 (s x max(s,64))", s64 * std::max<std::int64_t>(s64, 64));
+  add("Temp2 (s x 64)", s64 * 64);
+  add("P / ReLU(XW1) (s x 256h)", s64 * dff);
+  add("G (s x d_model, INT16)", s64 * dm * 2);
+  add("output (s x d_model)", s64 * dm);
+  const std::int64_t weights =
+      std::max(mha_weight_bytes(cfg), ffn_weight_bytes(cfg));
+  add("weight memory", double_buffer_weights ? 2 * weights : weights);
+  // Bias memory: the largest live set (FFN: d_ff + d_model INT32 entries).
+  add("bias memory", (dff + dm) * 4);
+  return layout;
+}
+
+std::int64_t MemoryLayout::total_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& b : buffers) total += b.bytes;
+  return total;
+}
+
+double MemoryLayout::bram36() const {
+  // Each buffer maps to whole BRAM36 blocks (36 Kb = 4608 B granularity).
+  double blocks = 0.0;
+  for (const auto& b : buffers)
+    blocks += static_cast<double>((b.bytes + 4607) / 4608);
+  return blocks;
+}
+
+std::int64_t MemoryLayout::bytes_of(const std::string& name) const {
+  for (const auto& b : buffers)
+    if (b.name == name) return b.bytes;
+  TFACC_CHECK_ARG_MSG(false, "no buffer named " << name);
+  return 0;
+}
+
+}  // namespace tfacc

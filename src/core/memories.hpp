@@ -1,0 +1,43 @@
+// On-chip buffer sizing of the Fig. 5 top-level architecture.
+//
+// Fig. 5 annotates every memory: the inputs Q/X and K=V are s×64h INT8, the
+// Temp1 buffer is s×max(s,64) (it holds either a projection or the softmax
+// output), Temp2 is s×64, the P buffer (P or ReLU(X·W1)) is s×256h, the
+// weight memory holds one layer, and the bias memory its vectors. The
+// LayerNorm path additionally buffers the INT16 G matrix. This module turns
+// a (model, s) pair into concrete byte/BRAM requirements and validates them
+// against a device budget — the capacity planning a deployment needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace tfacc {
+
+/// One named on-chip buffer.
+struct BufferSpec {
+  std::string name;
+  std::int64_t bytes = 0;
+};
+
+/// Complete buffer inventory for one configuration.
+struct MemoryLayout {
+  std::vector<BufferSpec> buffers;
+
+  /// Fig. 5 sizing. `double_buffer_weights` doubles the weight memory for
+  /// the full-model prefetch schedule (core/full_model.hpp).
+  static MemoryLayout compute(const ModelConfig& cfg, int s,
+                              bool double_buffer_weights = false);
+
+  std::int64_t total_bytes() const;
+  /// BRAM36 blocks (36 Kb each) if everything maps to block RAM.
+  double bram36() const;
+  /// Bytes of the named buffer; throws if absent.
+  std::int64_t bytes_of(const std::string& name) const;
+  /// True if the layout fits a device budget given in BRAM36 blocks.
+  bool fits(double bram36_budget) const { return bram36() <= bram36_budget; }
+};
+
+}  // namespace tfacc

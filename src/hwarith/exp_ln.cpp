@@ -1,0 +1,204 @@
+#include "hwarith/exp_ln.hpp"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/fixed_point.hpp"
+
+namespace tfacc::hw {
+
+namespace {
+
+// Piecewise-linear segment start values, Q.10, at f = 0, 1/4, 1/2, 3/4.
+// pow2: 2^f; log1p: ln(1+f). Exact to the LSB so error never accumulates
+// across segments.
+constexpr std::int32_t kPow2Start[4] = {1024, 1218, 1448, 1722};
+constexpr std::int32_t kLog1pStart[4] = {0, 228, 415, 573};
+
+// Dyadic secant slopes, expressed as shift-add terms of the in-segment
+// offset df ∈ [0, 256).
+inline std::int32_t pow2_slope(int seg, std::int32_t df) {
+  switch (seg) {
+    case 0: return (df >> 1) + (df >> 2);          // 0.75   (true 0.757)
+    case 1: return df - (df >> 3);                 // 0.875  (true 0.900)
+    case 2: return df + (df >> 4);                 // 1.0625 (true 1.070)
+    default: return df + (df >> 2);                // 1.25   (true 1.273)
+  }
+}
+
+inline std::int32_t log1p_slope(int seg, std::int32_t du) {
+  switch (seg) {
+    case 0: return du - (du >> 3);                 // 0.875  (true 0.893)
+    case 1: return (du >> 1) + (du >> 2);          // 0.75   (true 0.729)
+    case 2: return (du >> 1) + (du >> 3);          // 0.625  (true 0.617)
+    default: return (du >> 1) + (du >> 5);         // 0.53125 (true 0.534)
+  }
+}
+
+// ln 2 in Q.10 (0.69336 vs true 0.69315).
+constexpr std::int32_t kLn2Q10 = 710;
+
+}  // namespace
+
+std::int32_t exp_unit_q10(std::int32_t x_q10) {
+  TFACC_CHECK_ARG_MSG(x_q10 <= 0, "EXP unit takes x <= 0, got " << x_q10);
+  if (x_q10 <= kExpMinArg) return 0;
+
+  // t = x * log2(e) by shift-add: 1 + 1/2 - 1/16 + 1/256 = 1.44140625.
+  const std::int32_t t = x_q10 + (x_q10 >> 1) - (x_q10 >> 4) + (x_q10 >> 8);
+
+  // Split into integer and fractional powers of two.
+  const std::int32_t n = t >> kSoftmaxFracBits;  // floor, n <= 0
+  const std::int32_t f = t - (n << kSoftmaxFracBits);  // [0, 1024)
+  const int seg = f >> 8;
+  const std::int32_t df = f & 0xFF;
+  const std::int32_t frac_pow = kPow2Start[seg] + pow2_slope(seg, df);
+
+  // y = 2^n * 2^f ; n <= 0 so this is a right shift.
+  const int rshift = -n;
+  if (rshift >= 31) return 0;
+  return static_cast<std::int32_t>(
+      rounding_shift_right(frac_pow, rshift));
+}
+
+std::int32_t ln_unit_q10(std::int64_t v_q10) {
+  TFACC_CHECK_ARG_MSG(v_q10 >= kSoftmaxOne,
+                      "LN unit takes v >= 1.0, got raw " << v_q10);
+  // Normalize v = (1+u) * 2^e with the leading-one detector.
+  const int e = std::bit_width(static_cast<std::uint64_t>(v_q10)) - 1;
+  std::int32_t m;
+  if (e >= kSoftmaxFracBits)
+    m = static_cast<std::int32_t>(v_q10 >> (e - kSoftmaxFracBits));
+  else
+    m = static_cast<std::int32_t>(v_q10 << (kSoftmaxFracBits - e));
+  const std::int32_t u = m - kSoftmaxOne;  // [0, 1024)
+  const int seg = u >> 8;
+  const std::int32_t du = u & 0xFF;
+  const std::int32_t log1p = kLog1pStart[seg] + log1p_slope(seg, du);
+
+  return (e - kSoftmaxFracBits) * kLn2Q10 + log1p;
+}
+
+namespace {
+
+// Q.10 anchors/slopes of 2^f and ln(1+u) on [0,1) at a given segment count.
+struct PwlTable {
+  std::vector<std::int32_t> start;  // value at each segment start, Q.10
+  std::vector<std::int32_t> slope;  // secant slope, Q.10
+};
+
+PwlTable make_pow2_table(int segments) {
+  PwlTable t;
+  for (int i = 0; i < segments; ++i) {
+    const double f0 = static_cast<double>(i) / segments;
+    const double f1 = static_cast<double>(i + 1) / segments;
+    const double v0 = std::exp2(f0), v1 = std::exp2(f1);
+    t.start.push_back(static_cast<std::int32_t>(std::lround(v0 * 1024)));
+    t.slope.push_back(
+        static_cast<std::int32_t>(std::lround((v1 - v0) / (f1 - f0) * 1024)));
+  }
+  return t;
+}
+
+PwlTable make_log1p_table(int segments) {
+  PwlTable t;
+  for (int i = 0; i < segments; ++i) {
+    const double u0 = static_cast<double>(i) / segments;
+    const double u1 = static_cast<double>(i + 1) / segments;
+    const double v0 = std::log1p(u0), v1 = std::log1p(u1);
+    t.start.push_back(static_cast<std::int32_t>(std::lround(v0 * 1024)));
+    t.slope.push_back(
+        static_cast<std::int32_t>(std::lround((v1 - v0) / (u1 - u0) * 1024)));
+  }
+  return t;
+}
+
+const PwlTable& pow2_table(PwlResolution res) {
+  static const PwlTable t2 = make_pow2_table(2);
+  static const PwlTable t4 = make_pow2_table(4);
+  static const PwlTable t8 = make_pow2_table(8);
+  static const PwlTable t16 = make_pow2_table(16);
+  switch (res) {
+    case PwlResolution::kTwo: return t2;
+    case PwlResolution::kFour: return t4;
+    case PwlResolution::kEight: return t8;
+    case PwlResolution::kSixteen: return t16;
+  }
+  TFACC_CHECK(false);
+  return t4;
+}
+
+const PwlTable& log1p_table(PwlResolution res) {
+  static const PwlTable t2 = make_log1p_table(2);
+  static const PwlTable t4 = make_log1p_table(4);
+  static const PwlTable t8 = make_log1p_table(8);
+  static const PwlTable t16 = make_log1p_table(16);
+  switch (res) {
+    case PwlResolution::kTwo: return t2;
+    case PwlResolution::kFour: return t4;
+    case PwlResolution::kEight: return t8;
+    case PwlResolution::kSixteen: return t16;
+  }
+  TFACC_CHECK(false);
+  return t4;
+}
+
+std::int32_t eval_pwl(const PwlTable& t, std::int32_t frac_q10) {
+  const int segments = static_cast<int>(t.start.size());
+  const int seg = static_cast<int>((static_cast<std::int64_t>(frac_q10) *
+                                    segments) >> kSoftmaxFracBits);
+  const std::int32_t seg_start_q10 =
+      static_cast<std::int32_t>((static_cast<std::int64_t>(seg)
+                                 << kSoftmaxFracBits) /
+                                segments);
+  const std::int32_t df = frac_q10 - seg_start_q10;
+  return t.start[static_cast<std::size_t>(seg)] +
+         static_cast<std::int32_t>(
+             rounding_shift_right(static_cast<std::int64_t>(
+                                      t.slope[static_cast<std::size_t>(seg)]) *
+                                      df,
+                                  kSoftmaxFracBits));
+}
+
+}  // namespace
+
+std::int32_t exp_unit_q10(std::int32_t x_q10, PwlResolution res) {
+  TFACC_CHECK_ARG_MSG(x_q10 <= 0, "EXP unit takes x <= 0, got " << x_q10);
+  if (x_q10 <= kExpMinArg) return 0;
+  const std::int32_t t = x_q10 + (x_q10 >> 1) - (x_q10 >> 4) + (x_q10 >> 8);
+  const std::int32_t n = t >> kSoftmaxFracBits;
+  const std::int32_t f = t - (n << kSoftmaxFracBits);
+  const std::int32_t frac_pow = eval_pwl(pow2_table(res), f);
+  const int rshift = -n;
+  if (rshift >= 31) return 0;
+  return static_cast<std::int32_t>(rounding_shift_right(frac_pow, rshift));
+}
+
+std::int32_t ln_unit_q10(std::int64_t v_q10, PwlResolution res) {
+  TFACC_CHECK_ARG_MSG(v_q10 >= kSoftmaxOne,
+                      "LN unit takes v >= 1.0, got raw " << v_q10);
+  const int e = std::bit_width(static_cast<std::uint64_t>(v_q10)) - 1;
+  std::int32_t m;
+  if (e >= kSoftmaxFracBits)
+    m = static_cast<std::int32_t>(v_q10 >> (e - kSoftmaxFracBits));
+  else
+    m = static_cast<std::int32_t>(v_q10 << (kSoftmaxFracBits - e));
+  const std::int32_t u = m - kSoftmaxOne;
+  return (e - kSoftmaxFracBits) * kLn2Q10 + eval_pwl(log1p_table(res), u);
+}
+
+double exp_unit(double x) {
+  TFACC_CHECK_ARG(x <= 0.0);
+  const auto fx = Fixed<kSoftmaxFracBits>::from_double(x);
+  return static_cast<double>(exp_unit_q10(fx.raw)) / kSoftmaxOne;
+}
+
+double ln_unit(double v) {
+  TFACC_CHECK_ARG(v >= 1.0);
+  const auto fx = Fixed<kSoftmaxFracBits>::from_double(v);
+  return static_cast<double>(ln_unit_q10(fx.raw)) / kSoftmaxOne;
+}
+
+}  // namespace tfacc::hw

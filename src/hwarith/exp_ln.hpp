@@ -1,0 +1,49 @@
+// Shift-add EXP and LN units (Fig. 6 of the paper; detailed architecture per
+// Wang et al., "A high-speed and low-complexity architecture for softmax
+// function in deep learning", APCCAS 2018 [13]).
+//
+// Both units operate on Q21.10 fixed point (kFracBits = 10) and use only
+// shifts, adds and small constant tables held in registers — no general
+// multipliers, no BRAM lookup tables, matching the paper's claim.
+//
+//   exp:  e^x = 2^(x·log2 e); x·log2 e by shift-add, 2^frac by a 4-segment
+//         piecewise-linear fit with dyadic slopes.
+//   ln:   ln v = e·ln 2 + ln(1+m) after normalizing v = (1+m)·2^e; ln(1+m) by
+//         a 4-segment piecewise-linear fit with dyadic slopes.
+#pragma once
+
+#include <cstdint>
+
+namespace tfacc::hw {
+
+/// Fraction bits of the softmax datapath fixed-point format.
+inline constexpr int kSoftmaxFracBits = 10;
+inline constexpr std::int32_t kSoftmaxOne = 1 << kSoftmaxFracBits;
+
+/// Most negative exponent argument the EXP unit resolves; anything below
+/// yields 0 (exp(-16) < 2^-23, far below INT8 resolution).
+inline constexpr std::int32_t kExpMinArg = -16 * kSoftmaxOne;
+
+/// Hardware EXP unit: y = exp(x) for x <= 0, in Q.10 fixed point.
+/// Input is clamped to [kExpMinArg, 0]. Output is in [0, kSoftmaxOne].
+std::int32_t exp_unit_q10(std::int32_t x_q10);
+
+/// Hardware LN unit: y = ln(v) for v >= 1 (raw >= kSoftmaxOne), Q.10 in and
+/// out. Used on the softmax denominator, which always satisfies v >= 1
+/// because the maximum element contributes exp(0) = 1.
+std::int32_t ln_unit_q10(std::int64_t v_q10);
+
+/// Piecewise-linear resolution of the 2^f and ln(1+u) fits, for the
+/// accuracy-vs-hardware-cost ablation. The shipped datapath (above) is the
+/// 4-segment dyadic-slope design; these variants use exact segment anchors
+/// with Q.10 secant slopes (a small slope ROM + one multiplier in hardware).
+enum class PwlResolution { kTwo = 2, kFour = 4, kEight = 8, kSixteen = 16 };
+
+std::int32_t exp_unit_q10(std::int32_t x_q10, PwlResolution res);
+std::int32_t ln_unit_q10(std::int64_t v_q10, PwlResolution res);
+
+/// Float helpers for accuracy studies (same algorithm, double interface).
+double exp_unit(double x);
+double ln_unit(double v);
+
+}  // namespace tfacc::hw

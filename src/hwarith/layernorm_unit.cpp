@@ -1,0 +1,70 @@
+#include "hwarith/layernorm_unit.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/fixed_point.hpp"
+#include "hwarith/rsqrt_lut.hpp"
+
+namespace tfacc::hw {
+
+LayerNormUnit LayerNormUnit::build(const LayerNormParams& params,
+                                   float out_scale) {
+  TFACC_CHECK_ARG(out_scale > 0.0f);
+  TFACC_CHECK_ARG(params.gamma.size() == params.beta.size());
+  TFACC_CHECK_ARG(!params.gamma.empty());
+  LayerNormUnit u;
+  u.n_ = static_cast<int>(params.gamma.size());
+  u.out_scale_ = out_scale;
+  u.gq_.resize(params.gamma.size());
+  u.bq_.resize(params.beta.size());
+  for (std::size_t j = 0; j < params.gamma.size(); ++j) {
+    u.gq_[j] = static_cast<std::int32_t>(std::lround(
+        static_cast<double>(params.gamma[j]) / out_scale *
+        (1 << kNormFracBits)));
+    u.bq_[j] = static_cast<std::int32_t>(
+        std::lround(static_cast<double>(params.beta[j]) / out_scale));
+  }
+  return u;
+}
+
+void LayerNormUnit::finish_row(const std::int16_t* g, std::int64_t sum,
+                               std::int64_t sumsq, std::int8_t* out) const {
+  // Integer variance proxy V = n·ΣG² − (ΣG)² = n²·var ≥ 0.
+  const std::int64_t v = static_cast<std::int64_t>(n_) * sumsq - sum * sum;
+  TFACC_CHECK_MSG(v >= 0, "negative variance proxy " << v);
+
+  if (v == 0) {
+    // Constant row: Eq. 6 with ε makes the normalized value 0, output β.
+    for (int j = 0; j < n_; ++j)
+      out[j] = saturate_i8(bq_[static_cast<std::size_t>(j)]);
+    return;
+  }
+
+  const RsqrtLut& lut = rsqrt_lut();
+  for (int j = 0; j < n_; ++j) {
+    const std::int64_t t = static_cast<std::int64_t>(n_) * g[j] - sum;
+    const std::int64_t norm_q12 = lut.mul_rsqrt(t, v, kNormFracBits);
+    const std::int64_t scaled = rounding_shift_right(
+        norm_q12 * gq_[static_cast<std::size_t>(j)], 2 * kNormFracBits);
+    out[j] = saturate_i8(scaled + bq_[static_cast<std::size_t>(j)]);
+  }
+}
+
+void LayerNormUnit::row(const std::int16_t* g, std::int8_t* out) const {
+  std::int64_t sum = 0, sumsq = 0;
+  for (int j = 0; j < n_; ++j) {
+    sum += g[j];
+    sumsq += static_cast<std::int64_t>(g[j]) * g[j];
+  }
+  finish_row(g, sum, sumsq, out);
+}
+
+Matrix<std::int8_t> LayerNormUnit::operator()(const MatI16& g) const {
+  TFACC_CHECK_ARG_MSG(g.cols() == n_, "row width " << g.cols() << " vs " << n_);
+  Matrix<std::int8_t> out(g.rows(), g.cols());
+  for (int r = 0; r < g.rows(); ++r) row(g.row(r), out.row(r));
+  return out;
+}
+
+}  // namespace tfacc::hw

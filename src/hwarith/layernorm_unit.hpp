@@ -1,0 +1,59 @@
+// Bit-accurate LayerNorm datapath (Fig. 8 of the paper).
+//
+// The module receives one row of the pre-norm matrix G as INT16 values
+// (real = raw · g_scale) and produces INT8 outputs (real = raw · out_scale).
+//
+// Normalization is scale-invariant, so no input scale enters the datapath:
+//
+//   normalized_j = (n·G_j − ΣG) / sqrt(n·ΣG² − (ΣG)²)
+//
+// which equals (G_j − E) / sqrt(var) exactly (both numerator and denominator
+// are multiplied by n). The identity var = E[G²] − E[G]² is "step two" of
+// Fig. 7 — ΣG and ΣG² are accumulated in parallel while G streams in, and
+// only the rsqrt lookup plus the γ/β stage remain afterwards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "reference/weights.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tfacc::hw {
+
+class LayerNormUnit {
+ public:
+  /// Fraction bits of the normalized value and of the γ multiplier.
+  static constexpr int kNormFracBits = 12;
+
+  /// Default-constructed unit is empty (n() == 0) and must not be used
+  /// before being replaced via build().
+  LayerNormUnit() = default;
+
+  /// Fold FP32 γ/β and the output scale into integer multipliers.
+  /// `n` is the row width (d_model).
+  static LayerNormUnit build(const LayerNormParams& params, float out_scale);
+
+  int n() const { return n_; }
+  float out_scale() const { return out_scale_; }
+
+  /// Normalize one row of n INT16 values into n INT8 outputs.
+  void row(const std::int16_t* g, std::int8_t* out) const;
+
+  /// Matrix convenience wrapper.
+  Matrix<std::int8_t> operator()(const MatI16& g) const;
+
+  /// Row statistics exposed for the accelerator's streaming accumulators:
+  /// given ΣG and ΣG² (accumulated online) and the row, finish the output.
+  /// Matches row() exactly; lets the core module model Fig. 7 step 1.
+  void finish_row(const std::int16_t* g, std::int64_t sum, std::int64_t sumsq,
+                  std::int8_t* out) const;
+
+ private:
+  int n_ = 0;
+  float out_scale_ = 1.0f;
+  std::vector<std::int32_t> gq_;  // Q.12 of γ_j / out_scale
+  std::vector<std::int32_t> bq_;  // round(β_j / out_scale)
+};
+
+}  // namespace tfacc::hw

@@ -1,0 +1,44 @@
+#include "hwarith/rsqrt_lut.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/fixed_point.hpp"
+
+namespace tfacc::hw {
+
+RsqrtLut::RsqrtLut() {
+  for (int i = 0; i < kEntries; ++i) {
+    // Midpoint of the bucket minimizes the worst-case step error.
+    const double m = 1.0 + (i + 0.5) / (1 << kIndexFracBits);
+    rom_[i] = static_cast<std::int32_t>(
+        std::lround((1 << kOutFracBits) / std::sqrt(m)));
+  }
+}
+
+RsqrtLut::Result RsqrtLut::lookup(std::int64_t v) const {
+  TFACC_CHECK_ARG_MSG(v > 0, "rsqrt of " << v);
+  const int e = std::bit_width(static_cast<std::uint64_t>(v)) - 1;
+  const int k = e / 2;         // v = m · 2^(2k), m ∈ [1, 4)
+  const int norm = 2 * k - kIndexFracBits;
+  std::int64_t m_q8 = norm >= 0 ? (v >> norm) : (v << -norm);
+  // Truncation keeps m_q8 in [256, 1024); defensively clamp the index.
+  int idx = static_cast<int>(m_q8) - (1 << kIndexFracBits);
+  idx = clamp(idx, 0, kEntries - 1);
+  return Result{rom_[idx], k};
+}
+
+std::int64_t RsqrtLut::mul_rsqrt(std::int64_t x, std::int64_t v,
+                                 int out_frac_bits) const {
+  const Result r = lookup(v);
+  return rounding_shift_right(x * r.mantissa,
+                              kOutFracBits + r.shift - out_frac_bits);
+}
+
+const RsqrtLut& rsqrt_lut() {
+  static const RsqrtLut lut;
+  return lut;
+}
+
+}  // namespace tfacc::hw

@@ -1,0 +1,50 @@
+// The "x^(-0.5)" lookup table of the LayerNorm module (Section IV-B: "The
+// x^(-0.5) unit is implemented with a lookup table in our experiment").
+//
+// The operand is the integer variance proxy V = n·ΣG² − (ΣG)², a non-negative
+// 64-bit value. It is normalized to m·2^(2k) with m ∈ [1,4); rsqrt(m) comes
+// from a 768-entry Q.15 ROM (8 fractional index bits, no interpolation) and
+// the exponent is folded back as a shift. This is exactly the BRAM-backed
+// structure Table II charges to the LayerNorm module.
+#pragma once
+
+#include <cstdint>
+
+namespace tfacc::hw {
+
+class RsqrtLut {
+ public:
+  /// Number of fractional index bits of the mantissa ROM.
+  static constexpr int kIndexFracBits = 8;
+  /// ROM entries cover m ∈ [1, 4) in steps of 2^-8.
+  static constexpr int kEntries = 3 << kIndexFracBits;
+  /// Output fraction bits of the ROM values.
+  static constexpr int kOutFracBits = 15;
+
+  RsqrtLut();
+
+  /// Result of a lookup: rsqrt(v) = mantissa · 2^(-kOutFracBits - shift).
+  struct Result {
+    std::int32_t mantissa = 0;  ///< Q.15 value of rsqrt(m), in (2^14, 2^15]
+    int shift = 0;              ///< additional right shift (= k, may be <0)
+  };
+
+  /// Look up rsqrt of a positive 64-bit integer.
+  Result lookup(std::int64_t v) const;
+
+  /// Convenience: multiply x by rsqrt(v) and shift into `out_frac_bits`
+  /// fixed point with rounding: round(x / sqrt(v) * 2^out_frac_bits).
+  std::int64_t mul_rsqrt(std::int64_t x, std::int64_t v,
+                         int out_frac_bits) const;
+
+  /// ROM size in bits (for the resource model).
+  static constexpr int rom_bits() { return kEntries * 16; }
+
+ private:
+  std::int32_t rom_[kEntries];
+};
+
+/// Process-wide ROM instance (contents are constant).
+const RsqrtLut& rsqrt_lut();
+
+}  // namespace tfacc::hw

@@ -1,0 +1,88 @@
+#include "hwarith/softmax_unit.hpp"
+
+#include "common/check.hpp"
+#include "hwarith/exp_ln.hpp"
+
+namespace tfacc::hw {
+
+SoftmaxUnit::SoftmaxUnit(double d_scale)
+    : to_q10_(FixedPointScale::from_double(d_scale / 8.0 *
+                                           (1 << kSoftmaxFracBits))) {
+  TFACC_CHECK_ARG(d_scale > 0.0);
+}
+
+SoftmaxUnit::SoftmaxUnit(double d_scale, PwlResolution resolution)
+    : SoftmaxUnit(d_scale) {
+  resolution_ = resolution;
+}
+
+std::int32_t SoftmaxUnit::exp_fx(std::int32_t x) const {
+  return resolution_ ? exp_unit_q10(x, *resolution_) : exp_unit_q10(x);
+}
+
+std::int32_t SoftmaxUnit::ln_fx(std::int64_t v) const {
+  return resolution_ ? ln_unit_q10(v, *resolution_) : ln_unit_q10(v);
+}
+
+void SoftmaxUnit::row(const std::int32_t* d, const std::uint8_t* mask, int n,
+                      std::int8_t* out) const {
+  TFACC_CHECK_ARG(n > 0);
+
+  // Stage 1: running max over unmasked entries (integer compare — the input
+  // scale is positive so the raw ordering is the real ordering).
+  bool any = false;
+  std::int32_t dmax = 0;
+  for (int j = 0; j < n; ++j) {
+    if (mask[j]) continue;
+    if (!any || d[j] > dmax) dmax = d[j];
+    any = true;
+  }
+  if (!any) {  // fully masked row: empty sum in Eq. 4, defined as zeros
+    for (int j = 0; j < n; ++j) out[j] = 0;
+    return;
+  }
+
+  // Stage 2: exponentials of the negated distances to the max, and their sum.
+  std::int64_t sum_q10 = 0;
+  std::vector<std::int32_t> x_q10(static_cast<std::size_t>(n), 0);
+  for (int j = 0; j < n; ++j) {
+    if (mask[j]) continue;
+    const std::int64_t diff = static_cast<std::int64_t>(d[j]) - dmax;  // <= 0
+    std::int64_t x = to_q10_.apply(diff);
+    if (x < kExpMinArg) x = kExpMinArg;
+    x_q10[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(x);
+    sum_q10 += exp_fx(static_cast<std::int32_t>(x));
+  }
+  // The max element contributes exp(0) = 1.0, so sum >= 1.0 always holds.
+  TFACC_CHECK(sum_q10 >= kSoftmaxOne);
+
+  // Stage 3: log of the denominator.
+  const std::int32_t log_sum = ln_fx(sum_q10);
+
+  // Stage 4: out_j = exp(x_j - log_sum), quantized to INT8 (scale 1/127).
+  for (int j = 0; j < n; ++j) {
+    if (mask[j]) {
+      out[j] = 0;
+      continue;
+    }
+    std::int64_t arg = static_cast<std::int64_t>(
+                           x_q10[static_cast<std::size_t>(j)]) -
+                       log_sum;
+    if (arg < kExpMinArg) arg = kExpMinArg;
+    if (arg > 0) arg = 0;  // rounding in LN can make the max slightly positive
+    const std::int32_t y = exp_fx(static_cast<std::int32_t>(arg));
+    out[j] = saturate_i8(
+        rounding_shift_right(static_cast<std::int64_t>(y) * 127,
+                             kSoftmaxFracBits));
+  }
+}
+
+Matrix<std::int8_t> SoftmaxUnit::operator()(
+    const MatI32& d, const Matrix<std::uint8_t>& mask) const {
+  TFACC_CHECK_ARG(d.rows() == mask.rows() && d.cols() == mask.cols());
+  Matrix<std::int8_t> out(d.rows(), d.cols());
+  for (int r = 0; r < d.rows(); ++r) row(d.row(r), mask.row(r), d.cols(), out.row(r));
+  return out;
+}
+
+}  // namespace tfacc::hw

@@ -1,0 +1,83 @@
+#include "nlp/bleu.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace tfacc {
+
+namespace {
+
+using Ngram = std::vector<int>;
+
+std::map<Ngram, int> ngram_counts(const TokenSeq& seq, int n) {
+  std::map<Ngram, int> counts;
+  if (static_cast<int>(seq.size()) < n) return counts;
+  for (std::size_t i = 0; i + n <= seq.size(); ++i)
+    ++counts[Ngram(seq.begin() + i, seq.begin() + i + n)];
+  return counts;
+}
+
+}  // namespace
+
+double corpus_bleu(const std::vector<TokenSeq>& hypotheses,
+                   const std::vector<TokenSeq>& references, int max_n,
+                   bool smooth) {
+  TFACC_CHECK_ARG(max_n >= 1);
+  TFACC_CHECK_ARG_MSG(hypotheses.size() == references.size(),
+                      hypotheses.size() << " hyps vs " << references.size()
+                                        << " refs");
+  if (hypotheses.empty()) return 0.0;
+
+  std::vector<std::int64_t> matched(static_cast<std::size_t>(max_n), 0);
+  std::vector<std::int64_t> total(static_cast<std::size_t>(max_n), 0);
+  std::int64_t hyp_len = 0, ref_len = 0;
+
+  for (std::size_t i = 0; i < hypotheses.size(); ++i) {
+    const TokenSeq& hyp = hypotheses[i];
+    const TokenSeq& ref = references[i];
+    hyp_len += static_cast<std::int64_t>(hyp.size());
+    ref_len += static_cast<std::int64_t>(ref.size());
+    for (int n = 1; n <= max_n; ++n) {
+      const auto hyp_counts = ngram_counts(hyp, n);
+      const auto ref_counts = ngram_counts(ref, n);
+      for (const auto& [gram, count] : hyp_counts) {
+        const auto it = ref_counts.find(gram);
+        const int clip = it == ref_counts.end() ? 0 : it->second;
+        matched[static_cast<std::size_t>(n - 1)] += std::min(count, clip);
+      }
+      const std::int64_t slots =
+          std::max<std::int64_t>(0, static_cast<std::int64_t>(hyp.size()) -
+                                        n + 1);
+      total[static_cast<std::size_t>(n - 1)] += slots;
+    }
+  }
+
+  double log_precision_sum = 0.0;
+  for (int n = 1; n <= max_n; ++n) {
+    double num = static_cast<double>(matched[static_cast<std::size_t>(n - 1)]);
+    double den = static_cast<double>(total[static_cast<std::size_t>(n - 1)]);
+    if (smooth && n > 1) {
+      num += 1.0;
+      den += 1.0;
+    }
+    if (num <= 0.0 || den <= 0.0) return 0.0;
+    log_precision_sum += std::log(num / den);
+  }
+  const double geo_mean = std::exp(log_precision_sum / max_n);
+
+  const double bp =
+      hyp_len >= ref_len
+          ? 1.0
+          : std::exp(1.0 - static_cast<double>(ref_len) /
+                               std::max<std::int64_t>(1, hyp_len));
+  return 100.0 * bp * geo_mean;
+}
+
+double sentence_bleu(const TokenSeq& hypothesis, const TokenSeq& reference,
+                     int max_n) {
+  return corpus_bleu({hypothesis}, {reference}, max_n, /*smooth=*/true);
+}
+
+}  // namespace tfacc

@@ -1,0 +1,24 @@
+// Corpus-level BLEU (Papineni et al. 2002): clipped n-gram precision up to
+// 4-grams, geometric mean, multiplicative brevity penalty. This is the metric
+// behind the paper's 23.88 / 23.48 / 23.57 quantization study (Section V.A).
+#pragma once
+
+#include <vector>
+
+#include "reference/transformer.hpp"
+
+namespace tfacc {
+
+/// BLEU of hypothesis corpus vs single-reference corpus, in percent (0-100).
+/// `max_n` is the largest n-gram order (standard BLEU-4).
+/// With `smooth` (add-one on higher-order precisions, Lin & Och 2004) short
+/// corpora don't collapse to zero when an order has no matches.
+double corpus_bleu(const std::vector<TokenSeq>& hypotheses,
+                   const std::vector<TokenSeq>& references, int max_n = 4,
+                   bool smooth = false);
+
+/// Sentence BLEU (smoothed), convenience for tests/examples.
+double sentence_bleu(const TokenSeq& hypothesis, const TokenSeq& reference,
+                     int max_n = 4);
+
+}  // namespace tfacc

@@ -1,0 +1,47 @@
+#include "nlp/synthetic.hpp"
+
+#include "common/check.hpp"
+
+namespace tfacc {
+
+SyntheticTranslationTask::SyntheticTranslationTask(int lexicon_size,
+                                                   int min_len, int max_len)
+    : lexicon_size_(lexicon_size), min_len_(min_len), max_len_(max_len) {
+  TFACC_CHECK_ARG(lexicon_size >= 4);
+  TFACC_CHECK_ARG(2 <= min_len && min_len <= max_len);
+}
+
+TokenSeq SyntheticTranslationTask::translate_reference(
+    const TokenSeq& source) const {
+  TFACC_CHECK_ARG(source.size() >= 2);
+  const int offset = target_base() - source_base();
+  TokenSeq out;
+  out.reserve(source.size());
+  // Verb-final source → verb-second target: subject stays, the final word
+  // moves to position 2, everything else keeps its relative order.
+  out.push_back(source.front() + offset);
+  out.push_back(source.back() + offset);
+  for (std::size_t i = 1; i + 1 < source.size(); ++i)
+    out.push_back(source[i] + offset);
+  return out;
+}
+
+SentencePair SyntheticTranslationTask::sample(Rng& rng) const {
+  const int len = rng.uniform_int(min_len_, max_len_);
+  TokenSeq src;
+  src.reserve(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i)
+    src.push_back(source_base() + rng.uniform_int(0, lexicon_size_ - 1));
+  return SentencePair{src, translate_reference(src)};
+}
+
+std::vector<SentencePair> SyntheticTranslationTask::corpus(int n,
+                                                           Rng& rng) const {
+  TFACC_CHECK_ARG(n >= 0);
+  std::vector<SentencePair> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+}  // namespace tfacc

@@ -1,0 +1,55 @@
+// Synthetic translation task standing in for IWSLT'16 De-En (see DESIGN.md
+// §4). Source sentences are drawn from a toy verb-final grammar; the
+// reference translation is a deterministic transform: every source word maps
+// through a bilingual dictionary and the final (verb) position moves to
+// second position ("verb-second" target order). A Transformer must therefore
+// learn both lexical mapping and reordering — the properties the INT8
+// quantization study stresses.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/random.hpp"
+#include "reference/transformer.hpp"
+
+namespace tfacc {
+
+/// One source/reference sentence pair (token ids, no BOS/EOS).
+struct SentencePair {
+  TokenSeq source;
+  TokenSeq reference;
+};
+
+class SyntheticTranslationTask {
+ public:
+  /// `lexicon_size` words per language; sentence lengths drawn uniformly in
+  /// [min_len, max_len].
+  SyntheticTranslationTask(int lexicon_size = 24, int min_len = 4,
+                           int max_len = 10);
+
+  /// Total vocabulary (PAD/BOS/EOS + both lexicons).
+  int vocab_size() const { return 3 + 2 * lexicon_size_; }
+  int lexicon_size() const { return lexicon_size_; }
+  int max_len() const { return max_len_; }
+
+  /// First token id of the source / target lexicon.
+  int source_base() const { return 3; }
+  int target_base() const { return 3 + lexicon_size_; }
+
+  /// The deterministic reference translation of a source sentence.
+  TokenSeq translate_reference(const TokenSeq& source) const;
+
+  /// Draw one random sentence pair.
+  SentencePair sample(Rng& rng) const;
+
+  /// Draw a corpus of n pairs.
+  std::vector<SentencePair> corpus(int n, Rng& rng) const;
+
+ private:
+  int lexicon_size_;
+  int min_len_;
+  int max_len_;
+};
+
+}  // namespace tfacc

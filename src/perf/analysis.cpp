@@ -1,0 +1,34 @@
+#include "perf/analysis.hpp"
+
+#include "common/check.hpp"
+
+namespace tfacc {
+
+MhaMacs mha_macs(int s, int d_model, int h) {
+  TFACC_CHECK_ARG(s > 0 && d_model > 0 && h > 0);
+  const std::int64_t s64 = s, dm = d_model, hh = h, hd = 64;
+  MhaMacs m;
+  m.qkv_projections = 3 * s64 * dm * hd * hh;
+  m.qkt = s64 * s64 * hd * hh;
+  m.attention_v = s64 * s64 * hd * hh;
+  m.output_projection = s64 * dm * dm;
+  return m;
+}
+
+std::int64_t ffn_macs(int s, int d_model, int d_ff) {
+  TFACC_CHECK_ARG(s > 0 && d_model > 0 && d_ff > 0);
+  return 2ll * s * d_model * d_ff;
+}
+
+double qkt_ratio_paper(int s, int h) {
+  TFACC_CHECK_ARG(s > 0 && h > 0);
+  return static_cast<double>(s) /
+         (static_cast<double>(s) + 256.0 * h * h + 64.0);
+}
+
+double qkt_ratio_exact(int s, int d_model, int h) {
+  const MhaMacs m = mha_macs(s, d_model, h);
+  return static_cast<double>(m.qkt) / static_cast<double>(m.total());
+}
+
+}  // namespace tfacc

@@ -1,0 +1,33 @@
+// Operation-count analysis of the two ResBlocks, including the Q·Kᵀ share
+// formula of Eq. 3 (both the paper's simplified form and the exact count).
+#pragma once
+
+#include <cstdint>
+
+namespace tfacc {
+
+/// Multiply(-accumulate) counts of one MHA ResBlock at batch 1.
+struct MhaMacs {
+  std::int64_t qkv_projections = 0;  ///< 3 · s·d_model·64 · h
+  std::int64_t qkt = 0;              ///< s²·64 · h
+  std::int64_t attention_v = 0;      ///< s²·64 · h
+  std::int64_t output_projection = 0;  ///< s·d_model²
+
+  std::int64_t total() const {
+    return qkv_projections + qkt + attention_v + output_projection;
+  }
+};
+
+MhaMacs mha_macs(int s, int d_model, int h);
+
+/// MACs of one FFN ResBlock: 2 · s·d_model·d_ff.
+std::int64_t ffn_macs(int s, int d_model, int d_ff);
+
+/// Eq. 3 as printed in the paper: s / (s + 256·h² + 64).
+/// (The paper's derivation fixes s = 64 in the last simplification step.)
+double qkt_ratio_paper(int s, int h);
+
+/// Exact share of Q·Kᵀ multiplies in the MHA ResBlock from mha_macs().
+double qkt_ratio_exact(int s, int d_model, int h);
+
+}  // namespace tfacc

@@ -1,0 +1,88 @@
+#include "perf/gpu_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tfacc {
+
+namespace {
+
+/// Roofline time of a GEMM: max of compute time at the effective throughput
+/// and the time to move its operands once through HBM.
+double gemm_us(double m, double n, double k, double gflops, double bw_gbps) {
+  const double flops = 2.0 * m * n * k;
+  const double bytes = 4.0 * (m * k + k * n + m * n);  // FP32
+  return std::max(flops / (gflops * 1e3), bytes / (bw_gbps * 1e3));
+}
+
+void add(GpuLatency& lat, std::string name, double dispatch_us,
+         double compute_us = 0.0) {
+  lat.ops.push_back(GpuOp{std::move(name), dispatch_us, compute_us});
+}
+
+void finish(GpuLatency& lat, double calibration) {
+  double sum = 0.0;
+  for (auto& op : lat.ops) {
+    op.dispatch_us *= calibration;
+    op.compute_us *= calibration;
+    sum += op.total_us();
+  }
+  lat.total_us = sum;
+}
+
+}  // namespace
+
+GpuLatency gpu_mha_latency(int s, int d_model, int h, const GpuModelParams& p) {
+  TFACC_CHECK_ARG(s > 0 && d_model > 0 && h > 0);
+  GpuLatency lat;
+  const double head_dim = static_cast<double>(d_model) / h;
+  const double lin_us =
+      gemm_us(s, d_model, d_model, p.skinny_gemm_gflops, p.mem_bw_gbps);
+  // Per-head batched score/context matmuls: h batches of (s×hd)·(hd×s).
+  const double qkt_us = gemm_us(static_cast<double>(h) * s, s, head_dim,
+                                p.batched_small_gemm_gflops, p.mem_bw_gbps);
+
+  add(lat, "linear_q", p.linear_us, lin_us);
+  add(lat, "linear_k", p.linear_us, lin_us);
+  add(lat, "linear_v", p.linear_us, lin_us);
+  add(lat, "view_q", p.reshape_us);
+  add(lat, "view_k", p.reshape_us);
+  add(lat, "view_v", p.reshape_us);
+  add(lat, "transpose_q", p.reshape_us);
+  add(lat, "transpose_k", p.reshape_us);
+  add(lat, "transpose_v", p.reshape_us);
+  add(lat, "matmul_qkt", p.matmul_us, qkt_us);
+  add(lat, "div_scale", p.elementwise_us);
+  add(lat, "masked_fill", p.masked_fill_us);
+  add(lat, "softmax", p.softmax_us);
+  add(lat, "dropout_attn", p.elementwise_us);
+  add(lat, "matmul_av", p.matmul_us, qkt_us);
+  add(lat, "transpose_out", p.reshape_us);
+  add(lat, "contiguous", p.elementwise_us);
+  add(lat, "view_merge", p.reshape_us);
+  add(lat, "linear_out", p.linear_us, lin_us);
+  add(lat, "dropout_out", p.elementwise_us);
+  add(lat, "residual_add", p.elementwise_us);
+  add(lat, "layer_norm", p.layernorm_us);
+  finish(lat, p.calibration);
+  return lat;
+}
+
+GpuLatency gpu_ffn_latency(int s, int d_model, int d_ff,
+                           const GpuModelParams& p) {
+  TFACC_CHECK_ARG(s > 0 && d_model > 0 && d_ff > 0);
+  GpuLatency lat;
+  const double lin_us =
+      gemm_us(s, d_ff, d_model, p.skinny_gemm_gflops, p.mem_bw_gbps);
+  add(lat, "linear_1", p.linear_us, lin_us);
+  add(lat, "relu", p.elementwise_us);
+  add(lat, "linear_2", p.linear_us, lin_us);
+  add(lat, "dropout", p.elementwise_us);
+  add(lat, "residual_add", p.elementwise_us);
+  add(lat, "layer_norm", p.layernorm_us);
+  finish(lat, p.calibration);
+  return lat;
+}
+
+}  // namespace tfacc

@@ -1,0 +1,60 @@
+// Analytic latency model of the paper's GPU baseline: the PyTorch eager-mode
+// Transformer (github.com/jadore801120/attention-is-all-you-need-pytorch)
+// running one ResBlock on an NVIDIA V100 at batch 1.
+//
+// SUBSTITUTION (see DESIGN.md §4): we cannot run a V100, so the baseline is a
+// per-op cost model. At batch 1 / s = 64, eager-mode latency is dominated by
+// per-op dispatch (Python + ATen + kernel launch) plus a few low-utilization
+// skinny GEMMs — the regime the model captures. Dispatch costs and the
+// effective GEMM throughputs below were calibrated once against the paper's
+// Table III measurements and are held fixed across all sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tfacc {
+
+struct GpuModelParams {
+  // Per-op dispatch cost in microseconds (Python dispatch + ATen + launch).
+  double linear_us = 100.0;       ///< nn.Linear / addmm
+  double matmul_us = 80.0;        ///< (batched) torch.matmul
+  double softmax_us = 60.0;
+  double layernorm_us = 60.0;
+  double masked_fill_us = 50.0;
+  double elementwise_us = 45.0;   ///< div / add / relu / dropout / contiguous
+  double reshape_us = 40.0;       ///< view / transpose
+  // Effective compute/memory throughputs at these shapes (FP32, V100).
+  double skinny_gemm_gflops = 1000.0;        ///< m <= 64 GEMMs (~6% of peak)
+  double batched_small_gemm_gflops = 200.0;  ///< per-head 64×64×64 batches
+  double mem_bw_gbps = 790.0;                ///< effective HBM2 bandwidth
+  // Global eager-mode factor (profiler gaps, sync) from calibration.
+  double calibration = 1.08;
+};
+
+/// One modeled framework-level operation.
+struct GpuOp {
+  std::string name;
+  double dispatch_us = 0.0;
+  double compute_us = 0.0;
+
+  double total_us() const { return dispatch_us + compute_us; }
+};
+
+/// Latency breakdown of one ResBlock on the modeled GPU.
+struct GpuLatency {
+  std::vector<GpuOp> ops;
+  double total_us = 0.0;
+};
+
+/// MHA ResBlock latency (22 framework ops: QKV/out projections, reshapes,
+/// scores, mask, softmax, dropouts, residual, layernorm).
+GpuLatency gpu_mha_latency(int s, int d_model, int h,
+                           const GpuModelParams& p = {});
+
+/// FFN ResBlock latency (6 framework ops: two linears, relu, dropout,
+/// residual, layernorm).
+GpuLatency gpu_ffn_latency(int s, int d_model, int d_ff,
+                           const GpuModelParams& p = {});
+
+}  // namespace tfacc

@@ -1,0 +1,84 @@
+#include "perf/resource_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "hwarith/rsqrt_lut.hpp"
+
+namespace tfacc {
+
+namespace {
+constexpr double kBram36Bits = 36 * 1024;
+}
+
+ResourceUsage xcvu13p_available() {
+  return ResourceUsage{"Available", 1728000, 3456000, 2688, 12288};
+}
+
+ResourceModel::ResourceModel() : p_() {}
+ResourceModel::ResourceModel(const Params& p) : p_(p) {}
+
+ResourceUsage ResourceModel::systolic_array(int rows, int cols) const {
+  TFACC_CHECK_ARG(rows > 0 && cols > 0);
+  const double pes = static_cast<double>(rows) * cols;
+  return ResourceUsage{std::to_string(rows) + "x" + std::to_string(cols) +
+                           " SA",
+                       pes * p_.lut_per_pe, pes * p_.reg_per_pe, 0, 0};
+}
+
+ResourceUsage ResourceModel::softmax(int s) const {
+  TFACC_CHECK_ARG(s > 0);
+  return ResourceUsage{"Softmax", s * p_.lut_per_softmax_lane,
+                       s * p_.reg_per_softmax_lane, 0, 0};
+}
+
+ResourceUsage ResourceModel::layernorm(int s, int d_model) const {
+  TFACC_CHECK_ARG(s > 0 && d_model > 0);
+  // Buffers: the s×d_model INT16 G matrix (step-1 accumulators read it back
+  // for the output pass), the s×d_model INT8 output buffer, γ/β coefficients,
+  // and the x^(-0.5) ROM.
+  const double buffer_bits = static_cast<double>(s) * d_model * (16 + 8) +
+                             2.0 * d_model * 16 + hw::RsqrtLut::rom_bits();
+  const double bram = p_.ln_bram_factor * buffer_bits / kBram36Bits;
+  return ResourceUsage{"LayerNorm", s * p_.lut_per_ln_lane,
+                       s * p_.reg_per_ln_lane, bram,
+                       p_.dsp_per_ln_lane * s + 1};
+}
+
+ResourceUsage ResourceModel::weight_memory(const ModelConfig& cfg) const {
+  cfg.validate();
+  // Sized for the largest resident layer: the FFN weights 2·d_model·d_ff
+  // INT8 (the MHA's 4·d_model² fits in the same space). Biases live in the
+  // separate Bias Memory of Fig. 5 and are negligible.
+  const double ffn_bits = 2.0 * cfg.d_model * cfg.d_ff * 8;
+  const double mha_bits = 4.0 * cfg.d_model * cfg.d_model * 8;
+  const double bits = std::max(ffn_bits, mha_bits);
+  return ResourceUsage{"Weight Memory", p_.weight_mem_lut, p_.weight_mem_reg,
+                       std::ceil(bits / kBram36Bits), 0};
+}
+
+std::vector<ResourceUsage> ResourceModel::utilization_table(
+    const ModelConfig& cfg, int s) const {
+  const ResourceUsage sa = systolic_array(s, 64);
+  const ResourceUsage sm = softmax(s);
+  const ResourceUsage ln = layernorm(s, cfg.d_model);
+  const ResourceUsage wm = weight_memory(cfg);
+  ResourceUsage top{"Top",
+                    sa.lut + sm.lut + ln.lut + wm.lut + p_.control_lut,
+                    sa.registers + sm.registers + ln.registers +
+                        wm.registers + p_.control_reg,
+                    sa.bram + sm.bram + ln.bram + wm.bram + p_.control_bram,
+                    sa.dsp + sm.dsp + ln.dsp + wm.dsp};
+  return {top, sa, sm, ln, wm};
+}
+
+double ResourceModel::total_power_w(int sa_rows, int sa_cols, double clock_mhz,
+                                    double sa_utilization) const {
+  TFACC_CHECK_ARG(clock_mhz > 0 && sa_utilization >= 0 &&
+                  sa_utilization <= 1.0);
+  const double macs_per_s = static_cast<double>(sa_rows) * sa_cols *
+                            clock_mhz * 1e6 * sa_utilization;
+  return p_.static_power_w + macs_per_s * p_.pj_per_mac_cycle * 1e-12;
+}
+
+}  // namespace tfacc

@@ -1,0 +1,30 @@
+// Weight-memory fault injection.
+//
+// On-chip weight SRAM of a deployed accelerator is exposed to soft errors
+// (and aggressive voltage scaling); INT8 inference robustness against bit
+// flips is a standard deployment question. This module flips uniformly
+// random bits in the quantized weight matrices of a ResBlock at a given
+// bit-error rate, so tests and benches can measure output degradation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.hpp"
+#include "quant/qresblock.hpp"
+
+namespace tfacc {
+
+/// Flip each bit of `m` independently with probability `ber`.
+/// Returns the number of flipped bits.
+std::int64_t inject_bit_flips(MatI8& m, double ber, Rng& rng);
+
+/// Inject faults into every weight matrix of a quantized MHA block
+/// (W_Q/W_K/W_V of each head plus W_G). Biases and scales are unaffected
+/// (they live in the small, typically protected bias memory).
+/// Returns the total number of flipped bits.
+std::int64_t inject_faults(MhaQuantized& block, double ber, Rng& rng);
+
+/// Same for the FFN block (W_1 and W_2).
+std::int64_t inject_faults(FfnQuantized& block, double ber, Rng& rng);
+
+}  // namespace tfacc

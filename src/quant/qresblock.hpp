@@ -1,0 +1,163 @@
+// Quantized functional models of the MHA and FFN ResBlocks.
+//
+// These define, matrix-wise, the exact INT8/INT16/INT32 arithmetic the
+// accelerator datapath performs; the cycle-level simulator in src/core must
+// (and is tested to) reproduce these outputs bit-for-bit. The two-step
+// quantization of Section V.A maps to SoftmaxImpl:
+//   kFloatExact — step one: everything INT8 except the softmax internals
+//   kHardware   — step two: the Fig. 6 shift-add softmax datapath
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hwarith/layernorm_unit.hpp"
+#include "hwarith/softmax_unit.hpp"
+#include "quant/quantizer.hpp"
+#include "reference/functional.hpp"
+#include "reference/weights.hpp"
+
+namespace tfacc {
+
+/// Which softmax the quantized model (and the accelerator) uses.
+enum class SoftmaxImpl {
+  kFloatExact,  ///< FP32 softmax on dequantized scores, probs quantized to INT8
+  kHardware,    ///< bit-accurate Fig. 6 log-sum-exp shift-add datapath
+};
+
+/// Weight-scale granularity of a quantized linear layer.
+/// Per-column ("per output channel") costs one requantization multiplier
+/// per SA column instead of one shared — cheap in hardware (the s adders of
+/// Fig. 5 already sit per column) and more accurate.
+enum class WeightGranularity { kPerTensor, kPerColumn };
+
+/// A quantized linear sublayer y = x·W + b with INT8 in/out.
+/// The requantizer folds (in_scale·w_scale[j])/out_scale into one
+/// fixed-point multiply per output column (shared when per-tensor).
+struct QuantizedLinear {
+  MatI8 w;                          // k × n, quantized weights
+  std::vector<std::int32_t> bias;   // n, in accumulator units
+  float in_scale = 1.0f;
+  float w_scale = 1.0f;             // per-tensor scale (max of col scales)
+  float out_scale = 1.0f;
+  FixedPointScale requant;          // per-tensor (in·w)/out
+  WeightGranularity granularity = WeightGranularity::kPerTensor;
+  std::vector<float> col_w_scale;            // per column, when per-column
+  std::vector<FixedPointScale> col_requant;  // per column, when per-column
+
+  /// Quantize FP32 weights/bias given the input scale and the calibrated
+  /// output scale.
+  static QuantizedLinear build(
+      const MatF& w, const std::vector<float>& bias, float in_scale,
+      float out_scale,
+      WeightGranularity granularity = WeightGranularity::kPerTensor);
+
+  /// INT32 accumulators of x·W + b (what leaves the systolic array + adders).
+  MatI32 accumulate(const MatI8& x) const;
+  /// Requantize accumulators of columns [col_offset, col_offset + acc.cols)
+  /// — the per-64-column-block path the accelerator controller uses.
+  MatI8 requantize(const MatI32& acc, int col_offset = 0) const;
+  /// Full INT8 output (accumulate → requantize).
+  MatI8 forward(const MatI8& x) const;
+  /// With ReLU applied on the accumulator before requantization (Fig. 5:
+  /// the ReLU sits right after the bias adders).
+  MatI8 forward_relu(const MatI8& x) const;
+};
+
+/// Quantized MHA ResBlock (Fig. 3a datapath).
+struct MhaQuantized {
+  int d_model = 0;
+  int num_heads = 0;
+  int head_dim = 0;
+  SoftmaxImpl softmax_impl = SoftmaxImpl::kHardware;
+
+  float q_in_scale = 1.0f;   ///< scale of the INT8 Q (query/residual) input
+  float kv_in_scale = 1.0f;  ///< scale of the INT8 K=V input
+
+  struct Head {
+    QuantizedLinear wq, wk, wv;
+    FixedPointScale av_requant;  ///< (probs·v_scale)/p_scale for Attention·V
+  };
+  std::vector<Head> heads;
+
+  float p_scale = 1.0f;            ///< scale of the concatenated P matrix
+  QuantizedLinear wg;              ///< output projection (requant handled below)
+  float g_scale = 1.0f;            ///< INT16 scale of the pre-norm G
+  FixedPointScale wg_to_g;         ///< (p_scale·wg_scale)/g_scale
+  FixedPointScale residual_to_g;   ///< q_in_scale/g_scale
+  float out_scale = 1.0f;
+  hw::LayerNormUnit norm = {};
+
+  /// Calibration samples: parallel vectors of FP32 inputs seen by the block.
+  struct Calibration {
+    std::vector<MatF> q, kv;
+    std::vector<Mask> mask;
+  };
+
+  /// `granularity` applies to the INT8-output projections (W_Q/W_K/W_V);
+  /// W_G requantizes into the INT16 residual domain and stays per-tensor.
+  static MhaQuantized build(
+      const MhaWeights& w, const Calibration& calib, SoftmaxImpl impl,
+      CalibMethod method = CalibMethod::kMaxAbs,
+      WeightGranularity granularity = WeightGranularity::kPerTensor);
+
+  /// Run the quantized block. q/kv are INT8 at q_in_scale/kv_in_scale.
+  MatI8 forward(const MatI8& q, const MatI8& kv, const Mask& mask) const;
+
+  /// INT8 attention probabilities for one head's score accumulators —
+  /// shared by forward() and the accelerator simulator.
+  MatI8 softmax(const MatI32& scores, const Mask& mask, int head) const;
+
+  /// Quantize an FP32 input at the calibrated scales.
+  MatI8 quantize_q(const MatF& q) const {
+    return quantize_i8(q, QuantParams{q_in_scale});
+  }
+  MatI8 quantize_kv(const MatF& kv) const {
+    return quantize_i8(kv, QuantParams{kv_in_scale});
+  }
+  /// Dequantize the block output.
+  MatF dequantize_out(const MatI8& y) const {
+    return dequantize(y, QuantParams{out_scale});
+  }
+};
+
+/// Quantized FFN ResBlock (Fig. 3b datapath).
+struct FfnQuantized {
+  int d_model = 0;
+  int d_ff = 0;
+
+  float in_scale = 1.0f;
+  QuantizedLinear w1;              ///< ReLU folded into forward
+  QuantizedLinear w2;
+  float g_scale = 1.0f;
+  FixedPointScale w2_to_g;         ///< (h_scale·w2_scale)/g_scale
+  FixedPointScale residual_to_g;   ///< in_scale/g_scale
+  float out_scale = 1.0f;
+  hw::LayerNormUnit norm = {};
+
+  /// `granularity` applies to W_1 (INT8 hidden output); W_2 requantizes
+  /// into the INT16 residual domain and stays per-tensor.
+  static FfnQuantized build(
+      const FfnWeights& w, const std::vector<MatF>& x_samples,
+      CalibMethod method = CalibMethod::kMaxAbs,
+      float in_scale_override = 0.0f,
+      WeightGranularity granularity = WeightGranularity::kPerTensor);
+
+  MatI8 forward(const MatI8& x) const;
+
+  MatI8 quantize_in(const MatF& x) const {
+    return quantize_i8(x, QuantParams{in_scale});
+  }
+  MatF dequantize_out(const MatI8& y) const {
+    return dequantize(y, QuantParams{out_scale});
+  }
+};
+
+/// Saturating INT16 residual add: sat16(a + b) elementwise.
+MatI16 saturating_add_i16(const MatI16& a, const MatI16& b);
+
+/// Requantize an INT8 matrix to INT16 under a fixed-point scale
+/// (the residual path: q_in_scale → g_scale).
+MatI16 requantize_i8_to_i16(const MatI8& m, const FixedPointScale& s);
+
+}  // namespace tfacc

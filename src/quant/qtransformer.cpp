@@ -1,0 +1,78 @@
+#include "quant/qtransformer.hpp"
+
+namespace tfacc {
+
+ResBlockBackend capturing_backend(CaptureStore& store) {
+  ResBlockBackend b;
+  b.mha = [&store](const MatF& q, const MatF& kv, const MhaWeights& w,
+                   const Mask& mask) {
+    auto& calib = store.mha[&w];
+    calib.q.push_back(q);
+    calib.kv.push_back(kv);
+    calib.mask.push_back(mask);
+    return mha_resblock(q, kv, w, mask);
+  };
+  b.ffn = [&store](const MatF& x, const FfnWeights& w) {
+    store.ffn[&w].push_back(x);
+    return ffn_resblock(x, w);
+  };
+  return b;
+}
+
+QuantizedTransformer QuantizedTransformer::build(
+    Transformer& model, const std::vector<TokenSeq>& calib_sources,
+    int max_len, SoftmaxImpl impl, CalibMethod method) {
+  TFACC_CHECK_ARG(!calib_sources.empty());
+
+  CaptureStore store;
+  model.set_backend(capturing_backend(store));
+  for (const auto& src : calib_sources) model.translate_greedy(src, max_len);
+  model.set_backend(ResBlockBackend{});
+
+  QuantizedTransformer qt;
+  for (auto& [weights, calib] : store.mha)
+    qt.mha_.emplace(weights, MhaQuantized::build(*weights, calib, impl, method));
+  for (auto& [weights, samples] : store.ffn)
+    qt.ffn_.emplace(weights, FfnQuantized::build(*weights, samples, method));
+  return qt;
+}
+
+const MhaQuantized& QuantizedTransformer::mha_for(const MhaWeights& w) const {
+  const auto it = mha_.find(&w);
+  TFACC_CHECK_ARG_MSG(it != mha_.end(),
+                      "MHA block was not seen during calibration");
+  return it->second;
+}
+
+const FfnQuantized& QuantizedTransformer::ffn_for(const FfnWeights& w) const {
+  const auto it = ffn_.find(&w);
+  TFACC_CHECK_ARG_MSG(it != ffn_.end(),
+                      "FFN block was not seen during calibration");
+  return it->second;
+}
+
+ResBlockBackend QuantizedTransformer::backend() const {
+  ResBlockBackend b;
+  b.mha = [this](const MatF& q, const MatF& kv, const MhaWeights& w,
+                 const Mask& mask) {
+    const MhaQuantized& qm = mha_for(w);
+    return qm.dequantize_out(
+        qm.forward(qm.quantize_q(q), qm.quantize_kv(kv), mask));
+  };
+  b.ffn = [this](const MatF& x, const FfnWeights& w) {
+    const FfnQuantized& qf = ffn_for(w);
+    return qf.dequantize_out(qf.forward(qf.quantize_in(x)));
+  };
+  return b;
+}
+
+TokenSeq QuantizedTransformer::translate_greedy(Transformer& model,
+                                                const TokenSeq& src,
+                                                int max_len) const {
+  model.set_backend(backend());
+  TokenSeq out = model.translate_greedy(src, max_len);
+  model.set_backend(ResBlockBackend{});
+  return out;
+}
+
+}  // namespace tfacc

@@ -1,0 +1,55 @@
+// Post-training quantization of a whole Transformer: capture per-ResBlock
+// calibration inputs by running FP32 inference, build the quantized blocks,
+// and expose a ResBlockBackend that routes every block through its INT8
+// model. This is the software side of the Section V.A experiment.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "quant/qresblock.hpp"
+#include "reference/transformer.hpp"
+
+namespace tfacc {
+
+/// FP32 inputs observed at each ResBlock during a calibration run,
+/// keyed by the address of the block's weights inside the model.
+struct CaptureStore {
+  std::unordered_map<const MhaWeights*, MhaQuantized::Calibration> mha;
+  std::unordered_map<const FfnWeights*, std::vector<MatF>> ffn;
+};
+
+/// A backend that behaves exactly like the FP32 reference but records every
+/// block input into `store` (which must outlive the backend's use).
+ResBlockBackend capturing_backend(CaptureStore& store);
+
+/// All ResBlocks of one model, quantized. Keys are weight addresses inside
+/// the Transformer used at build time, so that model object must stay alive
+/// (and unmoved) for the lifetime of this object.
+class QuantizedTransformer {
+ public:
+  /// Calibrate by greedily translating `calib_sources` with the FP32 model,
+  /// then quantize every block.
+  static QuantizedTransformer build(Transformer& model,
+                                    const std::vector<TokenSeq>& calib_sources,
+                                    int max_len, SoftmaxImpl impl,
+                                    CalibMethod method = CalibMethod::kMaxAbs);
+
+  /// Backend computing every ResBlock with its INT8 model
+  /// (dequantizing back to FP32 at block boundaries, as deployment does).
+  ResBlockBackend backend() const;
+
+  const MhaQuantized& mha_for(const MhaWeights& w) const;
+  const FfnQuantized& ffn_for(const FfnWeights& w) const;
+
+  /// Convenience: translate with the quantized backend installed, restoring
+  /// the model's previous (FP32) backend afterwards.
+  TokenSeq translate_greedy(Transformer& model, const TokenSeq& src,
+                            int max_len) const;
+
+ private:
+  std::unordered_map<const MhaWeights*, MhaQuantized> mha_;
+  std::unordered_map<const FfnWeights*, FfnQuantized> ffn_;
+};
+
+}  // namespace tfacc

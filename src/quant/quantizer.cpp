@@ -1,0 +1,135 @@
+#include "quant/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tfacc {
+
+namespace {
+
+float reduce_range(std::vector<float> absvals, int qmax, CalibMethod method) {
+  if (absvals.empty()) return 1.0f;
+  float bound = 0.0f;
+  switch (method) {
+    case CalibMethod::kMaxAbs:
+      bound = *std::max_element(absvals.begin(), absvals.end());
+      break;
+    case CalibMethod::kPercentile999: {
+      const auto k = static_cast<std::size_t>(
+          0.999 * static_cast<double>(absvals.size() - 1));
+      std::nth_element(absvals.begin(), absvals.begin() + k, absvals.end());
+      bound = absvals[k];
+      break;
+    }
+  }
+  if (bound <= 0.0f) return 1.0f;
+  return bound / static_cast<float>(qmax);
+}
+
+}  // namespace
+
+QuantParams calibrate(const std::vector<float>& values, int qmax,
+                      CalibMethod method) {
+  TFACC_CHECK_ARG(qmax > 0);
+  std::vector<float> absvals(values.size());
+  std::transform(values.begin(), values.end(), absvals.begin(),
+                 [](float v) { return std::abs(v); });
+  return QuantParams{reduce_range(std::move(absvals), qmax, method)};
+}
+
+QuantParams calibrate(const MatF& values, int qmax, CalibMethod method) {
+  TFACC_CHECK_ARG(qmax > 0);
+  std::vector<float> absvals;
+  absvals.reserve(values.size());
+  for (int r = 0; r < values.rows(); ++r)
+    for (int c = 0; c < values.cols(); ++c)
+      absvals.push_back(std::abs(values(r, c)));
+  return QuantParams{reduce_range(std::move(absvals), qmax, method)};
+}
+
+QuantParams calibrate(const std::vector<MatF>& samples, int qmax,
+                      CalibMethod method) {
+  TFACC_CHECK_ARG(qmax > 0);
+  std::vector<float> absvals;
+  for (const auto& m : samples)
+    for (int r = 0; r < m.rows(); ++r)
+      for (int c = 0; c < m.cols(); ++c) absvals.push_back(std::abs(m(r, c)));
+  return QuantParams{reduce_range(std::move(absvals), qmax, method)};
+}
+
+MatI8 quantize_i8(const MatF& m, QuantParams p) {
+  TFACC_CHECK_ARG(p.scale > 0.0f);
+  MatI8 out(m.rows(), m.cols());
+  for (int r = 0; r < m.rows(); ++r)
+    for (int c = 0; c < m.cols(); ++c)
+      out(r, c) = saturate_i8(std::llround(m(r, c) / p.scale));
+  return out;
+}
+
+MatI16 quantize_i16(const MatF& m, QuantParams p) {
+  TFACC_CHECK_ARG(p.scale > 0.0f);
+  MatI16 out(m.rows(), m.cols());
+  for (int r = 0; r < m.rows(); ++r)
+    for (int c = 0; c < m.cols(); ++c)
+      out(r, c) = saturate_i16(std::llround(m(r, c) / p.scale));
+  return out;
+}
+
+std::vector<std::int8_t> quantize_i8(const std::vector<float>& v,
+                                     QuantParams p) {
+  TFACC_CHECK_ARG(p.scale > 0.0f);
+  std::vector<std::int8_t> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    out[i] = saturate_i8(std::llround(v[i] / p.scale));
+  return out;
+}
+
+std::vector<std::int32_t> quantize_bias(const std::vector<float>& bias,
+                                        float in_scale, float w_scale) {
+  TFACC_CHECK_ARG(in_scale > 0.0f && w_scale > 0.0f);
+  const double acc_scale = static_cast<double>(in_scale) * w_scale;
+  std::vector<std::int32_t> out(bias.size());
+  for (std::size_t i = 0; i < bias.size(); ++i)
+    out[i] = saturate_i32(std::llround(bias[i] / acc_scale));
+  return out;
+}
+
+MatF dequantize(const MatI8& m, QuantParams p) {
+  MatF out(m.rows(), m.cols());
+  for (int r = 0; r < m.rows(); ++r)
+    for (int c = 0; c < m.cols(); ++c)
+      out(r, c) = static_cast<float>(m(r, c)) * p.scale;
+  return out;
+}
+
+MatF dequantize_i16(const MatI16& m, QuantParams p) {
+  MatF out(m.rows(), m.cols());
+  for (int r = 0; r < m.rows(); ++r)
+    for (int c = 0; c < m.cols(); ++c)
+      out(r, c) = static_cast<float>(m(r, c)) * p.scale;
+  return out;
+}
+
+MatF dequantize_i32(const MatI32& m, float scale) {
+  MatF out(m.rows(), m.cols());
+  for (int r = 0; r < m.rows(); ++r)
+    for (int c = 0; c < m.cols(); ++c)
+      out(r, c) = static_cast<float>(m(r, c)) * scale;
+  return out;
+}
+
+MatI8 requantize_i8(const MatI32& acc, const FixedPointScale& s) {
+  MatI8 out(acc.rows(), acc.cols());
+  for (int r = 0; r < acc.rows(); ++r)
+    for (int c = 0; c < acc.cols(); ++c) out(r, c) = s.apply_i8(acc(r, c));
+  return out;
+}
+
+MatI16 requantize_i16(const MatI32& acc, const FixedPointScale& s) {
+  MatI16 out(acc.rows(), acc.cols());
+  for (int r = 0; r < acc.rows(); ++r)
+    for (int c = 0; c < acc.cols(); ++c) out(r, c) = s.apply_i16(acc(r, c));
+  return out;
+}
+
+}  // namespace tfacc

@@ -1,0 +1,54 @@
+// Symmetric INT8/INT16 quantization (Section V.A of the paper, following
+// Bhandare et al. [2]: all trainable matrices and activations in Fig. 3 are
+// quantized with INT8; accumulators are INT32; requantization uses the
+// fixed-point multiplier of common/fixed_point.hpp).
+#pragma once
+
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tfacc {
+
+/// Symmetric quantization parameters: real = raw * scale.
+struct QuantParams {
+  float scale = 1.0f;
+};
+
+/// How activation ranges are reduced to a scale.
+enum class CalibMethod {
+  kMaxAbs,         ///< scale = max|x| / qmax
+  kPercentile999,  ///< scale = 99.9th percentile of |x| / qmax (clips outliers)
+};
+
+/// Compute a scale so values map into [-qmax, qmax].
+QuantParams calibrate(const std::vector<float>& values, int qmax,
+                      CalibMethod method = CalibMethod::kMaxAbs);
+QuantParams calibrate(const MatF& values, int qmax,
+                      CalibMethod method = CalibMethod::kMaxAbs);
+/// Calibrate over several sample matrices (activation calibration set).
+QuantParams calibrate(const std::vector<MatF>& samples, int qmax,
+                      CalibMethod method = CalibMethod::kMaxAbs);
+
+/// Round-to-nearest symmetric quantization.
+MatI8 quantize_i8(const MatF& m, QuantParams p);
+MatI16 quantize_i16(const MatF& m, QuantParams p);
+std::vector<std::int8_t> quantize_i8(const std::vector<float>& v,
+                                     QuantParams p);
+
+/// Bias vectors are quantized straight into accumulator units:
+/// raw = round(b / (in_scale * w_scale)).
+std::vector<std::int32_t> quantize_bias(const std::vector<float>& bias,
+                                        float in_scale, float w_scale);
+
+MatF dequantize(const MatI8& m, QuantParams p);
+MatF dequantize_i16(const MatI16& m, QuantParams p);
+MatF dequantize_i32(const MatI32& m, float scale);
+
+/// Requantize an INT32 accumulator matrix to INT8/INT16 with a fixed-point
+/// multiplier (the hardware path: int32 × mantissa >> shift, round, saturate).
+MatI8 requantize_i8(const MatI32& acc, const FixedPointScale& s);
+MatI16 requantize_i16(const MatI32& acc, const FixedPointScale& s);
+
+}  // namespace tfacc

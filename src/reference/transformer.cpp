@@ -1,0 +1,209 @@
+#include "reference/transformer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace tfacc {
+
+namespace {
+constexpr int kMaxPosition = 512;
+}
+
+MatF positional_encoding(int max_len, int d_model) {
+  TFACC_CHECK_ARG(max_len > 0 && d_model > 0 && d_model % 2 == 0);
+  MatF pe(max_len, d_model);
+  for (int pos = 0; pos < max_len; ++pos) {
+    for (int i = 0; i < d_model / 2; ++i) {
+      const double angle =
+          pos / std::pow(10000.0, (2.0 * i) / static_cast<double>(d_model));
+      pe(pos, 2 * i) = static_cast<float>(std::sin(angle));
+      pe(pos, 2 * i + 1) = static_cast<float>(std::cos(angle));
+    }
+  }
+  return pe;
+}
+
+Transformer::Transformer(TransformerWeights weights)
+    : weights_(std::move(weights)),
+      pos_encoding_(positional_encoding(kMaxPosition,
+                                        weights_.config.d_model)) {
+  weights_.config.validate();
+}
+
+MatF Transformer::embed(const TokenSeq& tokens, const MatF& embedding) const {
+  TFACC_CHECK_ARG(!tokens.empty());
+  const int d_model = weights_.config.d_model;
+  const float scale = std::sqrt(static_cast<float>(d_model));
+  MatF out(static_cast<int>(tokens.size()), d_model);
+  for (int r = 0; r < out.rows(); ++r) {
+    const int id = tokens[static_cast<std::size_t>(r)];
+    TFACC_CHECK_ARG_MSG(id >= 0 && id < weights_.vocab_size,
+                        "token id " << id);
+    TFACC_CHECK_ARG_MSG(r < pos_encoding_.rows(), "sequence too long");
+    for (int c = 0; c < d_model; ++c)
+      out(r, c) = embedding(id, c) * scale + pos_encoding_(r, c);
+  }
+  return out;
+}
+
+MatF Transformer::encode(const TokenSeq& src) const {
+  MatF x = embed(src, weights_.src_embedding);
+  const int s = x.rows();
+  // Padding tokens (id 0) at the tail are masked from attention keys.
+  int valid = s;
+  while (valid > 0 && src[static_cast<std::size_t>(valid - 1)] == kPadId)
+    --valid;
+  const Mask mask = padding_mask(s, s, valid);
+  for (const auto& layer : weights_.encoder_layers) {
+    x = backend_.mha(x, x, layer.mha, mask);
+    x = backend_.ffn(x, layer.ffn);
+  }
+  return x;
+}
+
+MatF Transformer::decode_states(const TokenSeq& tgt, const MatF& memory,
+                                int src_valid_len) const {
+  MatF y = embed(tgt, weights_.tgt_embedding);
+  const int t = y.rows();
+  const Mask self_mask = causal_mask(t);
+  const Mask cross_mask = padding_mask(t, memory.rows(), src_valid_len);
+  for (const auto& layer : weights_.decoder_layers) {
+    y = backend_.mha(y, y, layer.self_mha, self_mask);
+    y = backend_.mha(y, memory, layer.cross_mha, cross_mask);
+    y = backend_.ffn(y, layer.ffn);
+  }
+  return y;
+}
+
+std::vector<float> Transformer::next_token_logits(const TokenSeq& tgt,
+                                                  const MatF& memory,
+                                                  int src_valid_len) const {
+  const MatF states = decode_states(tgt, memory, src_valid_len);
+  const MatF last = states.block(states.rows() - 1, 0, 1, states.cols());
+  const MatF logits = gemm(last, weights_.output_projection);
+  std::vector<float> out(static_cast<std::size_t>(logits.cols()));
+  for (int c = 0; c < logits.cols(); ++c)
+    out[static_cast<std::size_t>(c)] = logits(0, c);
+  return out;
+}
+
+namespace {
+
+/// Row log-softmax of raw logits.
+std::vector<float> log_softmax(const std::vector<float>& logits) {
+  float mx = logits[0];
+  for (float v : logits) mx = std::max(mx, v);
+  double sum = 0.0;
+  for (float v : logits) sum += std::exp(static_cast<double>(v) - mx);
+  const float log_z = mx + static_cast<float>(std::log(sum));
+  std::vector<float> out(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) out[i] = logits[i] - log_z;
+  return out;
+}
+
+}  // namespace
+
+TokenSeq Transformer::translate_beam(const TokenSeq& src, int max_len,
+                                     const BeamConfig& beam) const {
+  TFACC_CHECK_ARG(max_len > 0);
+  TFACC_CHECK_ARG(beam.beam_size >= 1);
+  const MatF memory = encode(src);
+  int src_valid = static_cast<int>(src.size());
+  while (src_valid > 0 && src[static_cast<std::size_t>(src_valid - 1)] == kPadId)
+    --src_valid;
+
+  struct Hypothesis {
+    TokenSeq tokens;       // starts with BOS
+    float logprob = 0.0f;
+    bool finished = false;
+
+    float score(float alpha) const {
+      const float len =
+          static_cast<float>(tokens.size() - 1);  // emitted tokens
+      const float norm = std::pow((5.0f + std::max(1.0f, len)) / 6.0f, alpha);
+      return logprob / norm;
+    }
+  };
+
+  std::vector<Hypothesis> live{Hypothesis{{kBosId}, 0.0f, false}};
+  std::vector<Hypothesis> finished;
+
+  for (int step = 0; step < max_len && !live.empty(); ++step) {
+    std::vector<Hypothesis> candidates;
+    for (const auto& hyp : live) {
+      const auto logits = next_token_logits(hyp.tokens, memory, src_valid);
+      const auto logp = log_softmax(logits);
+      // Top beam_size expansions of this hypothesis.
+      std::vector<int> order(logp.size());
+      for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+      const std::size_t keep =
+          std::min<std::size_t>(order.size(),
+                                static_cast<std::size_t>(beam.beam_size));
+      std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                        [&](int a, int b) {
+                          return logp[static_cast<std::size_t>(a)] >
+                                 logp[static_cast<std::size_t>(b)];
+                        });
+      for (std::size_t k = 0; k < keep; ++k) {
+        Hypothesis next = hyp;
+        next.tokens.push_back(order[k]);
+        next.logprob += logp[static_cast<std::size_t>(order[k])];
+        next.finished = order[k] == kEosId;
+        candidates.push_back(std::move(next));
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](const Hypothesis& a, const Hypothesis& b) {
+                return a.score(beam.length_penalty) >
+                       b.score(beam.length_penalty);
+              });
+    live.clear();
+    for (auto& cand : candidates) {
+      if (cand.finished)
+        finished.push_back(std::move(cand));
+      else if (static_cast<int>(live.size()) < beam.beam_size)
+        live.push_back(std::move(cand));
+      if (static_cast<int>(finished.size()) >= beam.beam_size) break;
+    }
+    if (static_cast<int>(finished.size()) >= beam.beam_size) break;
+  }
+
+  for (auto& hyp : live) finished.push_back(std::move(hyp));
+  TFACC_CHECK(!finished.empty());
+  const auto best = std::max_element(
+      finished.begin(), finished.end(),
+      [&](const Hypothesis& a, const Hypothesis& b) {
+        return a.score(beam.length_penalty) < b.score(beam.length_penalty);
+      });
+  TokenSeq out(best->tokens.begin() + 1, best->tokens.end());
+  if (!out.empty() && out.back() == kEosId) out.pop_back();
+  return out;
+}
+
+TokenSeq Transformer::translate_beam(const TokenSeq& src, int max_len) const {
+  return translate_beam(src, max_len, BeamConfig{});
+}
+
+TokenSeq Transformer::translate_greedy(const TokenSeq& src,
+                                       int max_len) const {
+  TFACC_CHECK_ARG(max_len > 0);
+  const MatF memory = encode(src);
+  int src_valid = static_cast<int>(src.size());
+  while (src_valid > 0 && src[static_cast<std::size_t>(src_valid - 1)] == kPadId)
+    --src_valid;
+
+  TokenSeq tgt{kBosId};
+  for (int step = 0; step < max_len; ++step) {
+    const auto logits = next_token_logits(tgt, memory, src_valid);
+    const int next = static_cast<int>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+    if (next == kEosId) break;
+    tgt.push_back(next);
+  }
+  return TokenSeq(tgt.begin() + 1, tgt.end());
+}
+
+}  // namespace tfacc

@@ -1,0 +1,87 @@
+// Full encoder-decoder Transformer inference (Fig. 1), FP32.
+//
+// The paper's accelerator covers the MHA/FFN ResBlocks; embeddings, the
+// positional encoding and the output softmax stay on the host. This module
+// is the host-side golden model, and its ResBlock calls can be swapped for
+// quantized or accelerator-simulated implementations via ResBlockBackend.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "reference/functional.hpp"
+#include "reference/weights.hpp"
+
+namespace tfacc {
+
+/// Token ids. Conventions (shared with src/nlp): 0=PAD, 1=BOS, 2=EOS.
+using TokenSeq = std::vector<int>;
+
+constexpr int kPadId = 0;
+constexpr int kBosId = 1;
+constexpr int kEosId = 2;
+
+/// Sinusoidal positional encoding, rows = positions, cols = d_model
+/// (Vaswani et al. 2017, Eq. 5.1; referenced by Fig. 1).
+MatF positional_encoding(int max_len, int d_model);
+
+/// Pluggable ResBlock implementations so the same decode loop can run on the
+/// FP32 reference, the INT8 functional model, or the accelerator simulator.
+struct ResBlockBackend {
+  std::function<MatF(const MatF& q, const MatF& kv, const MhaWeights&,
+                     const Mask&)>
+      mha = mha_resblock;
+  std::function<MatF(const MatF& x, const FfnWeights&)> ffn = ffn_resblock;
+};
+
+/// Encoder-decoder Transformer inference engine.
+class Transformer {
+ public:
+  explicit Transformer(TransformerWeights weights);
+
+  const TransformerWeights& weights() const { return weights_; }
+
+  /// Replace the ResBlock implementations (e.g. with the accelerator).
+  void set_backend(ResBlockBackend backend) { backend_ = std::move(backend); }
+
+  /// Embed + positional-encode a token sequence (s × d_model).
+  MatF embed(const TokenSeq& tokens, const MatF& embedding) const;
+
+  /// Run the encoder stack over an embedded source. `src_valid_len` marks
+  /// padding for the attention mask.
+  MatF encode(const TokenSeq& src) const;
+
+  /// One decoder forward pass over `tgt` given encoder memory; returns the
+  /// d_model states of every target position.
+  MatF decode_states(const TokenSeq& tgt, const MatF& memory,
+                     int src_valid_len) const;
+
+  /// Logits of the *last* target position (vocab-sized row).
+  std::vector<float> next_token_logits(const TokenSeq& tgt, const MatF& memory,
+                                       int src_valid_len) const;
+
+  /// Greedy autoregressive translation: BOS ... EOS, capped at max_len.
+  /// The returned sequence excludes BOS and EOS.
+  TokenSeq translate_greedy(const TokenSeq& src, int max_len) const;
+
+  /// Beam-search decoding parameters (GNMT-style length normalization:
+  /// score = logprob / ((5 + len) / 6)^alpha).
+  struct BeamConfig {
+    int beam_size = 4;
+    float length_penalty = 0.6f;
+  };
+
+  /// Beam-search translation; beam_size 1 degenerates to greedy.
+  /// The returned sequence excludes BOS and EOS.
+  TokenSeq translate_beam(const TokenSeq& src, int max_len,
+                          const BeamConfig& beam) const;
+  /// Overload with default BeamConfig (beam 4, length penalty 0.6).
+  TokenSeq translate_beam(const TokenSeq& src, int max_len) const;
+
+ private:
+  TransformerWeights weights_;
+  ResBlockBackend backend_;
+  MatF pos_encoding_;  // precomputed for a generous max length
+};
+
+}  // namespace tfacc

@@ -1,0 +1,105 @@
+#include "reference/weights.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace tfacc {
+
+namespace {
+
+// Xavier-style initialization keeps activations in a stable range, which in
+// turn keeps INT8 calibration representative across all experiments.
+MatF xavier(int rows, int cols, Rng& rng) {
+  MatF m(rows, cols);
+  const float bound = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  fill_uniform(m, rng, -bound, bound);
+  return m;
+}
+
+std::vector<float> small_bias(int n, Rng& rng) {
+  std::vector<float> b(n);
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-0.05, 0.05));
+  return b;
+}
+
+}  // namespace
+
+LayerNormParams LayerNormParams::identity(int d_model) {
+  LayerNormParams p;
+  p.gamma.assign(d_model, 1.0f);
+  p.beta.assign(d_model, 0.0f);
+  return p;
+}
+
+LayerNormParams LayerNormParams::random(int d_model, Rng& rng) {
+  LayerNormParams p;
+  p.gamma.resize(d_model);
+  p.beta.resize(d_model);
+  for (auto& g : p.gamma) g = static_cast<float>(rng.uniform(0.8, 1.2));
+  for (auto& b : p.beta) b = static_cast<float>(rng.uniform(-0.1, 0.1));
+  return p;
+}
+
+MhaWeights MhaWeights::random(const ModelConfig& cfg, Rng& rng) {
+  cfg.validate();
+  MhaWeights w;
+  w.heads.resize(cfg.num_heads);
+  for (auto& head : w.heads) {
+    head.wq = xavier(cfg.d_model, cfg.head_dim, rng);
+    head.wk = xavier(cfg.d_model, cfg.head_dim, rng);
+    head.wv = xavier(cfg.d_model, cfg.head_dim, rng);
+    head.bq = small_bias(cfg.head_dim, rng);
+    head.bk = small_bias(cfg.head_dim, rng);
+    head.bv = small_bias(cfg.head_dim, rng);
+  }
+  w.wg = xavier(cfg.d_model, cfg.d_model, rng);
+  w.bg = small_bias(cfg.d_model, rng);
+  w.norm = LayerNormParams::random(cfg.d_model, rng);
+  return w;
+}
+
+FfnWeights FfnWeights::random(const ModelConfig& cfg, Rng& rng) {
+  cfg.validate();
+  FfnWeights w;
+  w.w1 = xavier(cfg.d_model, cfg.d_ff, rng);
+  w.b1 = small_bias(cfg.d_ff, rng);
+  w.w2 = xavier(cfg.d_ff, cfg.d_model, rng);
+  w.b2 = small_bias(cfg.d_model, rng);
+  w.norm = LayerNormParams::random(cfg.d_model, rng);
+  return w;
+}
+
+EncoderLayerWeights EncoderLayerWeights::random(const ModelConfig& cfg,
+                                                Rng& rng) {
+  return EncoderLayerWeights{MhaWeights::random(cfg, rng),
+                             FfnWeights::random(cfg, rng)};
+}
+
+DecoderLayerWeights DecoderLayerWeights::random(const ModelConfig& cfg,
+                                                Rng& rng) {
+  return DecoderLayerWeights{MhaWeights::random(cfg, rng),
+                             MhaWeights::random(cfg, rng),
+                             FfnWeights::random(cfg, rng)};
+}
+
+TransformerWeights TransformerWeights::random(const ModelConfig& cfg,
+                                              int vocab_size, Rng& rng) {
+  cfg.validate();
+  TFACC_CHECK_ARG(vocab_size > 0);
+  TransformerWeights w;
+  w.config = cfg;
+  w.vocab_size = vocab_size;
+  w.src_embedding = xavier(vocab_size, cfg.d_model, rng);
+  w.tgt_embedding = xavier(vocab_size, cfg.d_model, rng);
+  w.output_projection = xavier(cfg.d_model, vocab_size, rng);
+  w.encoder_layers.reserve(cfg.num_encoder_layers);
+  for (int i = 0; i < cfg.num_encoder_layers; ++i)
+    w.encoder_layers.push_back(EncoderLayerWeights::random(cfg, rng));
+  w.decoder_layers.reserve(cfg.num_decoder_layers);
+  for (int i = 0; i < cfg.num_decoder_layers; ++i)
+    w.decoder_layers.push_back(DecoderLayerWeights::random(cfg, rng));
+  return w;
+}
+
+}  // namespace tfacc

@@ -1,0 +1,86 @@
+// Parameter containers for the Transformer layers treated by the paper, plus
+// seeded random initialization so every experiment is reproducible.
+//
+// Shapes follow Fig. 3: per-head projection weights are stored as
+// d_model×64 blocks (the column-block layout of Section III), and the large
+// matrices W_G (d_model×d_model), W_1 (d_model×d_ff), W_2 (d_ff×d_model) are
+// stored whole and partitioned on demand.
+#pragma once
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/random.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tfacc {
+
+/// Learnable scale/shift of a LayerNorm (γ, β), length d_model.
+struct LayerNormParams {
+  std::vector<float> gamma;
+  std::vector<float> beta;
+
+  static LayerNormParams identity(int d_model);
+  static LayerNormParams random(int d_model, Rng& rng);
+};
+
+/// One attention head's projections: W_Q, W_K, W_V are d_model×64 (Fig. 3a).
+struct HeadWeights {
+  MatF wq, wk, wv;                    // d_model × head_dim
+  std::vector<float> bq, bk, bv;      // head_dim
+};
+
+/// The whole MHA ResBlock: h heads + output projection W_G + LayerNorm.
+struct MhaWeights {
+  std::vector<HeadWeights> heads;     // h entries
+  MatF wg;                            // d_model × d_model
+  std::vector<float> bg;              // d_model
+  LayerNormParams norm;
+
+  static MhaWeights random(const ModelConfig& cfg, Rng& rng);
+};
+
+/// The FFN ResBlock: two linear sublayers + LayerNorm (Eq. 2).
+struct FfnWeights {
+  MatF w1;                            // d_model × d_ff
+  std::vector<float> b1;              // d_ff
+  MatF w2;                            // d_ff × d_model
+  std::vector<float> b2;              // d_model
+  LayerNormParams norm;
+
+  static FfnWeights random(const ModelConfig& cfg, Rng& rng);
+};
+
+/// One encoder layer = MHA ResBlock + FFN ResBlock (Fig. 1, left stack).
+struct EncoderLayerWeights {
+  MhaWeights mha;
+  FfnWeights ffn;
+
+  static EncoderLayerWeights random(const ModelConfig& cfg, Rng& rng);
+};
+
+/// One decoder layer = masked self-MHA + cross-MHA + FFN (Fig. 1, right).
+struct DecoderLayerWeights {
+  MhaWeights self_mha;
+  MhaWeights cross_mha;
+  FfnWeights ffn;
+
+  static DecoderLayerWeights random(const ModelConfig& cfg, Rng& rng);
+};
+
+/// Full encoder-decoder model including embeddings and the output projection
+/// (the paper scopes the accelerator to the ResBlocks; the rest is host-side).
+struct TransformerWeights {
+  ModelConfig config;
+  int vocab_size = 0;
+  MatF src_embedding;                 // vocab × d_model
+  MatF tgt_embedding;                 // vocab × d_model
+  MatF output_projection;             // d_model × vocab
+  std::vector<EncoderLayerWeights> encoder_layers;
+  std::vector<DecoderLayerWeights> decoder_layers;
+
+  static TransformerWeights random(const ModelConfig& cfg, int vocab_size,
+                                   Rng& rng);
+};
+
+}  // namespace tfacc

@@ -1,0 +1,34 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace tfacc {
+
+void render_gantt(const Timeline& timeline, std::ostream& os, int width) {
+  TFACC_CHECK_ARG(width > 0);
+  const Cycle end = timeline.end_time();
+  if (end == 0) {
+    os << "(empty timeline)\n";
+    return;
+  }
+  os << "cycles 0 .. " << end << "  ('#' busy, '.' idle, one column ≈ "
+     << (end + width - 1) / width << " cycles)\n";
+  for (const auto& module : timeline.modules()) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const auto& iv : module.intervals()) {
+      const int a = static_cast<int>(iv.start * width / end);
+      int b = static_cast<int>(iv.end * width / end);
+      b = std::min(b, width - 1);
+      for (int i = a; i <= b; ++i) row[static_cast<std::size_t>(i)] = '#';
+    }
+    os.width(10);
+    os << std::left << module.name() << ' ' << row << '\n';
+    os.width(0);
+  }
+}
+
+}  // namespace tfacc

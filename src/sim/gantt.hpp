@@ -1,0 +1,15 @@
+// ASCII Gantt rendering of a Timeline — a terminal "waveform view" of the
+// Fig. 5 modules, used by examples/profile_timeline.
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/timeline.hpp"
+
+namespace tfacc {
+
+/// Render every module's busy intervals as one row of '#' (busy) and '.'
+/// (idle) characters, scaled to `width` columns over [0, end_time).
+void render_gantt(const Timeline& timeline, std::ostream& os, int width = 96);
+
+}  // namespace tfacc

@@ -1,0 +1,64 @@
+#include "sim/systolic_rtl.hpp"
+
+namespace tfacc {
+
+SystolicArrayRtl::SystolicArrayRtl(int rows, int cols)
+    : rows_(rows), cols_(cols) {
+  TFACC_CHECK_ARG(rows > 0 && cols > 0);
+}
+
+SystolicArrayRtl::RunResult SystolicArrayRtl::run(const MatI8& a,
+                                                  const MatI8& b) const {
+  const int r_used = a.rows();
+  const int k = a.cols();
+  const int c_used = b.cols();
+  TFACC_CHECK_ARG(b.rows() == k);
+  TFACC_CHECK_ARG_MSG(r_used <= rows_ && c_used <= cols_,
+                      "operand " << r_used << 'x' << c_used
+                                 << " exceeds array " << rows_ << 'x' << cols_);
+  TFACC_CHECK_ARG(k > 0 && r_used > 0 && c_used > 0);
+
+  // Per-PE state. a flows left→right, b flows top→down; both advance one PE
+  // per cycle. Registers are updated from the previous cycle's values by
+  // sweeping from the high indices down (each PE reads its left/top
+  // neighbour, which still holds the old value during the sweep).
+  MatI8 a_reg(r_used, c_used), b_reg(r_used, c_used);
+  MatI32 acc(r_used, c_used);
+  MatI32 out(r_used, c_used);
+
+  const Cycle total = expected_cycles(r_used, k, c_used);
+  for (Cycle t = 0; t < total; ++t) {
+    for (int r = r_used - 1; r >= 0; --r) {
+      for (int c = c_used - 1; c >= 0; --c) {
+        // Skewed edge feeds: A(r, t-r) enters column 0; B(t-c, c) enters row 0.
+        const std::int64_t ka = t - r - c;  // the k index visible at PE(r,c)
+        std::int8_t a_in = 0, b_in = 0;
+        if (c == 0) {
+          const std::int64_t kf = t - r;
+          a_in = (kf >= 0 && kf < k) ? a(r, static_cast<int>(kf)) : 0;
+        } else {
+          a_in = a_reg(r, c - 1);
+        }
+        if (r == 0) {
+          const std::int64_t kf = t - c;
+          b_in = (kf >= 0 && kf < k) ? b(static_cast<int>(kf), c) : 0;
+        } else {
+          b_in = b_reg(r - 1, c);
+        }
+        if (ka >= 0 && ka < k)
+          acc(r, c) += static_cast<std::int32_t>(a_in) * b_in;
+        a_reg(r, c) = a_in;
+        b_reg(r, c) = b_in;
+      }
+    }
+    // Column drain bus: column c is complete after cycle k-1 + (r_used-1) + c,
+    // i.e. drains during cycle k + r_used + c - 1 (0-indexed t).
+    const std::int64_t drain_col = t - (k + r_used - 1);
+    if (drain_col >= 0 && drain_col < c_used)
+      for (int r = 0; r < r_used; ++r)
+        out(r, static_cast<int>(drain_col)) = acc(r, static_cast<int>(drain_col));
+  }
+  return RunResult{std::move(out), total};
+}
+
+}  // namespace tfacc

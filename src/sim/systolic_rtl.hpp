@@ -1,0 +1,46 @@
+// Clocked (per-cycle, per-PE) model of the output-stationary systolic array.
+//
+// This is the register-transfer-level grounding for the transaction-level
+// timing used by the accelerator model: operands enter skewed by one cycle
+// per row/column, every PE multiply-accumulates the INT8 operands flowing
+// right/down, and the product matrix leaves column by column on an s-wide
+// drain bus (Section IV: "It is designed to output the product matrix column
+// by column, so each column has s elements").
+//
+// For A (R×K) · B (K×C) the model completes in exactly K + R + C - 1 cycles:
+// PE(r,c) performs its last MAC at cycle K-1+r+c and column c drains at cycle
+// K+R+c-1, one column per cycle, back to back. Tests assert both the cycle
+// count and bit-exact equality with the plain GEMM.
+#pragma once
+
+#include "sim/timeline.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tfacc {
+
+class SystolicArrayRtl {
+ public:
+  /// Construct an array with the given physical dimensions.
+  SystolicArrayRtl(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  struct RunResult {
+    MatI32 out;     ///< A·B, bit-exact INT32 accumulators
+    Cycle cycles;   ///< cycles from first operand entering to last column drained
+  };
+
+  /// Clock the array through one full operation. a is R×K with R <= rows(),
+  /// b is K×C with C <= cols(). Unused PEs idle.
+  RunResult run(const MatI8& a, const MatI8& b) const;
+
+  /// The closed-form latency the clocked model is expected to achieve.
+  static Cycle expected_cycles(int r, int k, int c) { return k + r + c - 1; }
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+}  // namespace tfacc

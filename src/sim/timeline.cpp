@@ -1,0 +1,29 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace tfacc {
+
+ModuleTimeline& Timeline::module(const std::string& name) {
+  for (auto& m : modules_)
+    if (m.name() == name) return m;
+  modules_.emplace_back(name);
+  return modules_.back();
+}
+
+Cycle Timeline::end_time() const {
+  Cycle end = 0;
+  for (const auto& m : modules_) end = std::max(end, m.end_time());
+  return end;
+}
+
+void Timeline::write_csv(std::ostream& os) const {
+  os << "module,start,end,label\n";
+  for (const auto& m : modules_)
+    for (const auto& iv : m.intervals())
+      os << m.name() << ',' << iv.start << ',' << iv.end << ',' << iv.label
+         << '\n';
+}
+
+}  // namespace tfacc

@@ -1,0 +1,87 @@
+// Cycle-level timeline bookkeeping for the accelerator model.
+//
+// The simulator is transaction-level: each hardware module is a resource
+// whose busy intervals are reserved in program order by the controller
+// (Algorithm 1). Per-module busy cycles, utilization and a CSV trace fall
+// out of the same records. A clocked PE-level systolic-array model
+// (systolic_rtl.hpp) grounds the per-operation formulas used here.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tfacc {
+
+using Cycle = std::int64_t;
+
+/// One busy interval [start, end) of one module.
+struct Interval {
+  Cycle start = 0;
+  Cycle end = 0;
+  std::string label;
+
+  Cycle duration() const { return end - start; }
+};
+
+/// Busy-interval ledger of one hardware module (SA, Softmax, LayerNorm, ...).
+/// Reservations are non-overlapping and issued in non-decreasing start order,
+/// matching an in-order hardware pipeline.
+class ModuleTimeline {
+ public:
+  explicit ModuleTimeline(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Reserve `duration` cycles starting no earlier than `earliest` and no
+  /// earlier than the previous reservation's end. Returns the interval.
+  Interval reserve(Cycle earliest, Cycle duration, std::string label) {
+    TFACC_CHECK_ARG_MSG(duration >= 0, "duration " << duration);
+    const Cycle start = std::max(earliest, free_at_);
+    Interval iv{start, start + duration, std::move(label)};
+    free_at_ = iv.end;
+    busy_ += duration;
+    intervals_.push_back(iv);
+    return iv;
+  }
+
+  /// First cycle at which a new reservation could start.
+  Cycle free_at() const { return free_at_; }
+  /// Total cycles this module was busy.
+  Cycle busy_cycles() const { return busy_; }
+  /// End of the last reservation (0 if none).
+  Cycle end_time() const { return free_at_; }
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+ private:
+  std::string name_;
+  Cycle free_at_ = 0;
+  Cycle busy_ = 0;
+  std::vector<Interval> intervals_;
+};
+
+/// A set of module timelines forming one simulation run.
+class Timeline {
+ public:
+  /// Get or create the timeline of a module. The returned reference stays
+  /// valid for the lifetime of the Timeline (deque storage — modules are
+  /// held by long-lived scheduler objects).
+  ModuleTimeline& module(const std::string& name);
+  const std::deque<ModuleTimeline>& modules() const { return modules_; }
+
+  /// Latest end time across all modules (= total latency).
+  Cycle end_time() const;
+
+  /// Dump all intervals as CSV: module,start,end,label.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::deque<ModuleTimeline> modules_;
+};
+
+}  // namespace tfacc

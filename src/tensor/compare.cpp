@@ -1,0 +1,42 @@
+#include "tensor/compare.hpp"
+
+#include <cmath>
+
+namespace tfacc {
+
+double max_abs_diff(const MatF& a, const MatF& b) {
+  TFACC_CHECK_ARG(a.same_shape(b));
+  double m = 0.0;
+  for (int r = 0; r < a.rows(); ++r)
+    for (int c = 0; c < a.cols(); ++c)
+      m = std::max(m, std::abs(static_cast<double>(a(r, c)) - b(r, c)));
+  return m;
+}
+
+double mse(const MatF& a, const MatF& b) {
+  TFACC_CHECK_ARG(a.same_shape(b));
+  if (a.size() == 0) return 0.0;
+  double acc = 0.0;
+  for (int r = 0; r < a.rows(); ++r)
+    for (int c = 0; c < a.cols(); ++c) {
+      const double d = static_cast<double>(a(r, c)) - b(r, c);
+      acc += d * d;
+    }
+  return acc / static_cast<double>(a.size());
+}
+
+double cosine_similarity(const MatF& a, const MatF& b) {
+  TFACC_CHECK_ARG(a.same_shape(b));
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int r = 0; r < a.rows(); ++r)
+    for (int c = 0; c < a.cols(); ++c) {
+      dot += static_cast<double>(a(r, c)) * b(r, c);
+      na += static_cast<double>(a(r, c)) * a(r, c);
+      nb += static_cast<double>(b(r, c)) * b(r, c);
+    }
+  if (na == 0.0 && nb == 0.0) return 1.0;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace tfacc

@@ -1,0 +1,28 @@
+// Numerical comparison metrics between matrices, used by tests and the
+// quantization-fidelity experiments.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace tfacc {
+
+/// max_{r,c} |a - b|
+double max_abs_diff(const MatF& a, const MatF& b);
+
+/// mean squared error
+double mse(const MatF& a, const MatF& b);
+
+/// Cosine similarity of the flattened matrices (1.0 == identical direction).
+/// Returns 1.0 when both matrices are all-zero.
+double cosine_similarity(const MatF& a, const MatF& b);
+
+/// Convert an integer matrix to float (for comparisons / plotting).
+template <typename T>
+MatF to_float(const Matrix<T>& a) {
+  MatF out(a.rows(), a.cols());
+  for (int r = 0; r < a.rows(); ++r)
+    for (int c = 0; c < a.cols(); ++c) out(r, c) = static_cast<float>(a(r, c));
+  return out;
+}
+
+}  // namespace tfacc

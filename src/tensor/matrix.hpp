@@ -1,0 +1,121 @@
+// A small row-major dense matrix type.
+//
+// The accelerator operates on 2-D tiles (batch is 1 throughout the paper's
+// evaluation), so a matrix — not an N-D tensor — is the natural unit. The
+// element type is a template parameter because the same shapes flow through
+// the library as float (reference model), int8 (quantized activations and
+// weights) and int32 (accumulators).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tfacc {
+
+template <typename T>
+class Matrix {
+ public:
+  using value_type = T;
+
+  Matrix() = default;
+
+  /// Create a rows×cols matrix, zero-initialized.
+  Matrix(int rows, int cols) : rows_(rows), cols_(cols) {
+    TFACC_CHECK_ARG_MSG(rows >= 0 && cols >= 0,
+                        "rows=" << rows << " cols=" << cols);
+    data_.assign(static_cast<std::size_t>(rows) * cols, T{});
+  }
+
+  /// Create from a nested initializer list (row major); rows must be equal
+  /// length. Intended for small literals in tests.
+  Matrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = static_cast<int>(init.size());
+    cols_ = rows_ == 0 ? 0 : static_cast<int>(init.begin()->size());
+    data_.reserve(static_cast<std::size_t>(rows_) * cols_);
+    for (const auto& row : init) {
+      TFACC_CHECK_ARG_MSG(static_cast<int>(row.size()) == cols_,
+                          "ragged initializer list");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& at(int r, int c) {
+    TFACC_CHECK_ARG_MSG(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                        "(" << r << ',' << c << ") out of " << rows_ << 'x'
+                            << cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  const T& at(int r, int c) const {
+    TFACC_CHECK_ARG_MSG(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                        "(" << r << ',' << c << ") out of " << rows_ << 'x'
+                            << cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  /// Unchecked element access for inner loops (bounds are loop invariants).
+  T& operator()(int r, int c) {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  const T& operator()(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T* row(int r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+  const T* row(int r) const {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+
+  void fill(T v) { data_.assign(data_.size(), v); }
+
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  /// Copy a rectangular block [r0, r0+h) × [c0, c0+w) into a new matrix.
+  Matrix block(int r0, int c0, int h, int w) const {
+    TFACC_CHECK_ARG(r0 >= 0 && c0 >= 0 && h >= 0 && w >= 0);
+    TFACC_CHECK_ARG_MSG(r0 + h <= rows_ && c0 + w <= cols_,
+                        "block (" << r0 << ',' << c0 << ")+" << h << 'x' << w
+                                  << " out of " << rows_ << 'x' << cols_);
+    Matrix out(h, w);
+    for (int r = 0; r < h; ++r)
+      for (int c = 0; c < w; ++c) out(r, c) = (*this)(r0 + r, c0 + c);
+    return out;
+  }
+
+  /// Write `src` into this matrix at offset (r0, c0).
+  void set_block(int r0, int c0, const Matrix& src) {
+    TFACC_CHECK_ARG(r0 >= 0 && c0 >= 0);
+    TFACC_CHECK_ARG_MSG(r0 + src.rows() <= rows_ && c0 + src.cols() <= cols_,
+                        "set_block overflows destination");
+    for (int r = 0; r < src.rows(); ++r)
+      for (int c = 0; c < src.cols(); ++c)
+        (*this)(r0 + r, c0 + c) = src(r, c);
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatF = Matrix<float>;
+using MatI8 = Matrix<std::int8_t>;
+using MatI16 = Matrix<std::int16_t>;
+using MatI32 = Matrix<std::int32_t>;
+
+}  // namespace tfacc

@@ -1,0 +1,478 @@
+#include "train/trainer.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/ops.hpp"
+
+namespace tfacc {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parameter enumeration: weights_/grads_/adam_m_/adam_v_ are four structurally
+// identical TransformerWeights; enumerating their flat buffers in the same
+// order yields parallel parameter lists for the optimizer.
+// ---------------------------------------------------------------------------
+
+struct FlatParam {
+  float* data;
+  std::size_t size;
+};
+
+void push(std::vector<FlatParam>& out, MatF& m) {
+  out.push_back({m.data(), m.size()});
+}
+void push(std::vector<FlatParam>& out, std::vector<float>& v) {
+  out.push_back({v.data(), v.size()});
+}
+
+void collect_mha(std::vector<FlatParam>& out, MhaWeights& w) {
+  for (auto& head : w.heads) {
+    push(out, head.wq);
+    push(out, head.bq);
+    push(out, head.wk);
+    push(out, head.bk);
+    push(out, head.wv);
+    push(out, head.bv);
+  }
+  push(out, w.wg);
+  push(out, w.bg);
+  push(out, w.norm.gamma);
+  push(out, w.norm.beta);
+}
+
+void collect_ffn(std::vector<FlatParam>& out, FfnWeights& w) {
+  push(out, w.w1);
+  push(out, w.b1);
+  push(out, w.w2);
+  push(out, w.b2);
+  push(out, w.norm.gamma);
+  push(out, w.norm.beta);
+}
+
+std::vector<FlatParam> collect(TransformerWeights& w) {
+  std::vector<FlatParam> out;
+  push(out, w.src_embedding);
+  push(out, w.tgt_embedding);
+  push(out, w.output_projection);
+  for (auto& layer : w.encoder_layers) {
+    collect_mha(out, layer.mha);
+    collect_ffn(out, layer.ffn);
+  }
+  for (auto& layer : w.decoder_layers) {
+    collect_mha(out, layer.self_mha);
+    collect_mha(out, layer.cross_mha);
+    collect_ffn(out, layer.ffn);
+  }
+  return out;
+}
+
+void zero_params(TransformerWeights& w) {
+  for (auto& p : collect(w)) std::memset(p.data, 0, p.size * sizeof(float));
+}
+
+// ---------------------------------------------------------------------------
+// Layer forward/backward with explicit caches. Gradients accumulate (+=)
+// into grad containers that mirror the weight containers.
+// ---------------------------------------------------------------------------
+
+struct LnCache {
+  MatF xhat;                    // normalized activations
+  std::vector<float> inv_sigma; // per-row 1/sqrt(var+eps)
+};
+
+constexpr float kLnEps = 1e-8f;
+
+MatF ln_fwd(const MatF& x, const LayerNormParams& p, LnCache& c) {
+  const int n = x.cols();
+  c.xhat = MatF(x.rows(), n);
+  c.inv_sigma.assign(static_cast<std::size_t>(x.rows()), 0.0f);
+  MatF y(x.rows(), n);
+  for (int r = 0; r < x.rows(); ++r) {
+    double mean = 0.0;
+    for (int j = 0; j < n; ++j) mean += x(r, j);
+    mean /= n;
+    double var = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double d = x(r, j) - mean;
+      var += d * d;
+    }
+    var /= n;
+    const float inv = static_cast<float>(1.0 / std::sqrt(var + kLnEps));
+    c.inv_sigma[static_cast<std::size_t>(r)] = inv;
+    for (int j = 0; j < n; ++j) {
+      const float xh = (x(r, j) - static_cast<float>(mean)) * inv;
+      c.xhat(r, j) = xh;
+      y(r, j) = xh * p.gamma[static_cast<std::size_t>(j)] +
+                p.beta[static_cast<std::size_t>(j)];
+    }
+  }
+  return y;
+}
+
+MatF ln_bwd(const MatF& dy, const LayerNormParams& p, const LnCache& c,
+            LayerNormParams& g) {
+  const int n = dy.cols();
+  MatF dx(dy.rows(), n);
+  for (int r = 0; r < dy.rows(); ++r) {
+    double mean_dxhat = 0.0, mean_dxhat_xhat = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const float dxh = dy(r, j) * p.gamma[static_cast<std::size_t>(j)];
+      mean_dxhat += dxh;
+      mean_dxhat_xhat += static_cast<double>(dxh) * c.xhat(r, j);
+      g.gamma[static_cast<std::size_t>(j)] += dy(r, j) * c.xhat(r, j);
+      g.beta[static_cast<std::size_t>(j)] += dy(r, j);
+    }
+    mean_dxhat /= n;
+    mean_dxhat_xhat /= n;
+    const float inv = c.inv_sigma[static_cast<std::size_t>(r)];
+    for (int j = 0; j < n; ++j) {
+      const float dxh = dy(r, j) * p.gamma[static_cast<std::size_t>(j)];
+      dx(r, j) = inv * (dxh - static_cast<float>(mean_dxhat) -
+                        c.xhat(r, j) * static_cast<float>(mean_dxhat_xhat));
+    }
+  }
+  return dx;
+}
+
+struct HeadCache {
+  MatF q1, k1, v1;
+  MatF probs;
+  float tau = 1.0f;
+};
+
+MatF head_fwd(const MatF& q, const MatF& kv, const HeadWeights& w,
+              const Mask& mask, HeadCache& c) {
+  c.q1 = add_bias(gemm(q, w.wq), w.bq);
+  c.k1 = add_bias(gemm(kv, w.wk), w.bk);
+  c.v1 = add_bias(gemm(kv, w.wv), w.bv);
+  c.tau = std::sqrt(static_cast<float>(c.q1.cols()));
+  const MatF scores = gemm_nt(c.q1, c.k1);
+  c.probs = scaled_masked_softmax(scores, mask, c.tau);
+  return gemm(c.probs, c.v1);
+}
+
+void head_bwd(const MatF& dout, const MatF& q, const MatF& kv,
+              const HeadWeights& w, const Mask& mask, const HeadCache& c,
+              HeadWeights& g, MatF& dq, MatF& dkv) {
+  const MatF dprobs = gemm_nt(dout, c.v1);
+  const MatF dv1 = gemm_tn(c.probs, dout);
+
+  // Softmax backward, row-wise; masked / fully-masked entries have probs 0,
+  // which already zeroes their gradient contribution.
+  MatF dscores(dprobs.rows(), dprobs.cols());
+  for (int r = 0; r < dprobs.rows(); ++r) {
+    double dot = 0.0;
+    for (int j = 0; j < dprobs.cols(); ++j)
+      dot += static_cast<double>(dprobs(r, j)) * c.probs(r, j);
+    for (int j = 0; j < dprobs.cols(); ++j) {
+      const float v = mask(r, j) != 0
+                          ? 0.0f
+                          : c.probs(r, j) *
+                                (dprobs(r, j) - static_cast<float>(dot));
+      dscores(r, j) = v / c.tau;
+    }
+  }
+
+  const MatF dq1 = gemm(dscores, c.k1);
+  const MatF dk1 = gemm_tn(dscores, c.q1);
+
+  accumulate(g.wq, gemm_tn(q, dq1));
+  accumulate(g.bq, col_sums(dq1));
+  accumulate(g.wk, gemm_tn(kv, dk1));
+  accumulate(g.bk, col_sums(dk1));
+  accumulate(g.wv, gemm_tn(kv, dv1));
+  accumulate(g.bv, col_sums(dv1));
+  accumulate(dq, gemm_nt(dq1, w.wq));
+  accumulate(dkv, gemm_nt(dk1, w.wk));
+  accumulate(dkv, gemm_nt(dv1, w.wv));
+}
+
+struct MhaCache {
+  MatF q, kv;
+  Mask mask{0, 0};
+  std::vector<HeadCache> heads;
+  MatF p_concat;
+  LnCache ln;
+};
+
+MatF mha_fwd(const MatF& q, const MatF& kv, const MhaWeights& w,
+             const Mask& mask, MhaCache& c) {
+  c.q = q;
+  c.kv = kv;
+  c.mask = mask;
+  c.heads.assign(w.heads.size(), HeadCache{});
+  std::vector<MatF> outs;
+  outs.reserve(w.heads.size());
+  for (std::size_t h = 0; h < w.heads.size(); ++h)
+    outs.push_back(head_fwd(q, kv, w.heads[h], mask, c.heads[h]));
+  c.p_concat = hconcat(outs);
+  const MatF gmat = add(q, add_bias(gemm(c.p_concat, w.wg), w.bg));
+  return ln_fwd(gmat, w.norm, c.ln);
+}
+
+/// dq and dkv accumulate; they may alias (self-attention).
+void mha_bwd(const MatF& dy, const MhaWeights& w, const MhaCache& c,
+             MhaWeights& g, MatF& dq, MatF& dkv) {
+  const MatF dg = ln_bwd(dy, w.norm, c.ln, g.norm);
+  accumulate(dq, dg);  // residual path
+  const MatF dp = gemm_nt(dg, w.wg);
+  accumulate(g.wg, gemm_tn(c.p_concat, dg));
+  accumulate(g.bg, col_sums(dg));
+  const int hd = w.heads.front().wq.cols();
+  for (std::size_t h = 0; h < w.heads.size(); ++h) {
+    const MatF dout =
+        dp.block(0, static_cast<int>(h) * hd, dp.rows(), hd);
+    head_bwd(dout, c.q, c.kv, w.heads[h], c.mask, c.heads[h], g.heads[h], dq,
+             dkv);
+  }
+}
+
+struct FfnCache {
+  MatF x;
+  MatF pre1;    // x·W1 + b1 (pre-ReLU)
+  MatF hidden;  // ReLU(pre1)
+  LnCache ln;
+};
+
+MatF ffn_fwd(const MatF& x, const FfnWeights& w, FfnCache& c) {
+  c.x = x;
+  c.pre1 = add_bias(gemm(x, w.w1), w.b1);
+  c.hidden = relu(c.pre1);
+  const MatF gmat = add(x, add_bias(gemm(c.hidden, w.w2), w.b2));
+  return ln_fwd(gmat, w.norm, c.ln);
+}
+
+void ffn_bwd(const MatF& dy, const FfnWeights& w, const FfnCache& c,
+             FfnWeights& g, MatF& dx) {
+  const MatF dg = ln_bwd(dy, w.norm, c.ln, g.norm);
+  accumulate(dx, dg);  // residual path
+  MatF dhidden = gemm_nt(dg, w.w2);
+  accumulate(g.w2, gemm_tn(c.hidden, dg));
+  accumulate(g.b2, col_sums(dg));
+  for (int r = 0; r < dhidden.rows(); ++r)
+    for (int j = 0; j < dhidden.cols(); ++j)
+      if (c.pre1(r, j) <= 0.0f) dhidden(r, j) = 0.0f;
+  accumulate(dx, gemm_nt(dhidden, w.w1));
+  accumulate(g.w1, gemm_tn(c.x, dhidden));
+  accumulate(g.b1, col_sums(dhidden));
+}
+
+MatF embed_fwd(const TokenSeq& tokens, const MatF& embedding, const MatF& pe,
+               int d_model) {
+  const float scale = std::sqrt(static_cast<float>(d_model));
+  MatF out(static_cast<int>(tokens.size()), d_model);
+  for (int r = 0; r < out.rows(); ++r) {
+    const int id = tokens[static_cast<std::size_t>(r)];
+    for (int c = 0; c < d_model; ++c)
+      out(r, c) = embedding(id, c) * scale + pe(r, c);
+  }
+  return out;
+}
+
+void embed_bwd(const TokenSeq& tokens, const MatF& dx, int d_model,
+               MatF& dembedding) {
+  const float scale = std::sqrt(static_cast<float>(d_model));
+  for (int r = 0; r < dx.rows(); ++r) {
+    const int id = tokens[static_cast<std::size_t>(r)];
+    for (int c = 0; c < d_model; ++c)
+      dembedding(id, c) += dx(r, c) * scale;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Trainer
+// ---------------------------------------------------------------------------
+
+struct Trainer::ForwardState {
+  TokenSeq src, tgt_in, labels;
+  Mask enc_mask{0, 0}, self_mask{0, 0}, cross_mask{0, 0};
+  MatF src_x;  // encoder input embedding (cached for embed_bwd)
+  MatF tgt_x;
+  struct EncCache {
+    MhaCache mha;
+    FfnCache ffn;
+  };
+  struct DecCache {
+    MhaCache self, cross;
+    FfnCache ffn;
+  };
+  std::vector<EncCache> enc;
+  std::vector<DecCache> dec;
+  MatF memory;
+  MatF dec_out;
+  MatF probs;  // row-softmaxed logits
+  MatF pe;     // positional encoding, sized to the longest sequence
+};
+
+Trainer::Trainer(TransformerWeights weights, AdamConfig adam)
+    : weights_(std::move(weights)),
+      grads_(weights_),
+      adam_m_(weights_),
+      adam_v_(weights_),
+      adam_(adam),
+      state_(std::make_unique<ForwardState>()) {
+  weights_.config.validate();
+  zero_params(grads_);
+  zero_params(adam_m_);
+  zero_params(adam_v_);
+}
+
+Trainer::~Trainer() = default;
+
+float Trainer::forward(const SentencePair& pair) {
+  TFACC_CHECK_ARG(!pair.source.empty() && !pair.reference.empty());
+  ForwardState& st = *state_;
+  st.src = pair.source;
+  st.tgt_in.assign(1, kBosId);
+  st.tgt_in.insert(st.tgt_in.end(), pair.reference.begin(),
+                   pair.reference.end());
+  st.labels = pair.reference;
+  st.labels.push_back(kEosId);
+
+  const int d_model = weights_.config.d_model;
+  const int s = static_cast<int>(st.src.size());
+  const int t = static_cast<int>(st.tgt_in.size());
+  st.pe = positional_encoding(std::max(s, t), d_model);
+  st.enc_mask = no_mask(s, s);
+  st.self_mask = causal_mask(t);
+  st.cross_mask = no_mask(t, s);
+
+  // Encoder.
+  st.src_x = embed_fwd(st.src, weights_.src_embedding, st.pe, d_model);
+  st.enc.assign(weights_.encoder_layers.size(), ForwardState::EncCache{});
+  MatF x = st.src_x;
+  for (std::size_t l = 0; l < weights_.encoder_layers.size(); ++l) {
+    const auto& lw = weights_.encoder_layers[l];
+    x = mha_fwd(x, x, lw.mha, st.enc_mask, st.enc[l].mha);
+    x = ffn_fwd(x, lw.ffn, st.enc[l].ffn);
+  }
+  st.memory = x;
+
+  // Decoder (teacher forcing).
+  st.tgt_x = embed_fwd(st.tgt_in, weights_.tgt_embedding, st.pe, d_model);
+  st.dec.assign(weights_.decoder_layers.size(), ForwardState::DecCache{});
+  MatF y = st.tgt_x;
+  for (std::size_t l = 0; l < weights_.decoder_layers.size(); ++l) {
+    const auto& lw = weights_.decoder_layers[l];
+    y = mha_fwd(y, y, lw.self_mha, st.self_mask, st.dec[l].self);
+    y = mha_fwd(y, st.memory, lw.cross_mha, st.cross_mask, st.dec[l].cross);
+    y = ffn_fwd(y, lw.ffn, st.dec[l].ffn);
+  }
+  st.dec_out = y;
+
+  // Cross-entropy over the vocabulary at every target position.
+  const MatF logits = gemm(st.dec_out, weights_.output_projection);
+  st.probs = MatF(logits.rows(), logits.cols());
+  double loss = 0.0;
+  for (int r = 0; r < logits.rows(); ++r) {
+    float mx = logits(r, 0);
+    for (int j = 1; j < logits.cols(); ++j) mx = std::max(mx, logits(r, j));
+    double sum = 0.0;
+    for (int j = 0; j < logits.cols(); ++j)
+      sum += std::exp(static_cast<double>(logits(r, j)) - mx);
+    for (int j = 0; j < logits.cols(); ++j)
+      st.probs(r, j) = static_cast<float>(
+          std::exp(static_cast<double>(logits(r, j)) - mx) / sum);
+    const int label = st.labels[static_cast<std::size_t>(r)];
+    loss -= std::log(
+        std::max(1e-30, static_cast<double>(st.probs(r, label))));
+  }
+  return static_cast<float>(loss / logits.rows());
+}
+
+void Trainer::backward() {
+  ForwardState& st = *state_;
+  const int d_model = weights_.config.d_model;
+  const int t = st.probs.rows();
+
+  // dLogits = (softmax − onehot) / T.
+  MatF dlogits = st.probs;
+  for (int r = 0; r < t; ++r) {
+    dlogits(r, st.labels[static_cast<std::size_t>(r)]) -= 1.0f;
+    for (int j = 0; j < dlogits.cols(); ++j) dlogits(r, j) /= t;
+  }
+
+  MatF dy = gemm_nt(dlogits, weights_.output_projection);
+  // Qualified: the member Trainer::accumulate would otherwise hide the
+  // namespace-scope matrix accumulate.
+  ::tfacc::accumulate(grads_.output_projection, gemm_tn(st.dec_out, dlogits));
+
+  MatF dmemory(st.memory.rows(), d_model);
+  for (std::size_t li = weights_.decoder_layers.size(); li-- > 0;) {
+    const auto& lw = weights_.decoder_layers[li];
+    auto& lg = grads_.decoder_layers[li];
+    auto& cache = st.dec[li];
+    MatF dffn_in(dy.rows(), d_model);
+    ffn_bwd(dy, lw.ffn, cache.ffn, lg.ffn, dffn_in);
+    MatF dcross_in(dy.rows(), d_model);
+    mha_bwd(dffn_in, lw.cross_mha, cache.cross, lg.cross_mha, dcross_in,
+            dmemory);
+    MatF dself_in(dy.rows(), d_model);
+    mha_bwd(dcross_in, lw.self_mha, cache.self, lg.self_mha, dself_in,
+            dself_in);
+    dy = std::move(dself_in);
+  }
+  embed_bwd(st.tgt_in, dy, d_model, grads_.tgt_embedding);
+
+  MatF dx = std::move(dmemory);
+  for (std::size_t li = weights_.encoder_layers.size(); li-- > 0;) {
+    const auto& lw = weights_.encoder_layers[li];
+    auto& lg = grads_.encoder_layers[li];
+    auto& cache = st.enc[li];
+    MatF dffn_in(dx.rows(), d_model);
+    ffn_bwd(dx, lw.ffn, cache.ffn, lg.ffn, dffn_in);
+    MatF dmha_in(dx.rows(), d_model);
+    mha_bwd(dffn_in, lw.mha, cache.mha, lg.mha, dmha_in, dmha_in);
+    dx = std::move(dmha_in);
+  }
+  embed_bwd(st.src, dx, d_model, grads_.src_embedding);
+}
+
+float Trainer::accumulate(const SentencePair& pair) {
+  const float loss = forward(pair);
+  backward();
+  return loss;
+}
+
+void Trainer::step(int count) {
+  TFACC_CHECK_ARG(count > 0);
+  ++adam_t_;
+  const auto w = collect(weights_);
+  const auto g = collect(grads_);
+  const auto m = collect(adam_m_);
+  const auto v = collect(adam_v_);
+  const double bc1 = 1.0 - std::pow(adam_.beta1, adam_t_);
+  const double bc2 = 1.0 - std::pow(adam_.beta2, adam_t_);
+  for (std::size_t p = 0; p < w.size(); ++p) {
+    TFACC_CHECK(w[p].size == g[p].size);
+    for (std::size_t i = 0; i < w[p].size; ++i) {
+      const float grad = g[p].data[i] / static_cast<float>(count);
+      m[p].data[i] = adam_.beta1 * m[p].data[i] + (1 - adam_.beta1) * grad;
+      v[p].data[i] =
+          adam_.beta2 * v[p].data[i] + (1 - adam_.beta2) * grad * grad;
+      const double mhat = m[p].data[i] / bc1;
+      const double vhat = v[p].data[i] / bc2;
+      w[p].data[i] -= static_cast<float>(adam_.lr * mhat /
+                                         (std::sqrt(vhat) + adam_.eps));
+    }
+  }
+  zero_params(grads_);
+}
+
+float Trainer::train_batch(const std::vector<SentencePair>& batch) {
+  TFACC_CHECK_ARG(!batch.empty());
+  float loss = 0.0f;
+  for (const auto& pair : batch) loss += accumulate(pair);
+  step(static_cast<int>(batch.size()));
+  return loss / static_cast<float>(batch.size());
+}
+
+float Trainer::evaluate_loss(const SentencePair& pair) {
+  return forward(pair);
+}
+
+}  // namespace tfacc

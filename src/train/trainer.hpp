@@ -1,0 +1,75 @@
+// Training for the reference Transformer: explicit (hand-derived) backprop
+// through every layer, cross-entropy loss with teacher forcing, and Adam.
+//
+// This substrate exists so the Section V.A experiment (quantization impact on
+// translation BLEU) can run on a model that genuinely translates: the paper
+// used a Transformer-base trained on IWSLT'16 De-En; we train a small
+// configuration on the synthetic task of src/nlp (see DESIGN.md §4).
+//
+// The forward pass mirrors reference/transformer.cpp exactly (tested against
+// it); gradients are verified by finite differences in the test suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nlp/synthetic.hpp"
+#include "reference/transformer.hpp"
+#include "reference/weights.hpp"
+
+namespace tfacc {
+
+/// Adam hyper-parameters.
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.98f;
+  float eps = 1e-9f;
+};
+
+class Trainer {
+ public:
+  Trainer(TransformerWeights weights, AdamConfig adam = {});
+  ~Trainer();  // out of line: ForwardState is an incomplete type here
+
+  const TransformerWeights& weights() const { return weights_; }
+  /// Move the trained weights out (the trainer is finished afterwards).
+  TransformerWeights take_weights() { return std::move(weights_); }
+
+  /// Forward + backward of one (source, reference) pair with teacher
+  /// forcing; gradients accumulate. Returns the mean token cross-entropy.
+  float accumulate(const SentencePair& pair);
+
+  /// Apply Adam with the accumulated gradients (scaled by 1/count) and
+  /// clear them. `count` is the number of accumulate() calls in the batch.
+  void step(int count);
+
+  /// Convenience: one optimizer step over a batch; returns the mean loss.
+  float train_batch(const std::vector<SentencePair>& batch);
+
+  /// Teacher-forced mean token cross-entropy without touching gradients.
+  float evaluate_loss(const SentencePair& pair);
+
+  /// Loss-only forward used by the finite-difference gradient check.
+  float forward_loss_only(const SentencePair& pair) { return forward(pair); }
+
+  /// Accumulated gradients (structurally identical to weights());
+  /// exposed for the finite-difference checks in the test suite.
+  const TransformerWeights& gradients() const { return grads_; }
+
+ private:
+  float forward(const SentencePair& pair);  // fills caches_
+  void backward();                          // consumes caches_, fills grads_
+
+  TransformerWeights weights_;
+  TransformerWeights grads_;
+  TransformerWeights adam_m_;
+  TransformerWeights adam_v_;
+  AdamConfig adam_;
+  long adam_t_ = 0;
+
+  struct ForwardState;  // defined in trainer.cpp
+  std::unique_ptr<ForwardState> state_;
+};
+
+}  // namespace tfacc

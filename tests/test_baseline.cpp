@@ -1,0 +1,129 @@
+// Tests for the A³-style approximate-attention baseline and the Gantt
+// renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baseline/a3.hpp"
+#include "sim/gantt.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/ops.hpp"
+
+namespace tfacc {
+namespace {
+
+TEST(A3, LargeBudgetConvergesToExactAttention) {
+  Rng rng(1);
+  const int s = 16, d = 8;
+  MatF q(s, d), k(s, d), v(s, d);
+  fill_normal(q, rng, 0, 1);
+  fill_normal(k, rng, 0, 1);
+  fill_normal(v, rng, 0, 1);
+  const Mask mask = no_mask(s, s);
+  A3Config cfg;
+  cfg.search_iterations = s * d;  // enough to touch every key
+  const A3Result res = a3_attention(q, k, v, mask, cfg);
+  EXPECT_EQ(res.mean_candidates, static_cast<double>(s));
+  EXPECT_LT(max_abs_diff(res.output, attention_head(q, k, v, mask)), 1e-4);
+  EXPECT_NEAR(res.score_macs_saved, 0.0, 1e-9);
+}
+
+TEST(A3, FidelityImprovesWithBudget) {
+  Rng rng(2);
+  const int s = 32, d = 16;
+  MatF q(s, d), k(s, d), v(s, d);
+  fill_normal(q, rng, 0, 1);
+  fill_normal(k, rng, 0, 1);
+  fill_normal(v, rng, 0, 1);
+  const Mask mask = no_mask(s, s);
+  const MatF exact = attention_head(q, k, v, mask);
+  double prev = -1.0;
+  for (int iters : {4, 32, 512}) {
+    A3Config cfg;
+    cfg.search_iterations = iters;
+    const double cos =
+        cosine_similarity(exact, a3_attention(q, k, v, mask, cfg).output);
+    EXPECT_GE(cos, prev - 0.02) << iters;  // near-monotone in budget
+    prev = cos;
+  }
+  EXPECT_GT(prev, 0.999);
+}
+
+TEST(A3, SmallBudgetSkipsMostScoreMacs) {
+  Rng rng(3);
+  const int s = 64, d = 64;
+  MatF q(s, d), k(s, d), v(s, d);
+  fill_normal(q, rng, 0, 1);
+  fill_normal(k, rng, 0, 1);
+  fill_normal(v, rng, 0, 1);
+  A3Config cfg;
+  cfg.search_iterations = 8;
+  const A3Result res = a3_attention(q, k, v, no_mask(s, s), cfg);
+  EXPECT_LE(res.mean_candidates, 8.0);
+  EXPECT_GT(res.score_macs_saved, 0.85);
+}
+
+TEST(A3, MaskedKeysAreNeverCandidates) {
+  Rng rng(4);
+  const int s = 12, d = 8;
+  MatF x(s, d), k(s, d), v(s, d);
+  fill_normal(x, rng, 0, 1);
+  fill_normal(k, rng, 0, 1);
+  fill_normal(v, rng, 0, 1);
+  const Mask mask = causal_mask(s);
+  A3Config cfg;
+  cfg.search_iterations = s * d;
+  const A3Result res = a3_attention(x, k, v, mask, cfg);
+  const MatF exact = attention_head(x, k, v, mask);
+  // Row 0 attends only to key 0 in both.
+  for (int c = 0; c < d; ++c) EXPECT_NEAR(res.output(0, c), v(0, c), 1e-4);
+  EXPECT_LT(max_abs_diff(res.output, exact), 1e-4);
+}
+
+TEST(A3, FullyMaskedRowYieldsZeros) {
+  MatF q(1, 4), k(2, 4), v(2, 4);
+  q.fill(1.0f);
+  k.fill(1.0f);
+  v.fill(5.0f);
+  Mask mask(1, 2);
+  mask(0, 0) = mask(0, 1) = 1;
+  const A3Result res = a3_attention(q, k, v, mask, A3Config{});
+  EXPECT_EQ(res.output(0, 0), 0.0f);
+  EXPECT_EQ(res.mean_candidates, 0.0);
+}
+
+TEST(A3, CycleModelScalesWithBudgetAndRows) {
+  A3Config cfg;
+  cfg.search_iterations = 32;
+  const auto base = a3_attention_cycles(64, 64, 64, 16.0, cfg);
+  EXPECT_GT(a3_attention_cycles(128, 64, 64, 16.0, cfg), base);
+  cfg.search_iterations = 64;
+  EXPECT_GT(a3_attention_cycles(64, 64, 64, 16.0, cfg), base);
+  A3Config bad;
+  bad.search_iterations = 0;
+  EXPECT_THROW(bad.validate(), CheckError);
+}
+
+TEST(Gantt, RendersBusyAndIdleColumns) {
+  Timeline tl;
+  tl.module("SA").reserve(0, 50, "a");
+  tl.module("LayerNorm").reserve(50, 50, "b");
+  std::ostringstream os;
+  render_gantt(tl, os, 10);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("SA"), std::string::npos);
+  EXPECT_NE(text.find("LayerNorm"), std::string::npos);
+  // SA busy in the first half, idle in the second; LayerNorm mirrored.
+  EXPECT_NE(text.find("#####"), std::string::npos);
+  EXPECT_NE(text.find("....."), std::string::npos);
+}
+
+TEST(Gantt, EmptyTimelineHandled) {
+  Timeline tl;
+  std::ostringstream os;
+  render_gantt(tl, os);
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tfacc

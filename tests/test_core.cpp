@@ -1,0 +1,278 @@
+// Tests for the accelerator core: bit-exactness against the quantized
+// functional models, cycle-count regression at the paper's design point,
+// the softmax-overlap invariant, and the Fig. 7 LayerNorm strategies.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "quant/qresblock.hpp"
+#include "reference/functional.hpp"
+#include "tensor/ops.hpp"
+
+namespace tfacc {
+namespace {
+
+ModelConfig hw_config() {
+  ModelConfig cfg;
+  cfg.name = "hw-test";
+  cfg.d_model = 128;
+  cfg.d_ff = 512;
+  cfg.num_heads = 2;
+  cfg.head_dim = 64;
+  return cfg;
+}
+
+MhaQuantized build_mha(const ModelConfig& cfg, Rng& rng, int s,
+                       SoftmaxImpl impl, const Mask& mask) {
+  const MhaWeights w = MhaWeights::random(cfg, rng);
+  MhaQuantized::Calibration calib;
+  for (int i = 0; i < 2; ++i) {
+    MatF q(s, cfg.d_model), kv(mask.cols(), cfg.d_model);
+    fill_normal(q, rng, 0, 1);
+    fill_normal(kv, rng, 0, 1);
+    calib.q.push_back(q);
+    calib.kv.push_back(kv);
+    calib.mask.push_back(mask);
+  }
+  return MhaQuantized::build(w, calib, impl);
+}
+
+FfnQuantized build_ffn(const ModelConfig& cfg, Rng& rng, int s) {
+  const FfnWeights w = FfnWeights::random(cfg, rng);
+  std::vector<MatF> samples;
+  for (int i = 0; i < 2; ++i) {
+    MatF x(s, cfg.d_model);
+    fill_normal(x, rng, 0, 1);
+    samples.push_back(x);
+  }
+  return FfnQuantized::build(w, samples);
+}
+
+class AcceleratorBitExact : public ::testing::TestWithParam<SoftmaxImpl> {};
+
+TEST_P(AcceleratorBitExact, MhaMatchesQuantizedModelBitForBit) {
+  const ModelConfig cfg = hw_config();
+  Rng rng(1);
+  const int s = 16;
+  const Mask mask = no_mask(s, s);
+  const auto qm = build_mha(cfg, rng, s, GetParam(), mask);
+  MatF q(s, cfg.d_model), kv(s, cfg.d_model);
+  fill_normal(q, rng, 0, 1);
+  fill_normal(kv, rng, 0, 1);
+  const MatI8 qi = qm.quantize_q(q), kvi = qm.quantize_kv(kv);
+
+  Accelerator acc;
+  const auto result = acc.run_mha(qm, qi, kvi, mask);
+  EXPECT_EQ(result.out, qm.forward(qi, kvi, mask));
+}
+
+TEST_P(AcceleratorBitExact, MhaCrossAttentionShapes) {
+  // Decoder cross-attention: query length != key/value length.
+  const ModelConfig cfg = hw_config();
+  Rng rng(2);
+  const int s_q = 5, s_kv = 24;
+  const Mask mask = no_mask(s_q, s_kv);
+  const auto qm = build_mha(cfg, rng, s_q, GetParam(), mask);
+  MatF q(s_q, cfg.d_model), kv(s_kv, cfg.d_model);
+  fill_normal(q, rng, 0, 1);
+  fill_normal(kv, rng, 0, 1);
+  const MatI8 qi = qm.quantize_q(q), kvi = qm.quantize_kv(kv);
+  Accelerator acc;
+  const auto result = acc.run_mha(qm, qi, kvi, mask);
+  EXPECT_EQ(result.out, qm.forward(qi, kvi, mask));
+  EXPECT_EQ(result.out.rows(), s_q);
+}
+
+TEST_P(AcceleratorBitExact, MhaLongSequenceUsesRowChunking) {
+  // s = 128 > SA rows: the Section III "partition the Q_i" path.
+  const ModelConfig cfg = hw_config();
+  Rng rng(3);
+  const int s = 128;
+  const Mask mask = causal_mask(s);
+  const auto qm = build_mha(cfg, rng, s, GetParam(), mask);
+  MatF x(s, cfg.d_model);
+  fill_normal(x, rng, 0, 1);
+  const MatI8 xi = qm.quantize_q(x), kvi = qm.quantize_kv(x);
+  Accelerator acc;
+  const auto result = acc.run_mha(qm, xi, kvi, mask);
+  EXPECT_EQ(result.out, qm.forward(xi, kvi, mask));
+}
+
+INSTANTIATE_TEST_SUITE_P(SoftmaxImpls, AcceleratorBitExact,
+                         ::testing::Values(SoftmaxImpl::kFloatExact,
+                                           SoftmaxImpl::kHardware));
+
+TEST(Accelerator, FfnMatchesQuantizedModelBitForBit) {
+  const ModelConfig cfg = hw_config();
+  Rng rng(4);
+  const int s = 16;
+  const auto qf = build_ffn(cfg, rng, s);
+  MatF x(s, cfg.d_model);
+  fill_normal(x, rng, 0, 1);
+  const MatI8 xi = qf.quantize_in(x);
+  Accelerator acc;
+  const auto result = acc.run_ffn(qf, xi);
+  EXPECT_EQ(result.out, qf.forward(xi));
+}
+
+// --- Cycle counts (Section V.B) ---------------------------------------------
+//
+// Paper: 21,344 cycles (MHA) and 42,099 cycles (FFN) at s = 64, batch 1.
+// The model reproduces 21,188 (-0.73%) and 40,516 (-3.76%) — pinned here as
+// regression values; EXPERIMENTS.md discusses the deltas.
+
+TEST(CycleCounts, MhaPaperDesignPoint) {
+  Accelerator acc;
+  const RunReport rep = acc.time_mha(64, 64, 512, 8);
+  EXPECT_EQ(rep.total_cycles, 21188);
+  EXPECT_NEAR(rep.microseconds(), 105.94, 0.01);
+  // Within 5% of the paper's 21,344.
+  EXPECT_NEAR(static_cast<double>(rep.total_cycles), 21344.0, 21344.0 * 0.05);
+}
+
+TEST(CycleCounts, FfnPaperDesignPoint) {
+  Accelerator acc;
+  const RunReport rep = acc.time_ffn(64, 512, 2048);
+  EXPECT_EQ(rep.total_cycles, 40516);
+  EXPECT_NEAR(rep.microseconds(), 202.58, 0.01);
+  EXPECT_NEAR(static_cast<double>(rep.total_cycles), 42099.0, 42099.0 * 0.05);
+}
+
+TEST(CycleCounts, SaStreamEqualsIdealMacCycles) {
+  // Pure streaming cycles = total MACs / (64·64 PEs): 17,408 for MHA,
+  // 32,768 for FFN at the paper design point.
+  Accelerator acc;
+  EXPECT_EQ(acc.time_mha(64, 64, 512, 8).sa_stream, 17408);
+  EXPECT_EQ(acc.time_ffn(64, 512, 2048).sa_stream, 32768);
+}
+
+TEST(CycleCounts, MonotonicInSequenceLength) {
+  Accelerator acc;
+  Cycle prev_mha = 0, prev_ffn = 0;
+  for (int s : {16, 32, 64, 128}) {
+    const Cycle mha = acc.time_mha(s, s, 512, 8).total_cycles;
+    const Cycle ffn = acc.time_ffn(s, 512, 2048).total_cycles;
+    EXPECT_GT(mha, prev_mha) << "s=" << s;
+    EXPECT_GT(ffn, prev_ffn) << "s=" << s;
+    prev_mha = mha;
+    prev_ffn = ffn;
+  }
+}
+
+TEST(CycleCounts, BiggerModelsTakeLonger) {
+  Accelerator acc;
+  const Cycle base = acc.time_mha(64, 64, 512, 8).total_cycles;
+  const Cycle big = acc.time_mha(64, 64, 1024, 16).total_cycles;
+  EXPECT_GT(big, 2 * base);  // 4× the MACs, ≥ 2× the cycles
+}
+
+// --- Softmax overlap (Algorithm 1 line 6) ------------------------------------
+
+TEST(SoftmaxOverlap, HiddenAtPaperDesignPoint) {
+  Accelerator acc;
+  const RunReport rep = acc.time_mha(64, 64, 512, 8);
+  EXPECT_TRUE(rep.softmax_hidden);
+  EXPECT_EQ(rep.softmax_slack_min, 436);  // V·W_V end − softmax end
+}
+
+TEST(SoftmaxOverlap, HiddenAcrossSequenceLengths) {
+  Accelerator acc;
+  for (int s : {8, 16, 32, 64, 128})
+    EXPECT_TRUE(acc.time_mha(s, s, 512, 8).softmax_hidden) << "s=" << s;
+}
+
+TEST(SoftmaxOverlap, DisablingOverlapCostsCycles) {
+  AcceleratorConfig cfg;
+  cfg.overlap_softmax = false;
+  const Cycle serial = Accelerator(cfg).time_mha(64, 64, 512, 8).total_cycles;
+  const Cycle overlapped = Accelerator().time_mha(64, 64, 512, 8).total_cycles;
+  EXPECT_GT(serial, overlapped);
+  // Each head serializes its softmax: ≥ h × softmax duration of extra wait.
+  EXPECT_GE(serial - overlapped, 8 * 100);
+}
+
+// --- LayerNorm strategies (Fig. 7) --------------------------------------------
+
+TEST(LayerNormStrategies, TailOrderingMatchesFig7) {
+  AcceleratorConfig cfg;
+  const int d = 512;
+  const Cycle two = LayerNormModule::tail_cycles(
+      cfg, LayerNormStrategy::kStepOneAndTwo, d);
+  const Cycle one =
+      LayerNormModule::tail_cycles(cfg, LayerNormStrategy::kStepOne, d);
+  const Cycle naive = LayerNormModule::tail_cycles(
+      cfg, LayerNormStrategy::kStraightforward, d);
+  EXPECT_LT(two, one);
+  EXPECT_LT(one, naive);
+  // Fig. 7: the straightforward way adds at least 2·64h cycles vs step 1+2.
+  EXPECT_EQ(naive - two, 2 * d);
+  EXPECT_EQ(one - two, d);
+}
+
+TEST(LayerNormStrategies, EndToEndLatencyFollowsStrategy) {
+  Cycle prev = 0;
+  for (auto strat : {LayerNormStrategy::kStepOneAndTwo,
+                     LayerNormStrategy::kStepOne,
+                     LayerNormStrategy::kStraightforward}) {
+    AcceleratorConfig cfg;
+    cfg.layernorm_strategy = strat;
+    const Cycle total = Accelerator(cfg).time_mha(64, 64, 512, 8).total_cycles;
+    EXPECT_GT(total, prev);
+    prev = total;
+  }
+}
+
+// --- Reports ------------------------------------------------------------------
+
+TEST(RunReport, UtilizationBoundsAndAccounting) {
+  Accelerator acc;
+  for (const RunReport& rep :
+       {acc.time_mha(64, 64, 512, 8), acc.time_ffn(64, 512, 2048)}) {
+    EXPECT_GT(rep.sa_utilization(), 0.85);  // "the SA hardly stops"
+    EXPECT_LE(rep.sa_utilization(), 1.0);
+    EXPECT_GT(rep.sa_mac_utilization(), 0.75);
+    EXPECT_LE(rep.sa_mac_utilization(), rep.sa_utilization());
+    EXPECT_LE(rep.sa_busy, rep.total_cycles);
+    EXPECT_GE(rep.exposed_weight_load, 0);
+  }
+}
+
+TEST(RunReport, ExposedLoadsOnlyForDynamicOperandsPlusInitial) {
+  Accelerator acc;
+  // MHA: 2 dynamic stationary operands per head (K₁ᵀ, V₁) plus the run's
+  // initial weight-tile load.
+  EXPECT_EQ(acc.time_mha(64, 64, 512, 8).exposed_weight_load, 16 * 64 + 64);
+  // FFN weights are all resident: only the initial load is exposed.
+  EXPECT_EQ(acc.time_ffn(64, 512, 2048).exposed_weight_load, 64);
+}
+
+TEST(RunReport, AccumulatorSpillOnlyForDeepChains) {
+  Accelerator acc;
+  // FFN W2 ops accumulate 32 tiles -> 3 spills × 128 × 8 ops.
+  EXPECT_EQ(acc.time_ffn(64, 512, 2048).accum_spill, 3 * 128 * 8);
+  EXPECT_EQ(acc.time_mha(64, 64, 512, 8).accum_spill, 0);
+}
+
+TEST(RunReport, TimelineCoversAllModules) {
+  const ModelConfig cfg = hw_config();
+  Rng rng(5);
+  const int s = 8;
+  const Mask mask = no_mask(s, s);
+  const auto qm = build_mha(cfg, rng, s, SoftmaxImpl::kHardware, mask);
+  MatF q(s, cfg.d_model);
+  fill_normal(q, rng, 0, 1);
+  Accelerator acc;
+  const auto result = acc.run_mha(qm, qm.quantize_q(q), qm.quantize_kv(q),
+                                  mask);
+  bool has_sa = false, has_sm = false, has_ln = false;
+  for (const auto& m : result.report.timeline.modules()) {
+    if (m.name() == "SA") has_sa = !m.intervals().empty();
+    if (m.name() == "Softmax") has_sm = !m.intervals().empty();
+    if (m.name() == "LayerNorm") has_ln = !m.intervals().empty();
+  }
+  EXPECT_TRUE(has_sa);
+  EXPECT_TRUE(has_sm);
+  EXPECT_TRUE(has_ln);
+}
+
+}  // namespace
+}  // namespace tfacc

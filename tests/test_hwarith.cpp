@@ -1,0 +1,304 @@
+// Tests for the bit-accurate hardware arithmetic: EXP/LN units (Fig. 6),
+// the log-sum-exp softmax datapath, the rsqrt LUT, and the LayerNorm unit
+// (Fig. 8). Accuracy sweeps are parameterized.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hwarith/exp_ln.hpp"
+#include "hwarith/layernorm_unit.hpp"
+#include "hwarith/rsqrt_lut.hpp"
+#include "hwarith/softmax_unit.hpp"
+#include "quant/quantizer.hpp"
+#include "reference/functional.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/ops.hpp"
+
+namespace tfacc {
+namespace {
+
+// --- EXP unit ---------------------------------------------------------------
+
+TEST(ExpUnit, ExactAtZero) { EXPECT_EQ(hw::exp_unit_q10(0), 1 << 10); }
+
+TEST(ExpUnit, SaturatesToZeroBelowMinArg) {
+  EXPECT_EQ(hw::exp_unit_q10(hw::kExpMinArg), 0);
+  EXPECT_EQ(hw::exp_unit_q10(hw::kExpMinArg - 1000), 0);
+}
+
+TEST(ExpUnit, RejectsPositiveInput) {
+  EXPECT_THROW(hw::exp_unit_q10(1), CheckError);
+}
+
+TEST(ExpUnit, MonotonicNonDecreasing) {
+  int prev = -1;
+  for (std::int32_t x = hw::kExpMinArg; x <= 0; x += 7) {
+    const int y = hw::exp_unit_q10(x);
+    EXPECT_GE(y, prev) << "x=" << x;
+    prev = y;
+  }
+}
+
+class ExpUnitSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExpUnitSweep, TracksStdExp) {
+  const double x = GetParam();
+  const double got = hw::exp_unit(x);
+  const double expected = std::exp(x);
+  // Shift-add log2e + 4-segment PWL: ≤ ~1% relative + quantization floor.
+  EXPECT_NEAR(got, expected, expected * 0.012 + 1.5 / 1024.0) << "x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(Args, ExpUnitSweep,
+                         ::testing::Values(0.0, -0.1, -0.25, -0.5, -0.7,
+                                           -1.0, -1.5, -2.0, -3.0, -4.5,
+                                           -6.0, -8.0, -10.0, -12.0, -15.0));
+
+// --- LN unit ----------------------------------------------------------------
+
+TEST(LnUnit, ExactAtOne) { EXPECT_EQ(hw::ln_unit_q10(1 << 10), 0); }
+
+TEST(LnUnit, RejectsBelowOne) {
+  EXPECT_THROW(hw::ln_unit_q10((1 << 10) - 1), CheckError);
+}
+
+class LnUnitSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LnUnitSweep, TracksStdLog) {
+  const double v = GetParam();
+  const double got = hw::ln_unit(v);
+  const double expected = std::log(v);
+  EXPECT_NEAR(got, expected, 0.012 * std::max(1.0, expected) + 2.0 / 1024.0)
+      << "v=" << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Args, LnUnitSweep,
+                         ::testing::Values(1.0, 1.1, 1.5, 1.9, 2.0, 3.0, 4.0,
+                                           7.5, 16.0, 33.0, 64.0, 100.0,
+                                           1000.0, 65536.0));
+
+// --- rsqrt LUT ----------------------------------------------------------------
+
+TEST(RsqrtLut, RejectsNonPositive) {
+  EXPECT_THROW(hw::rsqrt_lut().lookup(0), CheckError);
+  EXPECT_THROW(hw::rsqrt_lut().lookup(-5), CheckError);
+}
+
+class RsqrtSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(RsqrtSweep, MulRsqrtTracksRealMath) {
+  const std::int64_t v = GetParam();
+  const std::int64_t x = 1'000'000;
+  const std::int64_t got = hw::rsqrt_lut().mul_rsqrt(x, v, 12);
+  const double expected = static_cast<double>(x) / std::sqrt(v) * 4096.0;
+  // 8 fractional index bits, no interpolation: ≤ ~0.4% relative error.
+  EXPECT_NEAR(static_cast<double>(got), expected,
+              std::abs(expected) * 0.004 + 1.0)
+      << "v=" << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Args, RsqrtSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 100, 1023, 1024,
+                                           999'999, 1'000'000'000,
+                                           123'456'789'012'345ll));
+
+// --- Softmax unit --------------------------------------------------------------
+
+MatF hw_softmax_as_float(const MatI32& d, const Mask& mask, double d_scale) {
+  const hw::SoftmaxUnit unit(d_scale);
+  return dequantize(unit(d, mask), QuantParams{hw::kProbScale});
+}
+
+TEST(SoftmaxUnit, MatchesFloatSoftmaxUnmasked) {
+  Rng rng(1);
+  MatI32 d(8, 64);
+  for (int r = 0; r < d.rows(); ++r)
+    for (int c = 0; c < d.cols(); ++c) d(r, c) = rng.uniform_int(-30000, 30000);
+  const double d_scale = 1.0 / 1024.0;
+  const MatF got = hw_softmax_as_float(d, no_mask(8, 64), d_scale);
+  const MatF ref = scaled_masked_softmax(
+      dequantize_i32(d, static_cast<float>(d_scale)), no_mask(8, 64), 8.0f);
+  // INT8 probabilities resolve 1/127 ≈ 0.0079; PWL adds ~1%.
+  EXPECT_LE(max_abs_diff(got, ref), 0.02);
+  EXPECT_GT(cosine_similarity(got, ref), 0.995);
+}
+
+TEST(SoftmaxUnit, RowsSumToApproximatelyOne) {
+  Rng rng(2);
+  MatI32 d(16, 32);
+  for (int r = 0; r < d.rows(); ++r)
+    for (int c = 0; c < d.cols(); ++c) d(r, c) = rng.uniform_int(-5000, 5000);
+  const MatF p = hw_softmax_as_float(d, no_mask(16, 32), 1.0 / 256.0);
+  for (int r = 0; r < p.rows(); ++r) {
+    double sum = 0;
+    for (int c = 0; c < p.cols(); ++c) sum += p(r, c);
+    EXPECT_NEAR(sum, 1.0, 0.08) << "row " << r;
+  }
+}
+
+TEST(SoftmaxUnit, MaskedPositionsAreExactlyZero) {
+  MatI32 d(2, 4);
+  d.fill(100);
+  Mask m(2, 4);
+  m(0, 1) = 1;
+  m(1, 0) = m(1, 2) = 1;
+  const hw::SoftmaxUnit unit(0.01);
+  const MatI8 p = unit(d, m);
+  EXPECT_EQ(p(0, 1), 0);
+  EXPECT_EQ(p(1, 0), 0);
+  EXPECT_EQ(p(1, 2), 0);
+  EXPECT_GT(p(0, 0), 0);
+}
+
+TEST(SoftmaxUnit, FullyMaskedRowIsAllZeros) {
+  MatI32 d(1, 3);
+  d.fill(5000);
+  Mask m(1, 3);
+  m(0, 0) = m(0, 1) = m(0, 2) = 1;
+  const hw::SoftmaxUnit unit(0.01);
+  const MatI8 p = unit(d, m);
+  for (int c = 0; c < 3; ++c) EXPECT_EQ(p(0, c), 0);
+}
+
+TEST(SoftmaxUnit, OneHotForDominantScore) {
+  MatI32 d{{20000, 0, 0, 0}};
+  const hw::SoftmaxUnit unit(1.0 / 64.0);  // real max ≈ 312 ≫ others
+  const MatI8 p = unit(d, no_mask(1, 4));
+  EXPECT_EQ(p(0, 0), 127);
+  for (int c = 1; c < 4; ++c) EXPECT_EQ(p(0, c), 0);
+}
+
+TEST(SoftmaxUnit, UniformScoresGiveUniformProbs) {
+  MatI32 d(1, 8);
+  d.fill(1234);
+  const hw::SoftmaxUnit unit(0.001);
+  const MatF p = dequantize(unit(d, no_mask(1, 8)), QuantParams{hw::kProbScale});
+  for (int c = 0; c < 8; ++c) EXPECT_NEAR(p(0, c), 0.125, 0.01);
+}
+
+// The log-sum-exp identity (Eq. 5) makes the unit invariant to adding a
+// constant to every score.
+TEST(SoftmaxUnit, ShiftInvariance) {
+  Rng rng(3);
+  MatI32 a(4, 16), b(4, 16);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 16; ++c) {
+      a(r, c) = rng.uniform_int(-1000, 1000);
+      b(r, c) = a(r, c) + 5000;
+    }
+  const hw::SoftmaxUnit unit(1.0 / 512.0);
+  EXPECT_EQ(unit(a, no_mask(4, 16)), unit(b, no_mask(4, 16)));
+}
+
+// Parameterized over input scales: accuracy must hold across the dynamic
+// ranges the calibrated models produce.
+class SoftmaxScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SoftmaxScaleSweep, TracksFloatSoftmax) {
+  const double d_scale = GetParam();
+  Rng rng(42);
+  MatI32 d(8, 48);
+  for (int r = 0; r < d.rows(); ++r)
+    for (int c = 0; c < d.cols(); ++c)
+      d(r, c) = rng.uniform_int(-20000, 20000);
+  const MatF got = hw_softmax_as_float(d, no_mask(8, 48), d_scale);
+  const MatF ref = scaled_masked_softmax(
+      dequantize_i32(d, static_cast<float>(d_scale)), no_mask(8, 48), 8.0f);
+  EXPECT_LE(max_abs_diff(got, ref), 0.025) << "scale " << d_scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, SoftmaxScaleSweep,
+                         ::testing::Values(1e-4, 1e-3, 1.0 / 512, 1.0 / 128,
+                                           0.05, 0.2));
+
+// --- LayerNorm unit -----------------------------------------------------------
+
+TEST(LayerNormUnit, MatchesFloatLayerNorm) {
+  Rng rng(4);
+  const int n = 128;
+  LayerNormParams params = LayerNormParams::random(n, rng);
+  MatF g(6, n);
+  fill_normal(g, rng, 1.0f, 4.0f);
+  const QuantParams gq = calibrate(g, 32000);
+  const MatI16 gi = quantize_i16(g, gq);
+
+  const MatF ref = layer_norm(dequantize_i16(gi, gq), params);
+  const float out_scale = calibrate(ref, 127).scale;
+  const auto unit = hw::LayerNormUnit::build(params, out_scale);
+  const MatF got = dequantize(unit(gi), QuantParams{out_scale});
+  EXPECT_LE(max_abs_diff(got, ref), 2.5 * out_scale);
+  EXPECT_GT(cosine_similarity(got, ref), 0.999);
+}
+
+TEST(LayerNormUnit, ScaleInvarianceOfNormalization) {
+  // Doubling every INT16 input leaves the output unchanged (up to LUT step):
+  // normalization cancels the input scale.
+  Rng rng(5);
+  const int n = 64;
+  const auto params = LayerNormParams::identity(n);
+  const auto unit = hw::LayerNormUnit::build(params, 0.05f);
+  MatI16 g(1, n), g2(1, n);
+  for (int c = 0; c < n; ++c) {
+    g(0, c) = static_cast<std::int16_t>(rng.uniform_int(-8000, 8000));
+    g2(0, c) = static_cast<std::int16_t>(2 * g(0, c));
+  }
+  const MatI8 a = unit(g);
+  const MatI8 b = unit(g2);
+  for (int c = 0; c < n; ++c) EXPECT_NEAR(a(0, c), b(0, c), 1) << c;
+}
+
+TEST(LayerNormUnit, ConstantRowOutputsBeta) {
+  const int n = 32;
+  LayerNormParams params = LayerNormParams::identity(n);
+  params.beta.assign(n, 0.5f);
+  const float out_scale = 0.01f;
+  const auto unit = hw::LayerNormUnit::build(params, out_scale);
+  MatI16 g(1, n);
+  g.fill(1234);
+  const MatI8 y = unit(g);
+  for (int c = 0; c < n; ++c) EXPECT_EQ(y(0, c), 50);  // 0.5 / 0.01
+}
+
+TEST(LayerNormUnit, FinishRowEqualsRow) {
+  // The streaming-accumulator interface (Fig. 7 step 1) must agree with the
+  // one-shot row interface exactly.
+  Rng rng(6);
+  const int n = 96;
+  const auto params = LayerNormParams::random(n, rng);
+  const auto unit = hw::LayerNormUnit::build(params, 0.03f);
+  MatI16 g(1, n);
+  std::int64_t sum = 0, sumsq = 0;
+  for (int c = 0; c < n; ++c) {
+    g(0, c) = static_cast<std::int16_t>(rng.uniform_int(-3000, 3000));
+    sum += g(0, c);
+    sumsq += static_cast<std::int64_t>(g(0, c)) * g(0, c);
+  }
+  MatI8 a(1, n), b(1, n);
+  unit.row(g.row(0), a.row(0));
+  unit.finish_row(g.row(0), sum, sumsq, b.row(0));
+  EXPECT_EQ(a, b);
+}
+
+TEST(LayerNormUnit, VarianceIdentityHoldsOnIntegers) {
+  // step two of Fig. 7: n·ΣG² − (ΣG)² == n²·var exactly on integers.
+  Rng rng(7);
+  const int n = 50;
+  std::vector<std::int64_t> g(n);
+  for (auto& v : g) v = rng.uniform_int(-1000, 1000);
+  std::int64_t sum = 0, sumsq = 0;
+  for (auto v : g) {
+    sum += v;
+    sumsq += v * v;
+  }
+  const std::int64_t lhs = n * sumsq - sum * sum;
+  // Direct n²·Σ(g−mean)²/n with exact rational mean: compare via n²·var·n.
+  std::int64_t rhs = 0;
+  for (auto v : g) {
+    const std::int64_t d = n * v - sum;  // n·(g − mean)
+    rhs += d * d;
+  }
+  EXPECT_EQ(lhs * n, rhs);
+}
+
+}  // namespace
+}  // namespace tfacc

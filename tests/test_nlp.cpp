@@ -1,0 +1,112 @@
+// Tests for BLEU and the synthetic translation task.
+#include <gtest/gtest.h>
+
+#include "nlp/bleu.hpp"
+#include "nlp/synthetic.hpp"
+
+namespace tfacc {
+namespace {
+
+TEST(Bleu, PerfectMatchIsHundred) {
+  const std::vector<TokenSeq> c{{1, 2, 3, 4, 5}};
+  EXPECT_DOUBLE_EQ(corpus_bleu(c, c), 100.0);
+}
+
+TEST(Bleu, EmptyOverlapIsZero) {
+  EXPECT_DOUBLE_EQ(corpus_bleu({{1, 2, 3, 4}}, {{5, 6, 7, 8}}), 0.0);
+}
+
+TEST(Bleu, KnownHandComputedValue) {
+  // hyp: [1 2 3 4], ref: [1 2 3 5]
+  // p1 = 3/4, p2 = 2/3, p3 = 1/2, p4 = 0 → BLEU-4 = 0; BLEU-3:
+  const double b3 = corpus_bleu({{1, 2, 3, 4}}, {{1, 2, 3, 5}}, 3);
+  EXPECT_NEAR(b3, 100.0 * std::pow(0.75 * (2.0 / 3.0) * 0.5, 1.0 / 3.0), 1e-6);
+  EXPECT_DOUBLE_EQ(corpus_bleu({{1, 2, 3, 4}}, {{1, 2, 3, 5}}, 4), 0.0);
+}
+
+TEST(Bleu, BrevityPenaltyAppliedWhenShort) {
+  // hyp is a perfect prefix but half length: BP = exp(1 - 8/4).
+  const std::vector<TokenSeq> hyp{{1, 2, 3, 4}};
+  const std::vector<TokenSeq> ref{{1, 2, 3, 4, 5, 6, 7, 8}};
+  const double b1 = corpus_bleu(hyp, ref, 1);
+  EXPECT_NEAR(b1, 100.0 * std::exp(-1.0), 1e-6);
+}
+
+TEST(Bleu, NoPenaltyWhenLonger) {
+  const std::vector<TokenSeq> hyp{{1, 2, 3, 4, 9, 9}};
+  const std::vector<TokenSeq> ref{{1, 2, 3, 4}};
+  EXPECT_NEAR(corpus_bleu(hyp, ref, 1), 100.0 * 4.0 / 6.0, 1e-6);
+}
+
+TEST(Bleu, ClippingCountsRepeats) {
+  // "the the the" vs "the cat": unigram matches clipped to ref count 1.
+  const double b = corpus_bleu({{7, 7, 7}}, {{7, 8}}, 1);
+  EXPECT_NEAR(b, 100.0 * (1.0 / 3.0), 1e-6);
+}
+
+TEST(Bleu, CorpusAggregatesOverSentences) {
+  const std::vector<TokenSeq> hyp{{1, 2}, {3, 4}};
+  const std::vector<TokenSeq> ref{{1, 2}, {3, 5}};
+  EXPECT_NEAR(corpus_bleu(hyp, ref, 1), 100.0 * 3.0 / 4.0, 1e-6);
+}
+
+TEST(Bleu, MismatchedSizesThrow) {
+  EXPECT_THROW(corpus_bleu({{1}}, {{1}, {2}}), CheckError);
+}
+
+TEST(Bleu, SmoothedSentenceBleuNonZeroOnPartialMatch) {
+  EXPECT_GT(sentence_bleu({1, 2, 9, 9}, {1, 2, 3, 4}), 0.0);
+}
+
+TEST(Synthetic, ReferenceTransformIsVerbSecond) {
+  const SyntheticTranslationTask task(10, 4, 8);
+  const TokenSeq src{3, 4, 5, 6};  // subj w w verb
+  const TokenSeq ref = task.translate_reference(src);
+  const int off = task.target_base() - task.source_base();
+  EXPECT_EQ(ref, (TokenSeq{3 + off, 6 + off, 4 + off, 5 + off}));
+}
+
+TEST(Synthetic, SampleRespectsLengthAndVocab) {
+  const SyntheticTranslationTask task(12, 4, 9);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto pair = task.sample(rng);
+    EXPECT_GE(static_cast<int>(pair.source.size()), 4);
+    EXPECT_LE(static_cast<int>(pair.source.size()), 9);
+    EXPECT_EQ(pair.source.size(), pair.reference.size());
+    for (int t : pair.source) {
+      EXPECT_GE(t, task.source_base());
+      EXPECT_LT(t, task.target_base());
+    }
+    for (int t : pair.reference) {
+      EXPECT_GE(t, task.target_base());
+      EXPECT_LT(t, task.vocab_size());
+    }
+  }
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const SyntheticTranslationTask task;
+  Rng a(9), b(9);
+  const auto ca = task.corpus(20, a);
+  const auto cb = task.corpus(20, b);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].source, cb[i].source);
+    EXPECT_EQ(ca[i].reference, cb[i].reference);
+  }
+}
+
+TEST(Synthetic, ReferenceTranslationScoresPerfectBleu) {
+  const SyntheticTranslationTask task;
+  Rng rng(2);
+  std::vector<TokenSeq> hyps, refs;
+  for (const auto& pair : task.corpus(50, rng)) {
+    hyps.push_back(task.translate_reference(pair.source));
+    refs.push_back(pair.reference);
+  }
+  EXPECT_DOUBLE_EQ(corpus_bleu(hyps, refs), 100.0);
+}
+
+}  // namespace
+}  // namespace tfacc

@@ -1,0 +1,129 @@
+// Tests for the analytic models: Eq. 3 ratios, the GPU baseline, the
+// resource/power model (Table II calibration bands).
+#include <gtest/gtest.h>
+
+#include "perf/analysis.hpp"
+#include "perf/gpu_model.hpp"
+#include "perf/resource_model.hpp"
+
+namespace tfacc {
+namespace {
+
+TEST(Analysis, Eq3PaperFormulaAtDesignPoint) {
+  // s = 64, h = 8: 64 / (64 + 16384 + 64) ≈ 0.39%.
+  EXPECT_NEAR(qkt_ratio_paper(64, 8), 64.0 / 16512.0, 1e-12);
+  EXPECT_LT(qkt_ratio_paper(128, 8), 0.01);  // "very small" for s ≤ 128
+}
+
+TEST(Analysis, ExactRatioIsSmallToo) {
+  const double r = qkt_ratio_exact(64, 512, 8);
+  EXPECT_GT(r, 0.0);
+  EXPECT_LT(r, 0.05);
+}
+
+TEST(Analysis, RatioGrowsWithSAndShrinksWithH) {
+  EXPECT_GT(qkt_ratio_paper(128, 8), qkt_ratio_paper(64, 8));
+  EXPECT_LT(qkt_ratio_paper(64, 16), qkt_ratio_paper(64, 8));
+  EXPECT_GT(qkt_ratio_exact(128, 512, 8), qkt_ratio_exact(64, 512, 8));
+}
+
+TEST(Analysis, MacCountsAtDesignPoint) {
+  const MhaMacs m = mha_macs(64, 512, 8);
+  EXPECT_EQ(m.qkv_projections, 3ll * 64 * 512 * 64 * 8);
+  EXPECT_EQ(m.qkt, 64ll * 64 * 64 * 8);
+  EXPECT_EQ(m.output_projection, 64ll * 512 * 512);
+  EXPECT_EQ(m.total(), 71303168);  // 71.3 M MACs
+  EXPECT_EQ(ffn_macs(64, 512, 2048), 134217728);  // 134.2 M MACs
+}
+
+TEST(GpuModel, ReproducesTable3Baselines) {
+  // Paper Table III: MHA 1557.8 µs, FFN 713.4 µs (V100, batch 1, s = 64).
+  const double mha = gpu_mha_latency(64, 512, 8).total_us;
+  const double ffn = gpu_ffn_latency(64, 512, 2048).total_us;
+  EXPECT_NEAR(mha, 1557.8, 1557.8 * 0.02) << mha;
+  EXPECT_NEAR(ffn, 713.4, 713.4 * 0.02) << ffn;
+}
+
+TEST(GpuModel, DispatchDominatesAtBatchOne) {
+  const GpuLatency mha = gpu_mha_latency(64, 512, 8);
+  double dispatch = 0, compute = 0;
+  for (const auto& op : mha.ops) {
+    dispatch += op.dispatch_us;
+    compute += op.compute_us;
+  }
+  EXPECT_GT(dispatch, compute * 3);  // the launch-bound regime
+}
+
+TEST(GpuModel, ComputeGrowsWithSequenceLength) {
+  const double s64 = gpu_ffn_latency(64, 512, 2048).total_us;
+  const double s512 = gpu_ffn_latency(512, 512, 2048).total_us;
+  EXPECT_GT(s512, s64);
+}
+
+TEST(GpuModel, OpListsMatchEagerImplementation) {
+  EXPECT_EQ(gpu_mha_latency(64, 512, 8).ops.size(), 22u);
+  EXPECT_EQ(gpu_ffn_latency(64, 512, 2048).ops.size(), 6u);
+}
+
+TEST(ResourceModel, Table2Bands) {
+  // Paper Table II (xcvu13p, s = 64, Transformer-base). The analytic model
+  // must land within 10% on every primary entry.
+  const ResourceModel model;
+  const auto table =
+      model.utilization_table(ModelConfig::transformer_base(), 64);
+  ASSERT_EQ(table.size(), 5u);
+
+  const auto& top = table[0];
+  const auto& sa = table[1];
+  const auto& sm = table[2];
+  const auto& ln = table[3];
+  const auto& wm = table[4];
+
+  EXPECT_NEAR(sa.lut, 420867, 420867 * 0.10);
+  EXPECT_NEAR(sa.registers, 173110, 173110 * 0.10);
+  EXPECT_EQ(sa.dsp, 0);
+  EXPECT_EQ(sa.bram, 0);
+
+  EXPECT_NEAR(sm.lut, 21190, 21190 * 0.10);
+  EXPECT_NEAR(sm.registers, 32623, 32623 * 0.10);
+
+  EXPECT_NEAR(ln.dsp, 129, 1);  // 2 per lane + 1
+  EXPECT_NEAR(ln.bram, 27.5, 27.5 * 0.20);
+
+  EXPECT_NEAR(wm.bram, 456, 5);
+  EXPECT_NEAR(wm.lut, 3379, 1);
+
+  EXPECT_NEAR(top.lut, 471563, 471563 * 0.10);
+  EXPECT_NEAR(top.registers, 217859, 217859 * 0.10);
+  EXPECT_NEAR(top.bram, 498, 498 * 0.10);
+  EXPECT_NEAR(top.dsp, 129, 1);
+}
+
+TEST(ResourceModel, FitsOnTheDevice) {
+  const ResourceModel model;
+  const auto avail = xcvu13p_available();
+  const auto table =
+      model.utilization_table(ModelConfig::transformer_base(), 64);
+  EXPECT_LT(table[0].lut, avail.lut);
+  EXPECT_LT(table[0].registers, avail.registers);
+  EXPECT_LT(table[0].bram, avail.bram);
+  EXPECT_LT(table[0].dsp, avail.dsp);
+}
+
+TEST(ResourceModel, ScalesWithArrayAndModel) {
+  const ResourceModel model;
+  EXPECT_GT(model.systolic_array(128, 64).lut,
+            model.systolic_array(64, 64).lut * 1.9);
+  EXPECT_GT(model.weight_memory(ModelConfig::transformer_big()).bram,
+            model.weight_memory(ModelConfig::transformer_base()).bram * 3);
+}
+
+TEST(ResourceModel, PowerNearPaperReport) {
+  // Paper: 16.7 W total (13.3 dynamic + 3.4 static) at 200 MHz.
+  const ResourceModel model;
+  const double w = model.total_power_w(64, 64, 200.0, 0.80);
+  EXPECT_NEAR(w, 16.7, 16.7 * 0.05);
+}
+
+}  // namespace
+}  // namespace tfacc

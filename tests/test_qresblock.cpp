@@ -1,0 +1,213 @@
+// Tests for the quantized functional ResBlocks: the INT8 pipelines must track
+// their FP32 references within quantization-error bounds, for both softmax
+// implementations (the two quantization steps of Section V.A).
+#include <gtest/gtest.h>
+
+#include "quant/qresblock.hpp"
+#include "reference/functional.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/ops.hpp"
+
+namespace tfacc {
+namespace {
+
+ModelConfig hw_config() {
+  // head_dim 64 (hardware softmax requires the /8 scale); 2 heads keeps the
+  // test fast while exercising concat across heads.
+  ModelConfig cfg;
+  cfg.name = "hw-test";
+  cfg.d_model = 128;
+  cfg.d_ff = 512;
+  cfg.num_heads = 2;
+  cfg.head_dim = 64;
+  return cfg;
+}
+
+MhaQuantized::Calibration make_mha_calib(const ModelConfig& cfg, Rng& rng,
+                                         int samples, int s) {
+  MhaQuantized::Calibration calib;
+  for (int i = 0; i < samples; ++i) {
+    MatF q(s, cfg.d_model), kv(s, cfg.d_model);
+    fill_normal(q, rng, 0, 1);
+    fill_normal(kv, rng, 0, 1);
+    calib.q.push_back(q);
+    calib.kv.push_back(kv);
+    calib.mask.push_back(no_mask(s, s));
+  }
+  return calib;
+}
+
+TEST(QuantizedLinear, TracksFloatLinear) {
+  Rng rng(1);
+  MatF w(64, 32), x(10, 64);
+  fill_normal(w, rng, 0, 0.3);
+  fill_normal(x, rng, 0, 1);
+  std::vector<float> b(32);
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-0.2, 0.2));
+
+  const MatF y = add_bias(gemm(x, w), b);
+  const float in_scale = calibrate(x, 127).scale;
+  const float out_scale = calibrate(y, 127).scale;
+  const auto ql = QuantizedLinear::build(w, b, in_scale, out_scale);
+  const MatF got = dequantize(ql.forward(quantize_i8(x, QuantParams{in_scale})),
+                              QuantParams{out_scale});
+  EXPECT_GT(cosine_similarity(y, got), 0.999);
+  EXPECT_LT(max_abs_diff(y, got), 6 * out_scale);
+}
+
+TEST(QuantizedLinear, ReluOnAccumulatorEqualsReluAfterRequant) {
+  // ReLU commutes with a positive rescaling that fixes 0 — the reason the
+  // hardware can clamp right after the bias adders (Fig. 5).
+  Rng rng(2);
+  MatF w(32, 16), x(8, 32);
+  fill_normal(w, rng, 0, 0.3);
+  fill_normal(x, rng, 0, 1);
+  std::vector<float> b(16, 0.05f);
+  const MatF y = relu(add_bias(gemm(x, w), b));
+  const auto ql = QuantizedLinear::build(w, b, calibrate(x, 127).scale,
+                                         calibrate(y, 127).scale);
+  const MatI8 xi = quantize_i8(x, QuantParams{ql.in_scale});
+  const MatI8 a = ql.forward_relu(xi);
+  MatI8 bpath = ql.forward(xi);
+  for (int r = 0; r < bpath.rows(); ++r)
+    for (int c = 0; c < bpath.cols(); ++c)
+      if (bpath(r, c) < 0) bpath(r, c) = 0;
+  EXPECT_EQ(a, bpath);
+}
+
+TEST(SaturatingAdd, SaturatesAtInt16Limits) {
+  MatI16 a{{32000, -32000}}, b{{1000, -1000}};
+  const MatI16 c = saturating_add_i16(a, b);
+  EXPECT_EQ(c(0, 0), 32767);
+  EXPECT_EQ(c(0, 1), -32768);
+}
+
+class MhaQuantizedTest : public ::testing::TestWithParam<SoftmaxImpl> {};
+
+TEST_P(MhaQuantizedTest, TracksFloatResblock) {
+  const ModelConfig cfg = hw_config();
+  Rng rng(3);
+  const MhaWeights w = MhaWeights::random(cfg, rng);
+  const int s = 16;
+  auto calib = make_mha_calib(cfg, rng, 3, s);
+  const auto qm = MhaQuantized::build(w, calib, GetParam());
+
+  // Evaluate on a fresh input from the calibration distribution.
+  MatF q(s, cfg.d_model), kv(s, cfg.d_model);
+  fill_normal(q, rng, 0, 1);
+  fill_normal(kv, rng, 0, 1);
+  const Mask mask = no_mask(s, s);
+  const MatF ref = mha_resblock(q, kv, w, mask);
+  const MatF got = qm.dequantize_out(
+      qm.forward(qm.quantize_q(q), qm.quantize_kv(kv), mask));
+  EXPECT_GT(cosine_similarity(ref, got), 0.99);
+  EXPECT_LT(mse(ref, got) / (mse(ref, MatF(s, cfg.d_model)) + 1e-9), 0.02);
+}
+
+TEST_P(MhaQuantizedTest, RespectsCausalMask) {
+  const ModelConfig cfg = hw_config();
+  Rng rng(4);
+  const MhaWeights w = MhaWeights::random(cfg, rng);
+  const int s = 8;
+  MhaQuantized::Calibration calib;
+  for (int i = 0; i < 2; ++i) {
+    MatF x(s, cfg.d_model);
+    fill_normal(x, rng, 0, 1);
+    calib.q.push_back(x);
+    calib.kv.push_back(x);
+    calib.mask.push_back(causal_mask(s));
+  }
+  const auto qm = MhaQuantized::build(w, calib, GetParam());
+
+  // Row r of the output must not depend on kv rows > r.
+  MatF x(s, cfg.d_model);
+  fill_normal(x, rng, 0, 1);
+  const MatI8 xi = qm.quantize_q(x);
+  const MatI8 base = qm.forward(xi, qm.quantize_kv(x), causal_mask(s));
+
+  MatF x2 = x;
+  for (int c = 0; c < cfg.d_model; ++c) x2(s - 1, c) += 5.0f;  // perturb last
+  const MatI8 pert =
+      qm.forward(qm.quantize_q(x2), qm.quantize_kv(x2), causal_mask(s));
+  // Row 0 attends only to position 0 and its own residual, both unchanged.
+  for (int c = 0; c < cfg.d_model; ++c)
+    EXPECT_EQ(base(0, c), pert(0, c)) << "col " << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(SoftmaxImpls, MhaQuantizedTest,
+                         ::testing::Values(SoftmaxImpl::kFloatExact,
+                                           SoftmaxImpl::kHardware));
+
+TEST(MhaQuantized, HardwareRequiresHeadDim64) {
+  ModelConfig cfg = hw_config();
+  cfg.head_dim = 32;
+  cfg.d_model = 64;
+  cfg.d_ff = 256;
+  Rng rng(5);
+  const MhaWeights w = MhaWeights::random(cfg, rng);
+  auto calib = make_mha_calib(cfg, rng, 1, 4);
+  EXPECT_THROW(MhaQuantized::build(w, calib, SoftmaxImpl::kHardware),
+               CheckError);
+  EXPECT_NO_THROW(MhaQuantized::build(w, calib, SoftmaxImpl::kFloatExact));
+}
+
+TEST(FfnQuantized, TracksFloatResblock) {
+  const ModelConfig cfg = hw_config();
+  Rng rng(6);
+  const FfnWeights w = FfnWeights::random(cfg, rng);
+  const int s = 12;
+  std::vector<MatF> samples;
+  for (int i = 0; i < 3; ++i) {
+    MatF x(s, cfg.d_model);
+    fill_normal(x, rng, 0, 1);
+    samples.push_back(x);
+  }
+  const auto qf = FfnQuantized::build(w, samples);
+
+  MatF x(s, cfg.d_model);
+  fill_normal(x, rng, 0, 1);
+  const MatF ref = ffn_resblock(x, w);
+  const MatF got = qf.dequantize_out(qf.forward(qf.quantize_in(x)));
+  EXPECT_GT(cosine_similarity(ref, got), 0.99);
+}
+
+TEST(FfnQuantized, InScaleOverrideRespected) {
+  const ModelConfig cfg = hw_config();
+  Rng rng(7);
+  const FfnWeights w = FfnWeights::random(cfg, rng);
+  std::vector<MatF> samples{MatF(4, cfg.d_model)};
+  fill_normal(samples[0], rng, 0, 1);
+  const auto qf = FfnQuantized::build(w, samples, CalibMethod::kMaxAbs, 0.123f);
+  EXPECT_FLOAT_EQ(qf.in_scale, 0.123f);
+}
+
+TEST(FfnQuantized, HiddenIsNonNegativeAfterRelu) {
+  const ModelConfig cfg = hw_config();
+  Rng rng(8);
+  const FfnWeights w = FfnWeights::random(cfg, rng);
+  std::vector<MatF> samples{MatF(6, cfg.d_model)};
+  fill_normal(samples[0], rng, 0, 1);
+  const auto qf = FfnQuantized::build(w, samples);
+  const MatI8 h = qf.w1.forward_relu(qf.quantize_in(samples[0]));
+  for (int r = 0; r < h.rows(); ++r)
+    for (int c = 0; c < h.cols(); ++c) EXPECT_GE(h(r, c), 0);
+}
+
+TEST(MhaQuantized, PercentileCalibrationSurvivesOutliers) {
+  const ModelConfig cfg = hw_config();
+  Rng rng(9);
+  const MhaWeights w = MhaWeights::random(cfg, rng);
+  const int s = 8;
+  auto calib = make_mha_calib(cfg, rng, 2, s);
+  calib.q[0](0, 0) = 80.0f;  // inject an outlier into the calibration set
+
+  const auto qmax = MhaQuantized::build(w, calib, SoftmaxImpl::kFloatExact,
+                                        CalibMethod::kMaxAbs);
+  const auto qpct = MhaQuantized::build(w, calib, SoftmaxImpl::kFloatExact,
+                                        CalibMethod::kPercentile999);
+  // Percentile calibration must not blow up the input scale.
+  EXPECT_LT(qpct.q_in_scale, qmax.q_in_scale * 0.5f);
+}
+
+}  // namespace
+}  // namespace tfacc

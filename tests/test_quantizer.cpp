@@ -1,0 +1,120 @@
+// Unit tests for src/quant/quantizer: calibration, quantize/dequantize,
+// fixed-point requantization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/quantizer.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/ops.hpp"
+
+namespace tfacc {
+namespace {
+
+TEST(Calibrate, MaxAbsUsesLargestMagnitude) {
+  const QuantParams p = calibrate(std::vector<float>{-6.35f, 1.0f, 2.0f}, 127);
+  EXPECT_NEAR(p.scale, 6.35f / 127.0f, 1e-6);
+}
+
+TEST(Calibrate, AllZeroFallsBackToUnitScale) {
+  const QuantParams p = calibrate(std::vector<float>{0.0f, 0.0f}, 127);
+  EXPECT_FLOAT_EQ(p.scale, 1.0f);
+}
+
+TEST(Calibrate, PercentileClipsOutliers) {
+  std::vector<float> v(10000, 1.0f);
+  v[0] = 1000.0f;  // single outlier
+  const QuantParams pm = calibrate(v, 127, CalibMethod::kMaxAbs);
+  const QuantParams pp = calibrate(v, 127, CalibMethod::kPercentile999);
+  EXPECT_GT(pm.scale, 1.0f);
+  EXPECT_NEAR(pp.scale, 1.0f / 127.0f, 1e-5);
+}
+
+TEST(Calibrate, MultiSampleTakesGlobalRange) {
+  MatF a(1, 2), b(1, 2);
+  a(0, 0) = 1.0f;
+  b(0, 1) = -12.7f;
+  const QuantParams p = calibrate(std::vector<MatF>{a, b}, 127);
+  EXPECT_NEAR(p.scale, 0.1f, 1e-6);
+}
+
+TEST(Quantize, RoundTripErrorBoundedByHalfStep) {
+  Rng rng(3);
+  MatF m(16, 16);
+  fill_normal(m, rng, 0, 2);
+  const QuantParams p = calibrate(m, 127);
+  const MatF back = dequantize(quantize_i8(m, p), p);
+  EXPECT_LE(max_abs_diff(m, back), 0.5 * p.scale + 1e-7);
+}
+
+TEST(Quantize, SaturatesOutOfRange) {
+  MatF m{{100.0f, -100.0f}};
+  const MatI8 q = quantize_i8(m, QuantParams{0.1f});
+  EXPECT_EQ(q(0, 0), 127);
+  EXPECT_EQ(q(0, 1), -128);
+}
+
+TEST(Quantize, I16RoundTrip) {
+  Rng rng(4);
+  MatF m(8, 8);
+  fill_normal(m, rng, 0, 5);
+  const QuantParams p = calibrate(m, 32000);
+  const MatF back = dequantize_i16(quantize_i16(m, p), p);
+  EXPECT_LE(max_abs_diff(m, back), 0.5 * p.scale + 1e-7);
+}
+
+TEST(QuantizeBias, LandsInAccumulatorUnits) {
+  const std::vector<float> bias{1.0f, -0.5f};
+  const auto q = quantize_bias(bias, 0.1f, 0.01f);  // acc scale 1e-3
+  EXPECT_EQ(q[0], 1000);
+  EXPECT_EQ(q[1], -500);
+}
+
+TEST(Requantize, MatchesRealValuedRescaling) {
+  Rng rng(5);
+  MatI32 acc(12, 12);
+  for (int r = 0; r < acc.rows(); ++r)
+    for (int c = 0; c < acc.cols(); ++c)
+      acc(r, c) = rng.uniform_int(-200000, 200000);
+  const double ratio = 4.2e-4;
+  const auto fps = FixedPointScale::from_double(ratio);
+  const MatI8 q = requantize_i8(acc, fps);
+  for (int r = 0; r < acc.rows(); ++r)
+    for (int c = 0; c < acc.cols(); ++c) {
+      const double real = acc(r, c) * ratio;
+      EXPECT_NEAR(static_cast<double>(q(r, c)),
+                  clamp<double>(real, -128.0, 127.0), 0.75)
+          << acc(r, c);
+    }
+}
+
+TEST(Requantize, I16Path) {
+  MatI32 acc{{1000000, -1000000}};
+  const auto fps = FixedPointScale::from_double(0.01);
+  const MatI16 q = requantize_i16(acc, fps);
+  EXPECT_NEAR(q(0, 0), 10000, 1);
+  EXPECT_NEAR(q(0, 1), -10000, 1);
+}
+
+TEST(Requantize, QuantizedGemmTracksFloatGemm) {
+  // The full INT8 pipeline: quantize inputs/weights, int GEMM, requantize —
+  // result must track the FP32 GEMM within accumulated quantization error.
+  Rng rng(6);
+  MatF x(8, 32), w(32, 8);
+  fill_normal(x, rng, 0, 1);
+  fill_normal(w, rng, 0, 0.5);
+  const QuantParams px = calibrate(x, 127);
+  const QuantParams pw = calibrate(w, 127);
+  const MatF y = gemm(x, w);
+  const QuantParams py = calibrate(y, 127);
+
+  const MatI32 acc = gemm_i8(quantize_i8(x, px), quantize_i8(w, pw));
+  const auto fps = FixedPointScale::from_double(
+      static_cast<double>(px.scale) * pw.scale / py.scale);
+  const MatF yq = dequantize(requantize_i8(acc, fps), py);
+  EXPECT_GT(cosine_similarity(y, yq), 0.999);
+  EXPECT_LT(max_abs_diff(y, yq) / calibrate(y, 1).scale, 0.05);
+}
+
+}  // namespace
+}  // namespace tfacc

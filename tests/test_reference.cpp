@@ -1,0 +1,248 @@
+// Unit and property tests for the FP32 reference Transformer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reference/functional.hpp"
+#include "reference/transformer.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/ops.hpp"
+
+namespace tfacc {
+namespace {
+
+ModelConfig micro_config() {
+  // Small but pattern-conforming: d_model = 16·h? The Table I pattern wants
+  // head_dim·h; tests use head_dim 16 to stay fast.
+  ModelConfig cfg;
+  cfg.name = "micro";
+  cfg.d_model = 32;
+  cfg.d_ff = 128;
+  cfg.num_heads = 2;
+  cfg.head_dim = 16;
+  cfg.num_encoder_layers = 2;
+  cfg.num_decoder_layers = 2;
+  return cfg;
+}
+
+TEST(Masks, CausalMaskShape) {
+  const Mask m = causal_mask(4);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), c > r ? 1 : 0);
+}
+
+TEST(Masks, PaddingMask) {
+  const Mask m = padding_mask(2, 5, 3);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(m(r, 2), 0);
+    EXPECT_EQ(m(r, 3), 1);
+    EXPECT_EQ(m(r, 4), 1);
+  }
+  EXPECT_THROW(padding_mask(2, 5, 6), CheckError);
+}
+
+TEST(Softmax, RowsSumToOneWhenUnmasked) {
+  Rng rng(1);
+  MatF d(6, 9);
+  fill_normal(d, rng, 0, 10);
+  const MatF p = scaled_masked_softmax(d, no_mask(6, 9));
+  for (int r = 0; r < p.rows(); ++r) {
+    double sum = 0;
+    for (int c = 0; c < p.cols(); ++c) {
+      EXPECT_GE(p(r, c), 0.0f);
+      sum += p(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, MaskedEntriesAreZeroAndRestRenormalizes) {
+  MatF d{{1, 2, 3, 4}};
+  Mask m(1, 4);
+  m(0, 1) = 1;
+  m(0, 3) = 1;
+  const MatF p = scaled_masked_softmax(d, m, 1.0f);
+  EXPECT_EQ(p(0, 1), 0.0f);
+  EXPECT_EQ(p(0, 3), 0.0f);
+  EXPECT_NEAR(p(0, 0) + p(0, 2), 1.0, 1e-6);
+  // Remaining entries keep the softmax ratio exp(1)/exp(3).
+  EXPECT_NEAR(p(0, 2) / p(0, 0), std::exp(2.0), 1e-4);
+}
+
+TEST(Softmax, FullyMaskedRowIsAllZeros) {
+  MatF d{{5, 5}};
+  Mask m(1, 2);
+  m(0, 0) = m(0, 1) = 1;
+  const MatF p = scaled_masked_softmax(d, m);
+  EXPECT_EQ(p(0, 0), 0.0f);
+  EXPECT_EQ(p(0, 1), 0.0f);
+}
+
+TEST(Softmax, NumericallyStableForHugeScores) {
+  MatF d{{1e30f, -1e30f, 0.0f}};
+  const MatF p = scaled_masked_softmax(d, no_mask(1, 3), 1.0f);
+  EXPECT_NEAR(p(0, 0), 1.0, 1e-6);
+  EXPECT_EQ(std::isfinite(p(0, 1)), true);
+}
+
+TEST(Softmax, ScaleDividesScores) {
+  MatF d{{8, 0}};
+  const MatF p8 = scaled_masked_softmax(d, no_mask(1, 2), 8.0f);
+  const MatF d1{{1, 0}};
+  const MatF p1 = scaled_masked_softmax(d1, no_mask(1, 2), 1.0f);
+  EXPECT_NEAR(p8(0, 0), p1(0, 0), 1e-6);
+}
+
+TEST(LayerNorm, NormalizesRowsToZeroMeanUnitVar) {
+  Rng rng(2);
+  MatF g(5, 64);
+  fill_normal(g, rng, 3.0f, 7.0f);
+  const MatF y = layer_norm(g, LayerNormParams::identity(64));
+  for (int r = 0; r < y.rows(); ++r) {
+    double mean = 0, var = 0;
+    for (int c = 0; c < 64; ++c) mean += y(r, c);
+    mean /= 64;
+    for (int c = 0; c < 64; ++c) var += (y(r, c) - mean) * (y(r, c) - mean);
+    var /= 64;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, GammaBetaApplied) {
+  MatF g{{1, 2, 3, 4}};
+  LayerNormParams p;
+  p.gamma = {2, 2, 2, 2};
+  p.beta = {1, 1, 1, 1};
+  const MatF y = layer_norm(g, p);
+  const MatF base = layer_norm(g, LayerNormParams::identity(4));
+  for (int c = 0; c < 4; ++c) EXPECT_NEAR(y(0, c), 2 * base(0, c) + 1, 1e-5);
+}
+
+TEST(LayerNorm, ConstantRowMapsToBeta) {
+  MatF g{{5, 5, 5, 5}};
+  LayerNormParams p = LayerNormParams::identity(4);
+  p.beta = {0.5f, 0.5f, 0.5f, 0.5f};
+  const MatF y = layer_norm(g, p);
+  // var = 0, ε keeps it finite: normalized value 0 → output β.
+  for (int c = 0; c < 4; ++c) EXPECT_NEAR(y(0, c), 0.5f, 1e-4);
+}
+
+TEST(Attention, UniformScoresAverageValues) {
+  // q ⟂ k ⇒ all scores 0 ⇒ probs uniform ⇒ output = column means of V.
+  MatF q(2, 4), k(3, 4), v{{3, 0}, {6, 3}, {9, 6}};
+  const MatF o = attention_head(q, k, v, no_mask(2, 3));
+  EXPECT_NEAR(o(0, 0), 6.0, 1e-5);
+  EXPECT_NEAR(o(0, 1), 3.0, 1e-5);
+  EXPECT_NEAR(o(1, 0), 6.0, 1e-5);
+}
+
+TEST(Attention, CausalMaskBlocksFuture) {
+  Rng rng(9);
+  MatF q(3, 4), k(3, 4), v(3, 4);
+  fill_normal(q, rng, 0, 1);
+  fill_normal(k, rng, 0, 1);
+  fill_normal(v, rng, 0, 1);
+  const MatF o = attention_head(q, k, v, causal_mask(3));
+  // Row 0 may only attend to position 0 → output row 0 == v row 0.
+  for (int c = 0; c < 4; ++c) EXPECT_NEAR(o(0, c), v(0, c), 1e-5);
+}
+
+TEST(MhaResblock, OutputShapeAndFiniteness) {
+  const ModelConfig cfg = micro_config();
+  Rng rng(4);
+  const MhaWeights w = MhaWeights::random(cfg, rng);
+  MatF q(5, cfg.d_model), kv(7, cfg.d_model);
+  fill_normal(q, rng, 0, 1);
+  fill_normal(kv, rng, 0, 1);
+  const MatF y = mha_resblock(q, kv, w, no_mask(5, 7));
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), cfg.d_model);
+  for (int r = 0; r < y.rows(); ++r)
+    for (int c = 0; c < y.cols(); ++c) EXPECT_TRUE(std::isfinite(y(r, c)));
+}
+
+TEST(MhaResblock, PreNormPlusNormEqualsResblock) {
+  const ModelConfig cfg = micro_config();
+  Rng rng(5);
+  const MhaWeights w = MhaWeights::random(cfg, rng);
+  MatF x(4, cfg.d_model);
+  fill_normal(x, rng, 0, 1);
+  const Mask m = no_mask(4, 4);
+  const MatF g = mha_pre_norm(x, x, w, m);
+  EXPECT_LT(max_abs_diff(layer_norm(g, w.norm), mha_resblock(x, x, w, m)),
+            1e-6);
+}
+
+TEST(FfnResblock, MatchesManualComposition) {
+  const ModelConfig cfg = micro_config();
+  Rng rng(6);
+  const FfnWeights w = FfnWeights::random(cfg, rng);
+  MatF x(3, cfg.d_model);
+  fill_normal(x, rng, 0, 1);
+  const MatF manual = layer_norm(
+      add(x, add_bias(gemm(relu(add_bias(gemm(x, w.w1), w.b1)), w.w2), w.b2)),
+      w.norm);
+  EXPECT_LT(max_abs_diff(manual, ffn_resblock(x, w)), 1e-6);
+}
+
+TEST(PositionalEncoding, SinCosStructure) {
+  const MatF pe = positional_encoding(16, 8);
+  // Position 0: sin(0)=0, cos(0)=1 interleaved.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(pe(0, 2 * i), 0.0, 1e-6);
+    EXPECT_NEAR(pe(0, 2 * i + 1), 1.0, 1e-6);
+  }
+  // All entries within [-1, 1].
+  for (int r = 0; r < 16; ++r)
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_GE(pe(r, c), -1.0f);
+      EXPECT_LE(pe(r, c), 1.0f);
+    }
+}
+
+TEST(Transformer, GreedyDecodeIsDeterministic) {
+  const ModelConfig cfg = micro_config();
+  Rng rng(7);
+  Transformer model(TransformerWeights::random(cfg, 20, rng));
+  const TokenSeq src{3, 4, 5, 6};
+  const TokenSeq a = model.translate_greedy(src, 12);
+  const TokenSeq b = model.translate_greedy(src, 12);
+  EXPECT_EQ(a, b);
+  EXPECT_LE(static_cast<int>(a.size()), 12);
+}
+
+TEST(Transformer, EncoderMasksTrailingPadding) {
+  const ModelConfig cfg = micro_config();
+  Rng rng(8);
+  Transformer model(TransformerWeights::random(cfg, 20, rng));
+  // Same content, one padded: non-pad rows of the memory must agree.
+  const TokenSeq plain{3, 4, 5};
+  const TokenSeq padded{3, 4, 5, kPadId, kPadId};
+  const MatF m1 = model.encode(plain);
+  const MatF m2 = model.encode(padded);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < cfg.d_model; ++c)
+      EXPECT_NEAR(m1(r, c), m2(r, c), 1e-4) << r << ',' << c;
+}
+
+TEST(Transformer, BackendSwapChangesImplementationNotInterface) {
+  const ModelConfig cfg = micro_config();
+  Rng rng(10);
+  Transformer model(TransformerWeights::random(cfg, 20, rng));
+  const TokenSeq src{3, 7, 9};
+  const TokenSeq base = model.translate_greedy(src, 8);
+  int mha_calls = 0;
+  ResBlockBackend counting;
+  counting.mha = [&mha_calls](const MatF& q, const MatF& kv,
+                              const MhaWeights& w, const Mask& m) {
+    ++mha_calls;
+    return mha_resblock(q, kv, w, m);
+  };
+  model.set_backend(counting);
+  EXPECT_EQ(model.translate_greedy(src, 8), base);
+  EXPECT_GT(mha_calls, 0);
+}
+
+}  // namespace
+}  // namespace tfacc

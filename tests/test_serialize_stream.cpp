@@ -1,0 +1,185 @@
+// Tests for weight serialization, back-to-back streaming throughput, and the
+// PWL-resolution ablation of the softmax units.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/accelerator.hpp"
+#include "hwarith/exp_ln.hpp"
+#include "hwarith/softmax_unit.hpp"
+#include "quant/quantizer.hpp"
+#include "reference/functional.hpp"
+#include "reference/serialize.hpp"
+#include "reference/transformer.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/ops.hpp"
+
+namespace tfacc {
+namespace {
+
+ModelConfig micro_config() {
+  ModelConfig cfg;
+  cfg.name = "micro";
+  cfg.d_model = 32;
+  cfg.d_ff = 128;
+  cfg.num_heads = 2;
+  cfg.head_dim = 16;
+  cfg.num_encoder_layers = 2;
+  cfg.num_decoder_layers = 1;
+  return cfg;
+}
+
+// --- Serialization ------------------------------------------------------------
+
+TEST(Serialize, RoundTripsExactly) {
+  Rng rng(1);
+  const TransformerWeights w =
+      TransformerWeights::random(micro_config(), 19, rng);
+  std::stringstream ss;
+  save_weights(w, ss);
+  const TransformerWeights r = load_weights(ss);
+
+  EXPECT_EQ(r.vocab_size, w.vocab_size);
+  EXPECT_EQ(r.config.d_model, w.config.d_model);
+  EXPECT_EQ(r.config.num_heads, w.config.num_heads);
+  EXPECT_EQ(r.src_embedding, w.src_embedding);
+  EXPECT_EQ(r.tgt_embedding, w.tgt_embedding);
+  EXPECT_EQ(r.output_projection, w.output_projection);
+  ASSERT_EQ(r.encoder_layers.size(), w.encoder_layers.size());
+  EXPECT_EQ(r.encoder_layers[1].mha.heads[1].wk,
+            w.encoder_layers[1].mha.heads[1].wk);
+  EXPECT_EQ(r.encoder_layers[0].ffn.w2, w.encoder_layers[0].ffn.w2);
+  EXPECT_EQ(r.decoder_layers[0].cross_mha.norm.gamma,
+            w.decoder_layers[0].cross_mha.norm.gamma);
+}
+
+TEST(Serialize, LoadedModelDecodesIdentically) {
+  Rng rng(2);
+  const TransformerWeights w =
+      TransformerWeights::random(micro_config(), 19, rng);
+  std::stringstream ss;
+  save_weights(w, ss);
+  Transformer a(w);
+  Transformer b(load_weights(ss));
+  const TokenSeq src{3, 5, 7, 9};
+  EXPECT_EQ(a.translate_greedy(src, 8), b.translate_greedy(src, 8));
+}
+
+TEST(Serialize, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("not a weight file at all");
+  EXPECT_THROW(load_weights(garbage), CheckError);
+
+  Rng rng(3);
+  const TransformerWeights w =
+      TransformerWeights::random(micro_config(), 12, rng);
+  std::stringstream ss;
+  save_weights(w, ss);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_weights(truncated), CheckError);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng(4);
+  const TransformerWeights w =
+      TransformerWeights::random(micro_config(), 12, rng);
+  const std::string path = "/tmp/tfacc_test_weights.bin";
+  save_weights(w, path);
+  const TransformerWeights r = load_weights(path);
+  EXPECT_EQ(r.src_embedding, w.src_embedding);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_weights("/tmp/tfacc_does_not_exist.bin"), CheckError);
+}
+
+// --- Streaming throughput -------------------------------------------------------
+
+TEST(Streaming, SteadyIntervalDropsColdLoadAndLnTail) {
+  Accelerator acc;
+  const RunReport one = acc.time_mha(64, 64, 512, 8);
+  const auto stream = acc.stream_mha(64, 64, 512, 8);
+  EXPECT_EQ(stream.first_latency, one.total_cycles);
+  EXPECT_EQ(stream.steady_interval,
+            one.total_cycles - 64 - one.layernorm_busy);
+  EXPECT_LT(stream.steady_interval, stream.first_latency);
+}
+
+TEST(Streaming, TotalCyclesIsAffineInBatch) {
+  Accelerator acc;
+  const auto s = acc.stream_ffn(64, 512, 2048);
+  EXPECT_EQ(s.total_cycles(0), 0);
+  EXPECT_EQ(s.total_cycles(1), s.first_latency);
+  EXPECT_EQ(s.total_cycles(5), s.first_latency + 4 * s.steady_interval);
+}
+
+TEST(Streaming, ThroughputBeatsNaiveLatencyRate) {
+  Accelerator acc;
+  const auto s = acc.stream_mha(64, 64, 512, 8);
+  const double naive_rate = 200e6 / static_cast<double>(s.first_latency);
+  EXPECT_GT(s.sequences_per_second(), naive_rate);
+}
+
+// --- PWL resolution ablation -----------------------------------------------------
+
+TEST(PwlResolution, AccuracyImprovesWithSegments) {
+  double err2 = 0, err4 = 0, err16 = 0;
+  for (int i = 0; i <= 1000; ++i) {
+    const double x = -12.0 * i / 1000.0;
+    const auto fx = Fixed<hw::kSoftmaxFracBits>::from_double(x);
+    const double ref = std::exp(x);
+    err2 += std::abs(hw::exp_unit_q10(fx.raw, hw::PwlResolution::kTwo) /
+                         1024.0 - ref);
+    err4 += std::abs(hw::exp_unit_q10(fx.raw, hw::PwlResolution::kFour) /
+                         1024.0 - ref);
+    err16 += std::abs(hw::exp_unit_q10(fx.raw, hw::PwlResolution::kSixteen) /
+                          1024.0 - ref);
+  }
+  EXPECT_LT(err4, err2);
+  EXPECT_LE(err16, err4);
+}
+
+TEST(PwlResolution, LnVariantsTrackStdLog) {
+  for (double v : {1.0, 1.7, 3.0, 100.0, 5000.0}) {
+    const auto fx = static_cast<std::int64_t>(v * 1024.0);
+    for (auto res : {hw::PwlResolution::kTwo, hw::PwlResolution::kEight}) {
+      const double got = hw::ln_unit_q10(fx, res) / 1024.0;
+      EXPECT_NEAR(got, std::log(v), 0.05 * std::max(1.0, std::log(v)) + 0.02)
+          << "v=" << v;
+    }
+  }
+}
+
+TEST(PwlResolution, DefaultUnitUnaffectedByAblationApi) {
+  // The shipped dyadic 4-segment unit must be bit-identical to itself
+  // through the default constructor (no resolution override).
+  Rng rng(5);
+  MatI32 d(4, 32);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 32; ++c) d(r, c) = rng.uniform_int(-10000, 10000);
+  const hw::SoftmaxUnit a(1.0 / 256.0);
+  const hw::SoftmaxUnit b(1.0 / 256.0);
+  EXPECT_EQ(a(d, no_mask(4, 32)), b(d, no_mask(4, 32)));
+}
+
+TEST(PwlResolution, SoftmaxAccuracyOrdering) {
+  Rng rng(6);
+  MatI32 d(16, 48);
+  for (int r = 0; r < 16; ++r)
+    for (int c = 0; c < 48; ++c) d(r, c) = rng.uniform_int(-20000, 20000);
+  const double d_scale = 1.0 / 512.0;
+  const Mask m = no_mask(16, 48);
+  const MatF ref = scaled_masked_softmax(
+      dequantize_i32(d, static_cast<float>(d_scale)), m, 8.0f);
+  auto err = [&](hw::PwlResolution res) {
+    const hw::SoftmaxUnit unit(d_scale, res);
+    return max_abs_diff(dequantize(unit(d, m), QuantParams{hw::kProbScale}),
+                        ref);
+  };
+  const double e2 = err(hw::PwlResolution::kTwo);
+  const double e16 = err(hw::PwlResolution::kSixteen);
+  EXPECT_LE(e16, e2);
+  EXPECT_LE(e16, 0.02);  // INT8 floor
+}
+
+}  // namespace
+}  // namespace tfacc

@@ -1,0 +1,163 @@
+// Unit tests for src/tensor: matrices, GEMM kernels, structure ops, metrics.
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "tensor/compare.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/ops.hpp"
+
+namespace tfacc {
+namespace {
+
+TEST(Matrix, ConstructsZeroed) {
+  MatF m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0f);
+}
+
+TEST(Matrix, InitializerList) {
+  MatF m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_EQ(m(2, 1), 6.0f);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((MatF{{1, 2}, {3}}), CheckError);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  MatF m(2, 2);
+  EXPECT_THROW(m.at(2, 0), CheckError);
+  EXPECT_THROW(m.at(0, -1), CheckError);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, BlockAndSetBlock) {
+  MatF m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const MatF b = m.block(1, 1, 2, 2);
+  EXPECT_EQ(b(0, 0), 5.0f);
+  EXPECT_EQ(b(1, 1), 9.0f);
+  MatF dst(3, 3);
+  dst.set_block(1, 1, b);
+  EXPECT_EQ(dst(2, 2), 9.0f);
+  EXPECT_EQ(dst(0, 0), 0.0f);
+  EXPECT_THROW(m.block(2, 2, 2, 2), CheckError);
+}
+
+TEST(Gemm, MatchesHandComputed) {
+  const MatF a{{1, 2}, {3, 4}};
+  const MatF b{{5, 6}, {7, 8}};
+  const MatF c = gemm(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19);
+  EXPECT_FLOAT_EQ(c(0, 1), 22);
+  EXPECT_FLOAT_EQ(c(1, 0), 43);
+  EXPECT_FLOAT_EQ(c(1, 1), 50);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  EXPECT_THROW(gemm(MatF(2, 3), MatF(2, 3)), CheckError);
+  EXPECT_THROW(gemm_i8(MatI8(2, 3), MatI8(4, 3)), CheckError);
+}
+
+TEST(Gemm, NtAndTnAgreeWithExplicitTranspose) {
+  Rng rng(3);
+  MatF a(5, 7), b(4, 7), c(5, 9);
+  fill_normal(a, rng, 0, 1);
+  fill_normal(b, rng, 0, 1);
+  fill_normal(c, rng, 0, 1);
+  EXPECT_LT(max_abs_diff(gemm_nt(a, b), gemm(a, transpose(b))), 1e-5);
+  EXPECT_LT(max_abs_diff(gemm_tn(a, c), gemm(transpose(a), c)), 1e-5);
+}
+
+TEST(GemmI8, MatchesFloatGemmOnSmallValues) {
+  Rng rng(11);
+  MatI8 a(6, 10), b(10, 5);
+  fill_uniform_i8(a, rng, -20, 20);
+  fill_uniform_i8(b, rng, -20, 20);
+  const MatI32 c = gemm_i8(a, b);
+  const MatF cf = gemm(to_float(a), to_float(b));
+  for (int r = 0; r < c.rows(); ++r)
+    for (int col = 0; col < c.cols(); ++col)
+      EXPECT_EQ(static_cast<float>(c(r, col)), cf(r, col));
+}
+
+TEST(GemmI8, NtMatchesTransposed) {
+  Rng rng(12);
+  MatI8 a(4, 8), b(6, 8);
+  fill_uniform_i8(a, rng);
+  fill_uniform_i8(b, rng);
+  EXPECT_EQ(gemm_nt_i8(a, b), gemm_i8(a, transpose(b)));
+}
+
+TEST(Structure, HconcatAndSplitColsRoundTrip) {
+  Rng rng(5);
+  MatI8 m(7, 12);
+  fill_uniform_i8(m, rng);
+  const auto blocks = split_cols(m, 4);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(hconcat(blocks), m);
+}
+
+TEST(Structure, SplitColsRejectsNonDivisible) {
+  EXPECT_THROW(split_cols(MatI8(2, 10), 3), CheckError);
+}
+
+TEST(Elementwise, AddBiasAndRelu) {
+  const MatF a{{-1, 2}, {3, -4}};
+  const MatF biased = add_bias(a, {10, 20});
+  EXPECT_FLOAT_EQ(biased(1, 1), 16);
+  const MatF r = relu(a);
+  EXPECT_FLOAT_EQ(r(0, 0), 0);
+  EXPECT_FLOAT_EQ(r(1, 0), 3);
+  const MatI32 ri = relu_i32(MatI32{{-5, 5}, {0, -1}});
+  EXPECT_EQ(ri(0, 0), 0);
+  EXPECT_EQ(ri(0, 1), 5);
+}
+
+TEST(Elementwise, ColSumsAndAccumulate) {
+  const MatF a{{1, 2}, {3, 4}};
+  const auto cs = col_sums(a);
+  EXPECT_FLOAT_EQ(cs[0], 4);
+  EXPECT_FLOAT_EQ(cs[1], 6);
+  MatF dst{{1, 1}, {1, 1}};
+  accumulate(dst, a);
+  EXPECT_FLOAT_EQ(dst(1, 1), 5);
+}
+
+TEST(Compare, MetricsBehave) {
+  const MatF a{{1, 0}, {0, 1}};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, a), 1.0);
+  const MatF b{{0, 1}, {1, 0}};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(mse(a, b), 1.0);
+  const MatF z(2, 2);
+  EXPECT_DOUBLE_EQ(cosine_similarity(z, z), 1.0);
+}
+
+// Property sweep: GEMM distributes over column-partitioned weights —
+// the algebra behind the Section III matrix partitioning.
+class PartitionAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionAlgebra, BlockwiseGemmEqualsFullGemm) {
+  const int block = GetParam();
+  Rng rng(100 + block);
+  MatI8 x(9, 24), w(24, 16);
+  fill_uniform_i8(x, rng);
+  fill_uniform_i8(w, rng);
+  const MatI32 full = gemm_i8(x, w);
+  std::vector<MatI32> parts;
+  for (const auto& wb : split_cols(w, block)) parts.push_back(gemm_i8(x, wb));
+  EXPECT_EQ(hconcat(parts), full);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, PartitionAlgebra,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace tfacc
