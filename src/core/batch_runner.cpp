@@ -1,0 +1,127 @@
+#include "core/batch_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace tfacc {
+
+void BatchConfig::validate() const {
+  TFACC_CHECK_ARG_MSG(num_cards >= 1, "num_cards must be >= 1, got "
+                                          << num_cards);
+  TFACC_CHECK_ARG_MSG(max_len >= 1, "max_len must be >= 1, got " << max_len);
+  accel.validate();
+}
+
+Cycle BatchReport::makespan_cycles() const {
+  Cycle m = 0;
+  for (const AcceleratorStats& s : per_card)
+    m = std::max(m, s.total_cycles());
+  return m;
+}
+
+Cycle BatchReport::total_cycles() const {
+  Cycle t = 0;
+  for (const AcceleratorStats& s : per_card) t += s.total_cycles();
+  return t;
+}
+
+double BatchReport::modeled_sentences_per_second() const {
+  const Cycle makespan = makespan_cycles();
+  if (makespan <= 0) return 0.0;
+  return sentences() * clock_mhz * 1e6 / static_cast<double>(makespan);
+}
+
+// One accelerator card: a host model copy, the INT8 quantization of its
+// blocks (keyed by weight addresses inside *this* model, hence per-card),
+// and the cycle-level simulator instance the card's thread drives.
+struct BatchRunner::Card {
+  Transformer model;
+  QuantizedTransformer qt;
+  Accelerator acc;
+
+  Card(const TransformerWeights& weights,
+       const std::vector<TokenSeq>& calib_sources, const BatchConfig& cfg)
+      : model(weights),
+        qt(QuantizedTransformer::build(model, calib_sources, cfg.max_len,
+                                       cfg.softmax)),
+        acc(cfg.accel) {}
+};
+
+namespace {
+
+// Run `fn(c)` for c in [0, n) on one thread each (or inline when n == 1),
+// capturing the first exception so it rethrows on the caller's thread
+// instead of std::terminate-ing the process.
+template <typename Fn>
+void run_per_card(std::size_t n, Fn&& fn) {
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto guarded = [&](std::size_t c) {
+    try {
+      fn(c);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mu);
+      if (!error) error = std::current_exception();
+    }
+  };
+  if (n == 1) {
+    guarded(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (std::size_t c = 0; c < n; ++c) threads.emplace_back(guarded, c);
+    for (std::thread& t : threads) t.join();
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(const TransformerWeights& weights,
+                         const std::vector<TokenSeq>& calib_sources,
+                         BatchConfig cfg)
+    : cfg_(cfg) {
+  cfg_.validate();
+  TFACC_CHECK_ARG_MSG(!calib_sources.empty(),
+                      "need at least one calibration sentence");
+  // Card setups are independent (each copies the weights and calibrates its
+  // own quantization), so build them concurrently like run() decodes.
+  cards_.resize(cfg_.num_cards);
+  run_per_card(cards_.size(), [&](std::size_t c) {
+    cards_[c] = std::make_unique<Card>(weights, calib_sources, cfg_);
+  });
+}
+
+BatchRunner::~BatchRunner() = default;
+
+BatchReport BatchRunner::run(const std::vector<TokenSeq>& sources) {
+  BatchReport rep;
+  rep.clock_mhz = cfg_.accel.clock_mhz;
+  rep.outputs.resize(sources.size());
+  rep.per_card.assign(cards_.size(), AcceleratorStats{});
+
+  // Sentence i goes to card i % num_cards: a deterministic deal, so the
+  // per-card cycle ledgers (not just the outputs) are reproducible.
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n_cards = cards_.size();
+  auto work = [&](std::size_t c) {
+    Card& card = *cards_[c];
+    card.model.set_backend(
+        accelerator_backend(card.qt, card.acc, &rep.per_card[c]));
+    for (std::size_t i = c; i < sources.size(); i += n_cards)
+      rep.outputs[i] = card.model.translate_greedy(sources[i], cfg_.max_len);
+    card.model.set_backend(ResBlockBackend{});
+  };
+  run_per_card(n_cards, work);
+  rep.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return rep;
+}
+
+}  // namespace tfacc

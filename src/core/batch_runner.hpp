@@ -1,0 +1,86 @@
+// Batched translation serving across a farm of accelerator cards.
+//
+// The paper evaluates batch-1 latency on a single FPGA; a deployment serving
+// heavy traffic replicates the card and spreads independent requests across
+// the replicas (the same scaling marian-dev applies to its multi-threaded
+// INT8 CPU decode path). BatchRunner models exactly that: each worker thread
+// owns a complete per-card context — a Transformer host model, its
+// QuantizedTransformer (INT8 blocks are keyed by weight addresses, so every
+// card calibrates its own copy deterministically) and a cycle-level
+// Accelerator — and requests are dealt round-robin across cards.
+//
+// Decoding is deterministic, so the batched outputs are bit-identical to a
+// serial single-card run regardless of thread count; only wall-clock time
+// and the per-card cycle ledgers change. Throughput is reported two ways:
+//  * wall-clock sentences/sec of the simulation itself (host dependent), and
+//  * modeled sentences/sec of the farm: n / makespan, where the makespan is
+//    the busiest card's simulated cycles at the configured clock — the number
+//    a real farm of these cards would sustain.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/backend.hpp"
+
+namespace tfacc {
+
+/// Configuration of a batched decode farm.
+struct BatchConfig {
+  int num_cards = 1;   ///< worker threads, one modeled accelerator card each
+  int max_len = 32;    ///< greedy-decode length cap per sentence
+  AcceleratorConfig accel{};              ///< micro-architecture of every card
+  SoftmaxImpl softmax = SoftmaxImpl::kHardware;  ///< quantized softmax flavor
+
+  void validate() const;
+};
+
+/// Outcome of one BatchRunner::run call.
+struct BatchReport {
+  std::vector<TokenSeq> outputs;          ///< outputs[i] decodes sources[i]
+  std::vector<AcceleratorStats> per_card; ///< cycle ledger of each card
+  double wall_seconds = 0;                ///< host time spent simulating
+  double clock_mhz = 200.0;
+
+  int sentences() const { return static_cast<int>(outputs.size()); }
+  /// Simulated cycles of the busiest card: the farm finishes when it does.
+  Cycle makespan_cycles() const;
+  /// Sum of ResBlock cycles across every card.
+  Cycle total_cycles() const;
+  /// Farm throughput a real deployment of these cards would sustain.
+  double modeled_sentences_per_second() const;
+  /// Host-side simulation throughput (depends on the machine running us).
+  double wall_sentences_per_second() const {
+    return wall_seconds <= 0 ? 0.0 : sentences() / wall_seconds;
+  }
+};
+
+/// Decodes batches of translation requests concurrently across per-thread
+/// Accelerator+backend instances. Construction pays the per-card setup
+/// (weight copy + INT8 calibration) once; run() may be called repeatedly.
+class BatchRunner {
+ public:
+  /// `weights` is copied into every card. `calib_sources` drive the INT8
+  /// calibration of each card's QuantizedTransformer (identical across cards
+  /// because calibration is deterministic).
+  BatchRunner(const TransformerWeights& weights,
+              const std::vector<TokenSeq>& calib_sources, BatchConfig cfg = {});
+  ~BatchRunner();
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  const BatchConfig& config() const { return cfg_; }
+
+  /// Greedily translate every source. Sentence i is decoded by card
+  /// i % num_cards; cards run in parallel threads. Outputs are bit-identical
+  /// to a serial decode of the same sources.
+  BatchReport run(const std::vector<TokenSeq>& sources);
+
+ private:
+  struct Card;
+  BatchConfig cfg_;
+  std::vector<std::unique_ptr<Card>> cards_;
+};
+
+}  // namespace tfacc

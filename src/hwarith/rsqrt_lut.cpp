@@ -6,6 +6,17 @@
 #include "common/check.hpp"
 #include "common/fixed_point.hpp"
 
+// std::bit_width below models the exponent extractor; it needs the C++20
+// <bit> library. Fail here with a readable message on older toolchains
+// (the macro is undefined pre-C++20, so guard before the static_assert).
+#ifndef __cpp_lib_bitops
+#error "tfacc requires C++20 bit operations (std::bit_width); build with -std=c++20 or newer"
+#else
+static_assert(__cpp_lib_bitops >= 201907L,
+              "tfacc requires C++20 bit operations (std::bit_width); "
+              "build with -std=c++20 or newer");
+#endif
+
 namespace tfacc::hw {
 
 RsqrtLut::RsqrtLut() {

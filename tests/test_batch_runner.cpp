@@ -1,0 +1,174 @@
+// Tests for core/batch_runner: batched multi-card decode must be
+// bit-identical to serial decode, invariant under thread count, and the
+// modeled farm throughput must improve with more cards.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/batch_runner.hpp"
+#include "nlp/synthetic.hpp"
+#include "reference/weights.hpp"
+
+namespace tfacc {
+namespace {
+
+ModelConfig small_config() {
+  ModelConfig cfg;
+  cfg.name = "batch-test";
+  cfg.d_model = 64;
+  cfg.d_ff = 256;
+  cfg.num_heads = 1;
+  cfg.head_dim = 64;
+  cfg.num_encoder_layers = 1;
+  cfg.num_decoder_layers = 1;
+  return cfg;
+}
+
+struct BatchFixture {
+  SyntheticTranslationTask task{24, 5, 7};
+  TransformerWeights weights;
+  std::vector<TokenSeq> calib;
+  std::vector<TokenSeq> sources;
+  int max_len;
+
+  explicit BatchFixture(int num_sources = 8) : weights(make_weights()) {
+    Rng rng(11);
+    for (int i = 0; i < 4; ++i) calib.push_back(task.sample(rng).source);
+    for (int i = 0; i < num_sources; ++i)
+      sources.push_back(task.sample(rng).source);
+    max_len = task.max_len() + 2;
+  }
+
+ private:
+  TransformerWeights make_weights() {
+    Rng rng(3);
+    return TransformerWeights::random(small_config(),
+                                      SyntheticTranslationTask(24, 5, 7)
+                                          .vocab_size(),
+                                      rng);
+  }
+};
+
+BatchConfig config_with_cards(int cards, int max_len) {
+  BatchConfig cfg;
+  cfg.num_cards = cards;
+  cfg.max_len = max_len;
+  return cfg;
+}
+
+TEST(BatchConfig, RejectsBadArguments) {
+  BatchConfig cfg;
+  cfg.num_cards = 0;
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg.num_cards = 1;
+  cfg.max_len = 0;
+  EXPECT_THROW(cfg.validate(), CheckError);
+}
+
+TEST(BatchRunner, RequiresCalibrationSentences) {
+  const BatchFixture fx(1);
+  EXPECT_THROW(BatchRunner(fx.weights, {}, config_with_cards(1, fx.max_len)),
+               CheckError);
+}
+
+// The headline guarantee: decoding a batch across many cards produces
+// exactly the sequences a plain serial accelerator-backend decode produces.
+TEST(BatchRunner, BatchedDecodeBitIdenticalToSerial) {
+  const BatchFixture fx(8);
+
+  // Serial reference: one model, one accelerator, one sentence at a time —
+  // the examples/translate.cpp deployment.
+  Transformer model(fx.weights);
+  const auto qt = QuantizedTransformer::build(model, fx.calib, fx.max_len,
+                                              SoftmaxImpl::kHardware);
+  Accelerator acc;
+  std::vector<TokenSeq> serial;
+  model.set_backend(accelerator_backend(qt, acc, nullptr));
+  for (const TokenSeq& src : fx.sources)
+    serial.push_back(model.translate_greedy(src, fx.max_len));
+  model.set_backend(ResBlockBackend{});
+
+  BatchRunner runner(fx.weights, fx.calib, config_with_cards(4, fx.max_len));
+  const BatchReport rep = runner.run(fx.sources);
+
+  ASSERT_EQ(rep.outputs.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(rep.outputs[i], serial[i]) << "sentence " << i;
+}
+
+TEST(BatchRunner, OutputsInvariantUnderThreadCount) {
+  const BatchFixture fx(10);
+  BatchRunner one(fx.weights, fx.calib, config_with_cards(1, fx.max_len));
+  BatchRunner eight(fx.weights, fx.calib, config_with_cards(8, fx.max_len));
+
+  const BatchReport rep1 = one.run(fx.sources);
+  const BatchReport rep8 = eight.run(fx.sources);
+
+  ASSERT_EQ(rep1.outputs.size(), rep8.outputs.size());
+  for (std::size_t i = 0; i < rep1.outputs.size(); ++i)
+    EXPECT_EQ(rep1.outputs[i], rep8.outputs[i]) << "sentence " << i;
+
+  // The work is the same, only its distribution changes: summed ResBlock
+  // invocations and cycles must match exactly.
+  long mha1 = 0, mha8 = 0, ffn1 = 0, ffn8 = 0;
+  for (const AcceleratorStats& s : rep1.per_card) {
+    mha1 += s.mha_runs;
+    ffn1 += s.ffn_runs;
+  }
+  for (const AcceleratorStats& s : rep8.per_card) {
+    mha8 += s.mha_runs;
+    ffn8 += s.ffn_runs;
+  }
+  EXPECT_EQ(mha1, mha8);
+  EXPECT_EQ(ffn1, ffn8);
+  EXPECT_EQ(rep1.total_cycles(), rep8.total_cycles());
+}
+
+TEST(BatchRunner, RunIsRepeatable) {
+  const BatchFixture fx(6);
+  BatchRunner runner(fx.weights, fx.calib, config_with_cards(3, fx.max_len));
+  const BatchReport a = runner.run(fx.sources);
+  const BatchReport b = runner.run(fx.sources);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.total_cycles(), b.total_cycles());
+  EXPECT_EQ(a.makespan_cycles(), b.makespan_cycles());
+}
+
+// More cards shrink the farm's makespan: the modeled throughput must rise
+// and the busiest card must carry less than the whole serial load.
+TEST(BatchRunner, ModeledThroughputImprovesWithCards) {
+  const BatchFixture fx(8);
+  BatchRunner one(fx.weights, fx.calib, config_with_cards(1, fx.max_len));
+  BatchRunner four(fx.weights, fx.calib, config_with_cards(4, fx.max_len));
+
+  const BatchReport rep1 = one.run(fx.sources);
+  const BatchReport rep4 = four.run(fx.sources);
+
+  EXPECT_EQ(rep1.makespan_cycles(), rep1.total_cycles());
+  EXPECT_LT(rep4.makespan_cycles(), rep1.makespan_cycles());
+  EXPECT_GT(rep4.modeled_sentences_per_second(),
+            rep1.modeled_sentences_per_second());
+}
+
+TEST(BatchRunner, MoreCardsThanSentences) {
+  const BatchFixture fx(2);
+  BatchRunner runner(fx.weights, fx.calib, config_with_cards(6, fx.max_len));
+  const BatchReport rep = runner.run(fx.sources);
+  ASSERT_EQ(rep.outputs.size(), 2u);
+  ASSERT_EQ(rep.per_card.size(), 6u);
+  int busy_cards = 0;
+  for (const AcceleratorStats& s : rep.per_card)
+    if (s.total_cycles() > 0) ++busy_cards;
+  EXPECT_EQ(busy_cards, 2);
+}
+
+TEST(BatchRunner, EmptyBatch) {
+  const BatchFixture fx(1);
+  BatchRunner runner(fx.weights, fx.calib, config_with_cards(2, fx.max_len));
+  const BatchReport rep = runner.run({});
+  EXPECT_EQ(rep.sentences(), 0);
+  EXPECT_EQ(rep.makespan_cycles(), 0);
+  EXPECT_EQ(rep.modeled_sentences_per_second(), 0.0);
+}
+
+}  // namespace
+}  // namespace tfacc
