@@ -3,11 +3,43 @@
 // decoding — including per-layer weight DMA (the Fig. 5 weight memory holds
 // one layer) and the KV-cache decoding mode. GPU baseline from the same
 // calibrated eager model used for Table III.
+//
+// The last section measures the *functional* stack (the code that actually
+// produces tokens) decoding with and without KV caches, next to the modeled
+// cached/naive ratio — since the incremental-decode rework, the measured
+// system exercises the same O(L²) path the cycle model assumes.
+#include <chrono>
 #include <cstdio>
 
 #include "core/full_model.hpp"
 #include "perf/gpu_model.hpp"
+#include "reference/transformer.hpp"
 #include "table.hpp"
+
+namespace {
+
+/// Wall seconds of `out_len` forced decode steps (tokens fed cyclically so
+/// an early EOS cannot shorten the comparison) on the reference stack.
+double decode_wall_seconds(const tfacc::Transformer& model,
+                           const tfacc::MatF& memory, int src_valid,
+                           int out_len, tfacc::DecodeMode mode) {
+  using namespace tfacc;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (mode == DecodeMode::kKvCache) {
+    DecodeState state = model.begin_decode(memory, src_valid);
+    for (int t = 0; t < out_len; ++t) model.decode_step(state, 3 + (t % 7));
+  } else {
+    TokenSeq tgt{kBosId};
+    for (int t = 0; t < out_len; ++t) {
+      model.next_token_logits(tgt, memory, src_valid);
+      tgt.push_back(3 + (t % 7));
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 int main() {
   using namespace tfacc;
@@ -83,5 +115,38 @@ int main() {
                 rep.microseconds() / 1000.0,
                 100.0 * rep.dma_exposed_cycles / rep.total_cycles);
   }
-  return 0;
+
+  bench::title(
+      "Measured functional decode: KV cache vs full recompute "
+      "(Transformer-base, FP32 reference stack)");
+  Rng rng(7);
+  Transformer model(TransformerWeights::random(cfg, /*vocab=*/256, rng));
+  const TokenSeq bench_src(16, 3);
+  const MatF memory = model.encode(bench_src);
+  const int src_valid = static_cast<int>(bench_src.size());
+  std::printf("%10s | %12s %12s %10s | %12s\n", "out tokens", "naive s",
+              "cached s", "speedup", "modeled x");
+  bench::rule(70);
+  double speedup_at_32 = 0.0;
+  for (const int out : {8, 16, 32}) {
+    const double naive_s = decode_wall_seconds(model, memory, src_valid, out,
+                                               DecodeMode::kFullRecompute);
+    const double cached_s = decode_wall_seconds(model, memory, src_valid, out,
+                                                DecodeMode::kKvCache);
+    const double modeled =
+        static_cast<double>(
+            sched.greedy_decode(cfg, src_valid, out, false).compute_cycles) /
+        sched.greedy_decode(cfg, src_valid, out, true).compute_cycles;
+    const double speedup = naive_s / cached_s;
+    if (out == 32) speedup_at_32 = speedup;
+    std::printf("%10d | %12.3f %12.3f %9.2fx | %11.2fx\n", out, naive_s,
+                cached_s, speedup, modeled);
+  }
+  std::printf(
+      "\ncached speedup at 32 tokens: %.2fx (target >= 3x: %s)\n"
+      "The measured ratio exceeds the modeled compute-cycle ratio: the\n"
+      "accelerator model is weight-load bound at small row counts, while\n"
+      "the host FP32 stack pays the full O(L^3) arithmetic.\n",
+      speedup_at_32, speedup_at_32 >= 3.0 ? "PASS" : "FAIL");
+  return speedup_at_32 >= 3.0 ? 0 : 1;
 }

@@ -25,6 +25,13 @@ struct FfnSchedule {
   Interval ln;
 };
 
+/// Slack bookkeeping of the KV-cached MHA flow (intervals are not needed
+/// downstream, only the softmax-overlap check).
+struct MhaCachedSchedule {
+  Cycle slack_min = std::numeric_limits<Cycle>::max();
+  int num_heads = 0;
+};
+
 MhaSchedule schedule_mha(const AcceleratorConfig& cfg, SaModule& sa,
                          SoftmaxModule& sm, LayerNormModule& ln, int s_q,
                          int s_kv, int d_model, int num_heads) {
@@ -66,6 +73,54 @@ MhaSchedule schedule_mha(const AcceleratorConfig& cfg, SaModule& sa,
   return sched;
 }
 
+/// KV-cached MHA flow: `s_new` query rows are projected and attend over
+/// `s_total` cached keys/values; only `project_kv_rows` K/V rows are
+/// projected this call (0 = fully cached, the steady decode state).
+MhaCachedSchedule schedule_mha_cached(const AcceleratorConfig& cfg,
+                                      SaModule& sa, SoftmaxModule& sm,
+                                      LayerNormModule& ln, int s_new,
+                                      int s_total, int d_model, int num_heads,
+                                      int project_kv_rows) {
+  const int hd = cfg.sa_cols;
+  MhaCachedSchedule sched;
+  Cycle p_ready = 0;
+  for (int h = 0; h < num_heads; ++h) {
+    const std::string tag = "head" + std::to_string(h);
+    const Interval q1 = sa.schedule(s_new, d_model, hd, 0,
+                                    SaModule::kStaticWeight, tag + ".QWq");
+    Cycle k_ready = SaModule::kStaticWeight;  // cached K₁ᵀ is resident
+    Cycle v_ready = SaModule::kStaticWeight;
+    if (project_kv_rows > 0) {
+      k_ready = sa.schedule(project_kv_rows, d_model, hd, 0,
+                            SaModule::kStaticWeight, tag + ".KWk")
+                    .end;
+      v_ready = sa.schedule(project_kv_rows, d_model, hd, 0,
+                            SaModule::kStaticWeight, tag + ".VWv")
+                    .end;
+    }
+    const Interval d = sa.schedule(s_new, hd, s_total, q1.end, k_ready,
+                                   tag + ".QKt");
+    const Interval smv = sm.schedule(d.end, s_total, tag + ".softmax");
+    const Interval a = sa.schedule(s_new, s_total, hd, smv.end, v_ready,
+                                   tag + ".AV");
+    sched.slack_min = std::min(sched.slack_min, a.start - smv.end);
+    p_ready = a.end;
+  }
+  Cycle g_done = p_ready;
+  for (int i = 0; i < d_model / hd; ++i)
+    g_done = sa.schedule(s_new, d_model, hd, p_ready,
+                         SaModule::kStaticWeight, "G" + std::to_string(i))
+                 .end;
+  ln.schedule(g_done, d_model, "LayerNorm");
+  sched.num_heads = num_heads;
+  return sched;
+}
+
+void record_softmax_slack(RunReport& rep, const MhaCachedSchedule& sched) {
+  rep.softmax_slack_min = sched.num_heads > 0 ? sched.slack_min : 0;
+  rep.softmax_hidden = rep.softmax_slack_min >= 0;
+}
+
 FfnSchedule schedule_ffn(const AcceleratorConfig& cfg, SaModule& sa,
                          LayerNormModule& ln, int s, int d_model, int d_ff) {
   const int bc = cfg.sa_cols;
@@ -92,13 +147,21 @@ FfnSchedule schedule_ffn(const AcceleratorConfig& cfg, SaModule& sa,
   return sched;
 }
 
+/// Busy cycles of a module that may never have been scheduled (e.g. Softmax
+/// in an FFN run). The const find() cannot create an empty ledger the way
+/// the non-const module() accessor would.
+Cycle busy_cycles_of(const Timeline& tl, const std::string& name) {
+  const ModuleTimeline* m = tl.find(name);
+  return m == nullptr ? 0 : m->busy_cycles();
+}
+
 void finalize_report(RunReport& rep, const AcceleratorConfig& cfg,
                      const SaModule& sa) {
   rep.clock_mhz = cfg.clock_mhz;
   rep.total_cycles = rep.timeline.end_time();
-  rep.sa_busy = rep.timeline.module("SA").busy_cycles();
-  rep.softmax_busy = rep.timeline.module("Softmax").busy_cycles();
-  rep.layernorm_busy = rep.timeline.module("LayerNorm").busy_cycles();
+  rep.sa_busy = busy_cycles_of(rep.timeline, "SA");
+  rep.softmax_busy = busy_cycles_of(rep.timeline, "Softmax");
+  rep.layernorm_busy = busy_cycles_of(rep.timeline, "LayerNorm");
   rep.sa_stream = sa.ideal_stream_cycles();
   rep.exposed_weight_load = sa.exposed_load_cycles();
   rep.accum_spill = sa.spill_cycles();
@@ -244,42 +307,43 @@ RunReport Accelerator::time_mha_cached(int s_new, int s_total, int d_model,
   SaModule sa(cfg_, rep.timeline);
   SoftmaxModule sm(cfg_, rep.timeline);
   LayerNormModule ln(cfg_, rep.timeline);
-  const int hd = cfg_.sa_cols;
-
-  Cycle slack_min = std::numeric_limits<Cycle>::max();
-  Cycle p_ready = 0;
-  for (int h = 0; h < num_heads; ++h) {
-    const std::string tag = "head" + std::to_string(h);
-    const Interval q1 = sa.schedule(s_new, d_model, hd, 0,
-                                    SaModule::kStaticWeight, tag + ".QWq");
-    Cycle k_ready = SaModule::kStaticWeight;  // cached K₁ᵀ is resident
-    Cycle v_ready = SaModule::kStaticWeight;
-    if (project_kv_rows > 0) {
-      k_ready = sa.schedule(project_kv_rows, d_model, hd, 0,
-                            SaModule::kStaticWeight, tag + ".KWk")
-                    .end;
-      v_ready = sa.schedule(project_kv_rows, d_model, hd, 0,
-                            SaModule::kStaticWeight, tag + ".VWv")
-                    .end;
-    }
-    const Interval d = sa.schedule(s_new, hd, s_total, q1.end, k_ready,
-                                   tag + ".QKt");
-    const Interval smv = sm.schedule(d.end, s_total, tag + ".softmax");
-    const Interval a = sa.schedule(s_new, s_total, hd, smv.end, v_ready,
-                                   tag + ".AV");
-    slack_min = std::min(slack_min, a.start - smv.end);
-    p_ready = a.end;
-  }
-  Cycle g_done = p_ready;
-  for (int i = 0; i < d_model / hd; ++i)
-    g_done = sa.schedule(s_new, d_model, hd, p_ready,
-                         SaModule::kStaticWeight, "G" + std::to_string(i))
-                 .end;
-  ln.schedule(g_done, d_model, "LayerNorm");
-  rep.softmax_slack_min = num_heads > 0 ? slack_min : 0;
-  rep.softmax_hidden = rep.softmax_slack_min >= 0;
+  const MhaCachedSchedule sched =
+      schedule_mha_cached(cfg_, sa, sm, ln, s_new, s_total, d_model,
+                          num_heads, project_kv_rows);
+  record_softmax_slack(rep, sched);
   finalize_report(rep, cfg_, sa);
   return rep;
+}
+
+Accelerator::MhaResult Accelerator::run_mha_cached(const MhaQuantized& block,
+                                                   const MatI8& q,
+                                                   const QuantKvCache& cache,
+                                                   const Mask& mask,
+                                                   int projected_rows) const {
+  TFACC_CHECK_ARG(q.cols() == block.d_model);
+  TFACC_CHECK_ARG(mask.rows() == q.rows() && mask.cols() == cache.rows());
+  TFACC_CHECK_ARG(projected_rows >= 0 && projected_rows <= cache.rows());
+  TFACC_CHECK_ARG_MSG(block.head_dim == cfg_.sa_cols,
+                      "head_dim " << block.head_dim << " != SA columns "
+                                  << cfg_.sa_cols);
+
+  MhaResult res;
+  RunReport& rep = res.report;
+  SaModule sa(cfg_, rep.timeline);
+  SoftmaxModule sm(cfg_, rep.timeline);
+  LayerNormModule ln(cfg_, rep.timeline);
+  const MhaCachedSchedule sched =
+      schedule_mha_cached(cfg_, sa, sm, ln, q.rows(), cache.rows(),
+                          block.d_model, block.num_heads, projected_rows);
+
+  // Functional pass: identical arithmetic to the quantized model's cached
+  // path (the caller appended this step's K/V rows before invoking us, so
+  // the cache already holds them — mirroring the data memory on chip).
+  res.out = block.forward_cached(q, cache, mask);
+
+  record_softmax_slack(rep, sched);
+  finalize_report(rep, cfg_, sa);
+  return res;
 }
 
 RunReport Accelerator::time_ffn(int s, int d_model, int d_ff) const {

@@ -64,6 +64,14 @@ class Accelerator {
   MhaResult run_mha(const MhaQuantized& block, const MatI8& q,
                     const MatI8& kv, const Mask& mask) const;
 
+  /// KV-cached MHA: q's rows attend over the cached K₁/V₁ (already resident
+  /// in the data memory). `projected_rows` of the cache were projected this
+  /// step (charged to the SA); the rest are reused. Functionally identical
+  /// to run_mha when the cache holds the projections of the full kv input.
+  MhaResult run_mha_cached(const MhaQuantized& block, const MatI8& q,
+                           const QuantKvCache& cache, const Mask& mask,
+                           int projected_rows) const;
+
   struct FfnResult {
     MatI8 out;
     RunReport report;

@@ -5,7 +5,10 @@ namespace tfacc {
 ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
                                     const Accelerator& acc,
                                     AcceleratorStats* stats) {
-  ResBlockBackend b;
+  // Start from the quantized backend: its K/V cache factories (INT8 rows at
+  // the calibrated scales) are exactly what the accelerator consumes too.
+  // Only the hooks that execute compute are rerouted through the simulator.
+  ResBlockBackend b = qt.backend();
   b.mha = [&qt, &acc, stats](const MatF& q, const MatF& kv,
                              const MhaWeights& w, const Mask& mask) {
     const MhaQuantized& qm = qt.mha_for(w);
@@ -25,6 +28,23 @@ ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
       stats->ffn_cycles += result.report.total_cycles;
     }
     return qf.dequantize_out(result.out);
+  };
+  // Incremental decode: K/V live in the card's data memory as INT8 rows,
+  // appended once per projected position. Projection of the new rows is
+  // charged inside run_mha_cached's schedule.
+  b.mha_cached = [&qt, &acc, stats](const MatF& q, MhaCache& cache,
+                                    const MhaWeights& w, const Mask& mask,
+                                    bool append) {
+    const MhaQuantized& qm = qt.mha_for(w);
+    auto& kv_cache = dynamic_cast<QuantKvCache&>(cache);
+    if (append) qm.append_kv(qm.quantize_kv(q), kv_cache);
+    const auto result = acc.run_mha_cached(qm, qm.quantize_q(q), kv_cache,
+                                           mask, append ? q.rows() : 0);
+    if (stats != nullptr) {
+      ++stats->mha_runs;
+      stats->mha_cycles += result.report.total_cycles;
+    }
+    return qm.dequantize_out(result.out);
   };
   return b;
 }

@@ -114,7 +114,8 @@ BatchReport BatchRunner::run(const std::vector<TokenSeq>& sources) {
     card.model.set_backend(
         accelerator_backend(card.qt, card.acc, &rep.per_card[c]));
     for (std::size_t i = c; i < sources.size(); i += n_cards)
-      rep.outputs[i] = card.model.translate_greedy(sources[i], cfg_.max_len);
+      rep.outputs[i] =
+          card.model.translate_greedy(sources[i], cfg_.max_len, cfg_.decode);
     card.model.set_backend(ResBlockBackend{});
   };
   run_per_card(n_cards, work);

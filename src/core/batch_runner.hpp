@@ -31,6 +31,10 @@ struct BatchConfig {
   int max_len = 32;    ///< greedy-decode length cap per sentence
   AcceleratorConfig accel{};              ///< micro-architecture of every card
   SoftmaxImpl softmax = SoftmaxImpl::kHardware;  ///< quantized softmax flavor
+  /// KV-cached incremental decode (the production mode) or full recompute
+  /// (the O(L³) legacy path, kept for equivalence tests and benchmarks).
+  /// Outputs are bit-identical either way.
+  DecodeMode decode = DecodeMode::kKvCache;
 
   void validate() const;
 };

@@ -44,13 +44,15 @@ void SoftmaxUnit::row(const std::int32_t* d, const std::uint8_t* mask, int n,
 
   // Stage 2: exponentials of the negated distances to the max, and their sum.
   std::int64_t sum_q10 = 0;
-  std::vector<std::int32_t> x_q10(static_cast<std::size_t>(n), 0);
+  if (x_q10_.size() < static_cast<std::size_t>(n))
+    x_q10_.resize(static_cast<std::size_t>(n));
+  std::int32_t* x_q10 = x_q10_.data();
   for (int j = 0; j < n; ++j) {
     if (mask[j]) continue;
     const std::int64_t diff = static_cast<std::int64_t>(d[j]) - dmax;  // <= 0
     std::int64_t x = to_q10_.apply(diff);
     if (x < kExpMinArg) x = kExpMinArg;
-    x_q10[static_cast<std::size_t>(j)] = static_cast<std::int32_t>(x);
+    x_q10[j] = static_cast<std::int32_t>(x);
     sum_q10 += exp_fx(static_cast<std::int32_t>(x));
   }
   // The max element contributes exp(0) = 1.0, so sum >= 1.0 always holds.
@@ -65,9 +67,7 @@ void SoftmaxUnit::row(const std::int32_t* d, const std::uint8_t* mask, int n,
       out[j] = 0;
       continue;
     }
-    std::int64_t arg = static_cast<std::int64_t>(
-                           x_q10[static_cast<std::size_t>(j)]) -
-                       log_sum;
+    std::int64_t arg = static_cast<std::int64_t>(x_q10[j]) - log_sum;
     if (arg < kExpMinArg) arg = kExpMinArg;
     if (arg > 0) arg = 0;  // rounding in LN can make the max slightly positive
     const std::int32_t y = exp_fx(static_cast<std::int32_t>(arg));

@@ -40,6 +40,8 @@ class SoftmaxUnit {
 
   /// Process one row. `d` and `mask` have length n; mask 1 = illegal.
   /// Fully-masked rows produce all zeros.
+  /// Reuses an internal scratch buffer (no allocation per row once warm),
+  /// so one SoftmaxUnit must not process rows from multiple threads.
   void row(const std::int32_t* d, const std::uint8_t* mask, int n,
            std::int8_t* out) const;
 
@@ -56,6 +58,10 @@ class SoftmaxUnit {
 
   FixedPointScale to_q10_;  // d_scale/8, expressed in Q.10 LSBs
   std::optional<PwlResolution> resolution_;  // empty = shipped dyadic design
+  // Per-row exp-argument scratch, hoisted out of row()'s hot path so the
+  // attention inner loop is allocation-free. Entries for masked columns are
+  // left stale; every read in stage 4 is guarded by the same mask.
+  mutable std::vector<std::int32_t> x_q10_;
 };
 
 }  // namespace tfacc::hw

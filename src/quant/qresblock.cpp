@@ -201,6 +201,21 @@ MatI8 MhaQuantized::softmax(const MatI32& scores, const Mask& mask,
   return {};
 }
 
+namespace {
+
+/// W_G projection + residual + LayerNorm, shared by the plain and cached
+/// forward paths (both operate per row).
+MatI8 mha_output_stage(const MhaQuantized& m, const MatI8& q,
+                       const MatI8& p) {
+  const MatI32 g_acc = m.wg.accumulate(p);
+  const MatI16 g_proj = requantize_i16(g_acc, m.wg_to_g);
+  const MatI16 g_res = requantize_i8_to_i16(q, m.residual_to_g);
+  const MatI16 g = saturating_add_i16(g_proj, g_res);
+  return m.norm(g);
+}
+
+}  // namespace
+
 MatI8 MhaQuantized::forward(const MatI8& q, const MatI8& kv,
                             const Mask& mask) const {
   TFACC_CHECK_ARG(q.cols() == d_model && kv.cols() == d_model);
@@ -219,12 +234,51 @@ MatI8 MhaQuantized::forward(const MatI8& q, const MatI8& kv,
     p_blocks.push_back(requantize_i8(a, qh.av_requant));
   }
   const MatI8 p = hconcat(p_blocks);
+  return mha_output_stage(*this, q, p);
+}
 
-  const MatI32 g_acc = wg.accumulate(p);
-  const MatI16 g_proj = requantize_i16(g_acc, wg_to_g);
-  const MatI16 g_res = requantize_i8_to_i16(q, residual_to_g);
-  const MatI16 g = saturating_add_i16(g_proj, g_res);
-  return norm(g);
+// --- Cached (incremental-decode) path ---------------------------------------
+
+QuantKvCache::QuantKvCache(std::size_t num_heads, int head_dim)
+    : k1(num_heads, MatI8(0, head_dim)), v1(num_heads, MatI8(0, head_dim)) {}
+
+MhaCachePtr QuantKvCache::clone() const {
+  return std::make_unique<QuantKvCache>(*this);
+}
+
+int QuantKvCache::rows() const { return k1.empty() ? 0 : k1.front().rows(); }
+
+QuantKvCache MhaQuantized::make_cache() const {
+  return QuantKvCache(static_cast<std::size_t>(num_heads), head_dim);
+}
+
+void MhaQuantized::append_kv(const MatI8& kv, QuantKvCache& cache) const {
+  TFACC_CHECK_ARG(kv.cols() == d_model);
+  TFACC_CHECK_ARG(cache.k1.size() == heads.size());
+  for (std::size_t h = 0; h < heads.size(); ++h) {
+    cache.k1[h].append_rows(heads[h].wk.forward(kv));
+    cache.v1[h].append_rows(heads[h].wv.forward(kv));
+  }
+}
+
+MatI8 MhaQuantized::forward_cached(const MatI8& q, const QuantKvCache& cache,
+                                   const Mask& mask) const {
+  TFACC_CHECK_ARG(q.cols() == d_model);
+  TFACC_CHECK_ARG(mask.rows() == q.rows() && mask.cols() == cache.rows());
+
+  std::vector<MatI8> p_blocks;
+  p_blocks.reserve(heads.size());
+  for (int h = 0; h < num_heads; ++h) {
+    const auto& qh = heads[static_cast<std::size_t>(h)];
+    const MatI8 q1 = qh.wq.forward(q);
+    const MatI32 scores =
+        gemm_nt_i8(q1, cache.k1[static_cast<std::size_t>(h)]);
+    const MatI8 probs = softmax(scores, mask, h);
+    const MatI32 a = gemm_i8(probs, cache.v1[static_cast<std::size_t>(h)]);
+    p_blocks.push_back(requantize_i8(a, qh.av_requant));
+  }
+  const MatI8 p = hconcat(p_blocks);
+  return mha_output_stage(*this, q, p);
 }
 
 // --- FfnQuantized ------------------------------------------------------------

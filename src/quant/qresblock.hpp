@@ -14,10 +14,24 @@
 #include "hwarith/layernorm_unit.hpp"
 #include "hwarith/softmax_unit.hpp"
 #include "quant/quantizer.hpp"
+#include "reference/decode_state.hpp"
 #include "reference/functional.hpp"
 #include "reference/weights.hpp"
 
 namespace tfacc {
+
+/// INT8 K/V cache of one quantized MHA block: the *already-requantized*
+/// per-head K₁/V₁ rows (outputs of wk/wv.forward). Storing the INT8 rows —
+/// not FP32 rows requantized per step — makes cached decode bit-identical
+/// to full recompute by construction: each row is quantized exactly once.
+class QuantKvCache final : public MhaCache {
+ public:
+  QuantKvCache(std::size_t num_heads, int head_dim);
+  MhaCachePtr clone() const override;
+  int rows() const override;
+
+  std::vector<MatI8> k1, v1;  // per head, rows × head_dim
+};
 
 /// Which softmax the quantized model (and the accelerator) uses.
 enum class SoftmaxImpl {
@@ -103,6 +117,16 @@ struct MhaQuantized {
 
   /// Run the quantized block. q/kv are INT8 at q_in_scale/kv_in_scale.
   MatI8 forward(const MatI8& q, const MatI8& kv, const Mask& mask) const;
+
+  /// Empty K/V cache shaped for this block.
+  QuantKvCache make_cache() const;
+  /// Project `kv` rows (INT8 at kv_in_scale) and append their K₁/V₁ to the
+  /// cache — one call per decode step (self) or once per sentence (cross).
+  void append_kv(const MatI8& kv, QuantKvCache& cache) const;
+  /// forward() against cached K₁/V₁: only q is projected. Bit-identical to
+  /// forward(q, kv, mask) when the cache holds kv's projections.
+  MatI8 forward_cached(const MatI8& q, const QuantKvCache& cache,
+                       const Mask& mask) const;
 
   /// INT8 attention probabilities for one head's score accumulators —
   /// shared by forward() and the accelerator simulator.

@@ -3,6 +3,9 @@
 namespace tfacc {
 
 ResBlockBackend capturing_backend(CaptureStore& store) {
+  // Only the batch-style hooks capture; the cached-MHA hooks keep their
+  // reference defaults, so drive this backend with
+  // DecodeMode::kFullRecompute (as build() does) to record every block.
   ResBlockBackend b;
   b.mha = [&store](const MatF& q, const MatF& kv, const MhaWeights& w,
                    const Mask& mask) {
@@ -26,7 +29,11 @@ QuantizedTransformer QuantizedTransformer::build(
 
   CaptureStore store;
   model.set_backend(capturing_backend(store));
-  for (const auto& src : calib_sources) model.translate_greedy(src, max_len);
+  // Full recompute: the capturing backend only hooks the batch-style
+  // mha/ffn calls, and calibration wants the same growing-prefix inputs
+  // deployment's batch ResBlocks would see.
+  for (const auto& src : calib_sources)
+    model.translate_greedy(src, max_len, DecodeMode::kFullRecompute);
   model.set_backend(ResBlockBackend{});
 
   QuantizedTransformer qt;
@@ -63,14 +70,33 @@ ResBlockBackend QuantizedTransformer::backend() const {
     const FfnQuantized& qf = ffn_for(w);
     return qf.dequantize_out(qf.forward(qf.quantize_in(x)));
   };
+  b.mha_self_cache = [this](const MhaWeights& w) -> MhaCachePtr {
+    return std::make_unique<QuantKvCache>(mha_for(w).make_cache());
+  };
+  b.mha_cross_cache = [this](const MatF& memory,
+                             const MhaWeights& w) -> MhaCachePtr {
+    const MhaQuantized& qm = mha_for(w);
+    auto cache = std::make_unique<QuantKvCache>(qm.make_cache());
+    qm.append_kv(qm.quantize_kv(memory), *cache);
+    return cache;
+  };
+  b.mha_cached = [this](const MatF& q, MhaCache& cache, const MhaWeights& w,
+                        const Mask& mask, bool append) {
+    const MhaQuantized& qm = mha_for(w);
+    auto& kv_cache = dynamic_cast<QuantKvCache&>(cache);
+    if (append) qm.append_kv(qm.quantize_kv(q), kv_cache);
+    return qm.dequantize_out(
+        qm.forward_cached(qm.quantize_q(q), kv_cache, mask));
+  };
   return b;
 }
 
 TokenSeq QuantizedTransformer::translate_greedy(Transformer& model,
                                                 const TokenSeq& src,
-                                                int max_len) const {
+                                                int max_len,
+                                                DecodeMode mode) const {
   model.set_backend(backend());
-  TokenSeq out = model.translate_greedy(src, max_len);
+  TokenSeq out = model.translate_greedy(src, max_len, mode);
   model.set_backend(ResBlockBackend{});
   return out;
 }

@@ -37,6 +37,8 @@ class QuantizedTransformer {
 
   /// Backend computing every ResBlock with its INT8 model
   /// (dequantizing back to FP32 at block boundaries, as deployment does).
+  /// Includes the cached-MHA hooks: K/V caches hold already-quantized INT8
+  /// rows, so incremental decode is bit-identical to full recompute.
   ResBlockBackend backend() const;
 
   const MhaQuantized& mha_for(const MhaWeights& w) const;
@@ -45,7 +47,8 @@ class QuantizedTransformer {
   /// Convenience: translate with the quantized backend installed, restoring
   /// the model's previous (FP32) backend afterwards.
   TokenSeq translate_greedy(Transformer& model, const TokenSeq& src,
-                            int max_len) const;
+                            int max_len,
+                            DecodeMode mode = DecodeMode::kKvCache) const;
 
  private:
   std::unordered_map<const MhaWeights*, MhaQuantized> mha_;

@@ -1,0 +1,64 @@
+#include "reference/decode_state.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace tfacc {
+
+RefMhaCache::RefMhaCache(std::size_t num_heads, int head_dim)
+    : k(num_heads, MatF(0, head_dim)), v(num_heads, MatF(0, head_dim)) {}
+
+MhaCachePtr RefMhaCache::clone() const {
+  return std::make_unique<RefMhaCache>(*this);
+}
+
+int RefMhaCache::rows() const { return k.empty() ? 0 : k.front().rows(); }
+
+MhaCachePtr ref_mha_self_cache(const MhaWeights& w) {
+  TFACC_CHECK_ARG(!w.heads.empty());
+  return std::make_unique<RefMhaCache>(w.heads.size(),
+                                       w.heads.front().wk.cols());
+}
+
+MhaCachePtr ref_mha_cross_cache(const MatF& memory, const MhaWeights& w) {
+  auto cache = ref_mha_self_cache(w);
+  auto& ref = static_cast<RefMhaCache&>(*cache);
+  for (std::size_t h = 0; h < w.heads.size(); ++h) {
+    const auto& head = w.heads[h];
+    ref.k[h].append_rows(add_bias(gemm(memory, head.wk), head.bk));
+    ref.v[h].append_rows(add_bias(gemm(memory, head.wv), head.bv));
+  }
+  return cache;
+}
+
+MatF ref_mha_cached(const MatF& q, MhaCache& cache, const MhaWeights& w,
+                    const Mask& mask, bool append) {
+  auto& ref = dynamic_cast<RefMhaCache&>(cache);
+  TFACC_CHECK_ARG(ref.k.size() == w.heads.size());
+  std::vector<MatF> head_outputs;
+  head_outputs.reserve(w.heads.size());
+  for (std::size_t h = 0; h < w.heads.size(); ++h) {
+    const auto& head = w.heads[h];
+    if (append) {
+      ref.k[h].append_rows(add_bias(gemm(q, head.wk), head.bk));
+      ref.v[h].append_rows(add_bias(gemm(q, head.wv), head.bv));
+    }
+    const MatF qi = add_bias(gemm(q, head.wq), head.bq);
+    head_outputs.push_back(attention_head(qi, ref.k[h], ref.v[h], mask));
+  }
+  const MatF p = hconcat(head_outputs);
+  const MatF g = add(q, add_bias(gemm(p, w.wg), w.bg));
+  return layer_norm(g, w.norm);
+}
+
+DecodeState DecodeState::clone() const {
+  DecodeState out;
+  out.self_kv.reserve(self_kv.size());
+  for (const auto& c : self_kv) out.self_kv.push_back(c->clone());
+  out.cross_kv = cross_kv;  // immutable after begin_decode: share
+  out.steps = steps;
+  out.memory_rows = memory_rows;
+  out.src_valid = src_valid;
+  return out;
+}
+
+}  // namespace tfacc

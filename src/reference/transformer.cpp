@@ -8,7 +8,26 @@
 namespace tfacc {
 
 namespace {
-constexpr int kMaxPosition = 512;
+// Initial positional-table allocation; positions() grows past it on demand.
+constexpr int kInitialPositions = 512;
+
+/// Does this std::function still hold the free function it was defaulted to?
+template <typename Sig, typename Fn>
+bool holds_default(const std::function<Sig>& f, Fn* def) {
+  Fn* const* target = f.template target<Fn*>();
+  return target != nullptr && *target == def;
+}
+}  // namespace
+
+bool ResBlockBackend::supports_cached_decode() const {
+  if (!mha_cached || !mha_self_cache || !mha_cross_cache) return false;
+  const bool cached_is_default =
+      holds_default(mha_cached, &ref_mha_cached) &&
+      holds_default(mha_self_cache, &ref_mha_self_cache) &&
+      holds_default(mha_cross_cache, &ref_mha_cross_cache);
+  // Default cached hooks only match a default mha; overridden cached hooks
+  // are the author's claim of consistency and are trusted.
+  return !cached_is_default || holds_default(mha, &mha_resblock);
 }
 
 MatF positional_encoding(int max_len, int d_model) {
@@ -27,23 +46,33 @@ MatF positional_encoding(int max_len, int d_model) {
 
 Transformer::Transformer(TransformerWeights weights)
     : weights_(std::move(weights)),
-      pos_encoding_(positional_encoding(kMaxPosition,
-                                        weights_.config.d_model)) {
+      pos_encoding_(std::make_shared<const MatF>(
+          positional_encoding(kInitialPositions, weights_.config.d_model))) {
   weights_.config.validate();
+}
+
+std::shared_ptr<const MatF> Transformer::positions(int rows) const {
+  const std::lock_guard<std::mutex> lock(pos_mu_);
+  if (rows > pos_encoding_->rows()) {
+    const int grown = std::max(rows, 2 * pos_encoding_->rows());
+    pos_encoding_ = std::make_shared<const MatF>(
+        positional_encoding(grown, weights_.config.d_model));
+  }
+  return pos_encoding_;
 }
 
 MatF Transformer::embed(const TokenSeq& tokens, const MatF& embedding) const {
   TFACC_CHECK_ARG(!tokens.empty());
   const int d_model = weights_.config.d_model;
   const float scale = std::sqrt(static_cast<float>(d_model));
+  const auto pe = positions(static_cast<int>(tokens.size()));
   MatF out(static_cast<int>(tokens.size()), d_model);
   for (int r = 0; r < out.rows(); ++r) {
     const int id = tokens[static_cast<std::size_t>(r)];
     TFACC_CHECK_ARG_MSG(id >= 0 && id < weights_.vocab_size,
                         "token id " << id);
-    TFACC_CHECK_ARG_MSG(r < pos_encoding_.rows(), "sequence too long");
     for (int c = 0; c < d_model; ++c)
-      out(r, c) = embedding(id, c) * scale + pos_encoding_(r, c);
+      out(r, c) = embedding(id, c) * scale + (*pe)(r, c);
   }
   return out;
 }
@@ -89,6 +118,56 @@ std::vector<float> Transformer::next_token_logits(const TokenSeq& tgt,
   return out;
 }
 
+DecodeState Transformer::begin_decode(const MatF& memory,
+                                      int src_valid_len) const {
+  TFACC_CHECK_ARG(src_valid_len >= 0 && src_valid_len <= memory.rows());
+  DecodeState state;
+  state.memory_rows = memory.rows();
+  state.src_valid = src_valid_len;
+  state.self_kv.reserve(weights_.decoder_layers.size());
+  state.cross_kv.reserve(weights_.decoder_layers.size());
+  for (const auto& layer : weights_.decoder_layers) {
+    state.self_kv.push_back(backend_.mha_self_cache(layer.self_mha));
+    state.cross_kv.emplace_back(
+        backend_.mha_cross_cache(memory, layer.cross_mha));
+  }
+  return state;
+}
+
+std::vector<float> Transformer::decode_step(DecodeState& state,
+                                            int token) const {
+  TFACC_CHECK_ARG_MSG(token >= 0 && token < weights_.vocab_size,
+                      "token id " << token);
+  TFACC_CHECK_ARG(state.self_kv.size() == weights_.decoder_layers.size());
+  const int d_model = weights_.config.d_model;
+  const float scale = std::sqrt(static_cast<float>(d_model));
+  const auto pe = positions(state.steps + 1);
+  MatF y(1, d_model);
+  for (int c = 0; c < d_model; ++c)
+    y(0, c) =
+        weights_.tgt_embedding(token, c) * scale + (*pe)(state.steps, c);
+
+  // Row `steps` of causal_mask(steps + 1) attends to every position ≤ steps
+  // — exactly the rows the self cache holds after this step's append.
+  const Mask self_mask = no_mask(1, state.steps + 1);
+  const Mask cross_mask = padding_mask(1, state.memory_rows, state.src_valid);
+  for (std::size_t li = 0; li < weights_.decoder_layers.size(); ++li) {
+    const auto& layer = weights_.decoder_layers[li];
+    y = backend_.mha_cached(y, *state.self_kv[li], layer.self_mha, self_mask,
+                            /*append=*/true);
+    y = backend_.mha_cached(y, *state.cross_kv[li], layer.cross_mha,
+                            cross_mask, /*append=*/false);
+    y = backend_.ffn(y, layer.ffn);
+  }
+  ++state.steps;
+
+  const MatF logits = gemm(y, weights_.output_projection);
+  std::vector<float> out(static_cast<std::size_t>(logits.cols()));
+  for (int c = 0; c < logits.cols(); ++c)
+    out[static_cast<std::size_t>(c)] = logits(0, c);
+  return out;
+}
+
 namespace {
 
 /// Row log-softmax of raw logits.
@@ -103,42 +182,68 @@ std::vector<float> log_softmax(const std::vector<float>& logits) {
   return out;
 }
 
+/// GNMT length-normalized score of a hypothesis with `emitted` tokens.
+float beam_score(float logprob, int emitted, float alpha) {
+  const float len = std::max(1.0f, static_cast<float>(emitted));
+  return logprob / std::pow((5.0f + len) / 6.0f, alpha);
+}
+
 }  // namespace
 
 TokenSeq Transformer::translate_beam(const TokenSeq& src, int max_len,
-                                     const BeamConfig& beam) const {
+                                     const BeamConfig& beam,
+                                     DecodeMode mode) const {
   TFACC_CHECK_ARG(max_len > 0);
   TFACC_CHECK_ARG(beam.beam_size >= 1);
   const MatF memory = encode(src);
   int src_valid = static_cast<int>(src.size());
   while (src_valid > 0 && src[static_cast<std::size_t>(src_valid - 1)] == kPadId)
     --src_valid;
+  const bool cached = mode == DecodeMode::kKvCache &&
+                      backend_.supports_cached_decode();
 
+  // Invariant of a cached hypothesis: `state` has consumed every token but
+  // the last, so one decode_step(tokens.back()) yields the next logits.
   struct Hypothesis {
-    TokenSeq tokens;       // starts with BOS
+    TokenSeq tokens;  // starts with BOS
     float logprob = 0.0f;
     bool finished = false;
+    DecodeState state;
 
     float score(float alpha) const {
-      const float len =
-          static_cast<float>(tokens.size() - 1);  // emitted tokens
-      const float norm = std::pow((5.0f + std::max(1.0f, len)) / 6.0f, alpha);
-      return logprob / norm;
+      return beam_score(logprob, static_cast<int>(tokens.size()) - 1, alpha);
     }
   };
 
-  std::vector<Hypothesis> live{Hypothesis{{kBosId}, 0.0f, false}};
+  std::vector<Hypothesis> live;
+  {
+    Hypothesis first;
+    first.tokens = {kBosId};
+    if (cached) first.state = begin_decode(memory, src_valid);
+    live.push_back(std::move(first));
+  }
   std::vector<Hypothesis> finished;
 
   for (int step = 0; step < max_len && !live.empty(); ++step) {
-    std::vector<Hypothesis> candidates;
-    for (const auto& hyp : live) {
-      const auto logits = next_token_logits(hyp.tokens, memory, src_valid);
+    // Candidates fork their parent's cache lazily: only the survivors of the
+    // beam cut pay the clone.
+    struct Candidate {
+      TokenSeq tokens;
+      float logprob = 0.0f;
+      bool finished = false;
+      std::size_t parent = 0;
+    };
+    std::vector<Candidate> candidates;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      Hypothesis& hyp = live[i];
+      const auto logits =
+          cached ? decode_step(hyp.state, hyp.tokens.back())
+                 : next_token_logits(hyp.tokens, memory, src_valid);
       const auto logp = log_softmax(logits);
       // Top beam_size expansions of this hypothesis.
       std::vector<int> order(logp.size());
-      for (std::size_t i = 0; i < order.size(); ++i)
-        order[i] = static_cast<int>(i);
+      for (std::size_t j = 0; j < order.size(); ++j)
+        order[j] = static_cast<int>(j);
       const std::size_t keep =
           std::min<std::size_t>(order.size(),
                                 static_cast<std::size_t>(beam.beam_size));
@@ -148,26 +253,58 @@ TokenSeq Transformer::translate_beam(const TokenSeq& src, int max_len,
                                  logp[static_cast<std::size_t>(b)];
                         });
       for (std::size_t k = 0; k < keep; ++k) {
-        Hypothesis next = hyp;
+        Candidate next;
+        next.tokens = hyp.tokens;
         next.tokens.push_back(order[k]);
-        next.logprob += logp[static_cast<std::size_t>(order[k])];
+        next.logprob =
+            hyp.logprob + logp[static_cast<std::size_t>(order[k])];
         next.finished = order[k] == kEosId;
+        next.parent = i;
         candidates.push_back(std::move(next));
       }
     }
     std::sort(candidates.begin(), candidates.end(),
-              [&](const Hypothesis& a, const Hypothesis& b) {
-                return a.score(beam.length_penalty) >
-                       b.score(beam.length_penalty);
+              [&](const Candidate& a, const Candidate& b) {
+                return beam_score(a.logprob,
+                                  static_cast<int>(a.tokens.size()) - 1,
+                                  beam.length_penalty) >
+                       beam_score(b.logprob,
+                                  static_cast<int>(b.tokens.size()) - 1,
+                                  beam.length_penalty);
               });
-    live.clear();
+    std::vector<Hypothesis> next_live;
+    std::vector<std::size_t> parents;
     for (auto& cand : candidates) {
-      if (cand.finished)
-        finished.push_back(std::move(cand));
-      else if (static_cast<int>(live.size()) < beam.beam_size)
-        live.push_back(std::move(cand));
+      if (cand.finished) {
+        Hypothesis done;
+        done.tokens = std::move(cand.tokens);
+        done.logprob = cand.logprob;
+        done.finished = true;
+        finished.push_back(std::move(done));
+      } else if (static_cast<int>(next_live.size()) < beam.beam_size) {
+        Hypothesis h;
+        h.tokens = std::move(cand.tokens);
+        h.logprob = cand.logprob;
+        next_live.push_back(std::move(h));
+        parents.push_back(cand.parent);
+      }
       if (static_cast<int>(finished.size()) >= beam.beam_size) break;
     }
+    if (cached) {
+      // Fork the caches: the last surviving child of each parent steals the
+      // parent's (already advanced) state; only additional children pay a
+      // deep clone. In the common one-survivor-per-parent case no clone
+      // happens at all.
+      std::vector<int> remaining(live.size(), 0);
+      for (const std::size_t p : parents) ++remaining[p];
+      for (std::size_t i = 0; i < next_live.size(); ++i) {
+        const std::size_t p = parents[i];
+        next_live[i].state = --remaining[p] == 0
+                                 ? std::move(live[p].state)
+                                 : live[p].state.clone();
+      }
+    }
+    live = std::move(next_live);
     if (static_cast<int>(finished.size()) >= beam.beam_size) break;
   }
 
@@ -187,23 +324,39 @@ TokenSeq Transformer::translate_beam(const TokenSeq& src, int max_len) const {
   return translate_beam(src, max_len, BeamConfig{});
 }
 
-TokenSeq Transformer::translate_greedy(const TokenSeq& src,
-                                       int max_len) const {
+TokenSeq Transformer::translate_greedy(const TokenSeq& src, int max_len,
+                                       DecodeMode mode) const {
   TFACC_CHECK_ARG(max_len > 0);
   const MatF memory = encode(src);
   int src_valid = static_cast<int>(src.size());
   while (src_valid > 0 && src[static_cast<std::size_t>(src_valid - 1)] == kPadId)
     --src_valid;
 
-  TokenSeq tgt{kBosId};
+  if (mode == DecodeMode::kFullRecompute ||
+      !backend_.supports_cached_decode()) {
+    TokenSeq tgt{kBosId};
+    for (int step = 0; step < max_len; ++step) {
+      const auto logits = next_token_logits(tgt, memory, src_valid);
+      const int next = static_cast<int>(
+          std::max_element(logits.begin(), logits.end()) - logits.begin());
+      if (next == kEosId) break;
+      tgt.push_back(next);
+    }
+    return TokenSeq(tgt.begin() + 1, tgt.end());
+  }
+
+  DecodeState state = begin_decode(memory, src_valid);
+  TokenSeq out;
+  int prev = kBosId;
   for (int step = 0; step < max_len; ++step) {
-    const auto logits = next_token_logits(tgt, memory, src_valid);
+    const auto logits = decode_step(state, prev);
     const int next = static_cast<int>(
         std::max_element(logits.begin(), logits.end()) - logits.begin());
     if (next == kEosId) break;
-    tgt.push_back(next);
+    out.push_back(next);
+    prev = next;
   }
-  return TokenSeq(tgt.begin() + 1, tgt.end());
+  return out;
 }
 
 }  // namespace tfacc

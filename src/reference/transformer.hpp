@@ -7,8 +7,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "reference/decode_state.hpp"
 #include "reference/functional.hpp"
 #include "reference/weights.hpp"
 
@@ -27,11 +30,45 @@ MatF positional_encoding(int max_len, int d_model);
 
 /// Pluggable ResBlock implementations so the same decode loop can run on the
 /// FP32 reference, the INT8 functional model, or the accelerator simulator.
+///
+/// The three cached-MHA hooks are the incremental-decode interface; they
+/// must agree row-for-row with `mha` (the defaults do, and so do the
+/// quantized and accelerator backends). A backend overriding `mha` should
+/// override all of them together; if it does not, supports_cached_decode()
+/// turns false and the decode loops fall back to DecodeMode::kFullRecompute
+/// (which only ever calls `mha`/`ffn`), so a partial override can never
+/// silently bypass the custom `mha`.
 struct ResBlockBackend {
   std::function<MatF(const MatF& q, const MatF& kv, const MhaWeights&,
                      const Mask&)>
       mha = mha_resblock;
   std::function<MatF(const MatF& x, const FfnWeights&)> ffn = ffn_resblock;
+
+  /// Empty self-attention cache for `w` (rows appended per decode step).
+  std::function<MhaCachePtr(const MhaWeights&)> mha_self_cache =
+      ref_mha_self_cache;
+  /// Cross-attention cache with K/V projected once from the encoder memory.
+  std::function<MhaCachePtr(const MatF& memory, const MhaWeights&)>
+      mha_cross_cache = ref_mha_cross_cache;
+  /// Cached MHA ResBlock; appends q's K/V rows to `cache` when `append`.
+  std::function<MatF(const MatF& q, MhaCache& cache, const MhaWeights&,
+                     const Mask&, bool append)>
+      mha_cached = ref_mha_cached;
+
+  /// True when the cached hooks can be trusted to agree with `mha`: either
+  /// everything is still the reference default, or the cached hooks were
+  /// overridden (deliberately, alongside `mha`). False — e.g. a custom
+  /// `mha` with default cached hooks — makes the decode loops fall back to
+  /// full recompute rather than compute attention with the wrong backend.
+  bool supports_cached_decode() const;
+};
+
+/// How translate_greedy / translate_beam run the decoder stack. Both modes
+/// produce bit-identical token sequences; kKvCache is O(L²) per sentence
+/// where kFullRecompute is O(L³).
+enum class DecodeMode {
+  kKvCache,        ///< incremental: one new row per step over cached K/V
+  kFullRecompute,  ///< re-run every layer over the whole prefix per step
 };
 
 /// Encoder-decoder Transformer inference engine.
@@ -44,7 +81,9 @@ class Transformer {
   /// Replace the ResBlock implementations (e.g. with the accelerator).
   void set_backend(ResBlockBackend backend) { backend_ = std::move(backend); }
 
-  /// Embed + positional-encode a token sequence (s × d_model).
+  /// Embed + positional-encode a token sequence (s × d_model). The
+  /// positional table grows on demand — sequences are not capped at the
+  /// construction-time length.
   MatF embed(const TokenSeq& tokens, const MatF& embedding) const;
 
   /// Run the encoder stack over an embedded source. `src_valid_len` marks
@@ -56,13 +95,23 @@ class Transformer {
   MatF decode_states(const TokenSeq& tgt, const MatF& memory,
                      int src_valid_len) const;
 
-  /// Logits of the *last* target position (vocab-sized row).
+  /// Logits of the *last* target position (vocab-sized row), full recompute.
   std::vector<float> next_token_logits(const TokenSeq& tgt, const MatF& memory,
                                        int src_valid_len) const;
 
+  /// Begin an incremental decode against `memory`: build per-decoder-layer
+  /// cross-attention caches and empty self-attention caches.
+  DecodeState begin_decode(const MatF& memory, int src_valid_len) const;
+
+  /// Feed `token` at the next target position (state.steps), advancing the
+  /// state, and return the vocab logits row for the following position.
+  /// Bit-identical to next_token_logits over the same token prefix.
+  std::vector<float> decode_step(DecodeState& state, int token) const;
+
   /// Greedy autoregressive translation: BOS ... EOS, capped at max_len.
   /// The returned sequence excludes BOS and EOS.
-  TokenSeq translate_greedy(const TokenSeq& src, int max_len) const;
+  TokenSeq translate_greedy(const TokenSeq& src, int max_len,
+                            DecodeMode mode = DecodeMode::kKvCache) const;
 
   /// Beam-search decoding parameters (GNMT-style length normalization:
   /// score = logprob / ((5 + len) / 6)^alpha).
@@ -74,14 +123,24 @@ class Transformer {
   /// Beam-search translation; beam_size 1 degenerates to greedy.
   /// The returned sequence excludes BOS and EOS.
   TokenSeq translate_beam(const TokenSeq& src, int max_len,
-                          const BeamConfig& beam) const;
+                          const BeamConfig& beam,
+                          DecodeMode mode = DecodeMode::kKvCache) const;
   /// Overload with default BeamConfig (beam 4, length penalty 0.6).
   TokenSeq translate_beam(const TokenSeq& src, int max_len) const;
 
  private:
+  /// Snapshot of the positional-encoding table with at least `rows` rows;
+  /// regrown geometrically when a longer sequence arrives. Growth swaps in a
+  /// fresh table under a lock and earlier snapshots stay alive (shared_ptr),
+  /// so concurrent const decodes on one model remain safe — and the
+  /// encoding is a pure function of (position, d_model), so every regrowth
+  /// reproduces existing rows bit-for-bit.
+  std::shared_ptr<const MatF> positions(int rows) const;
+
   TransformerWeights weights_;
   ResBlockBackend backend_;
-  MatF pos_encoding_;  // precomputed for a generous max length
+  mutable std::shared_ptr<const MatF> pos_encoding_;  // see positions()
+  mutable std::mutex pos_mu_;
 };
 
 }  // namespace tfacc

@@ -12,6 +12,12 @@ ModuleTimeline& Timeline::module(const std::string& name) {
   return modules_.back();
 }
 
+const ModuleTimeline* Timeline::find(const std::string& name) const {
+  for (const auto& m : modules_)
+    if (m.name() == name) return &m;
+  return nullptr;
+}
+
 Cycle Timeline::end_time() const {
   Cycle end = 0;
   for (const auto& m : modules_) end = std::max(end, m.end_time());

@@ -72,6 +72,11 @@ class Timeline {
   /// valid for the lifetime of the Timeline (deque storage — modules are
   /// held by long-lived scheduler objects).
   ModuleTimeline& module(const std::string& name);
+  /// Const lookup that never creates a ledger: nullptr when the module was
+  /// never scheduled. Report code must use this — module() would silently
+  /// add empty ledgers for units that never ran, polluting write_csv and
+  /// gantt output.
+  const ModuleTimeline* find(const std::string& name) const;
   const std::deque<ModuleTimeline>& modules() const { return modules_; }
 
   /// Latest end time across all modules (= total latency).

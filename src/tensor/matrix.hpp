@@ -97,6 +97,17 @@ class Matrix {
     return out;
   }
 
+  /// Append the rows of `src` below the existing rows (same column count).
+  /// Row-major storage makes this a single amortized-O(src) tail insert —
+  /// the KV caches of incremental decode grow one row per step this way.
+  void append_rows(const Matrix& src) {
+    TFACC_CHECK_ARG_MSG(src.cols_ == cols_, "append_rows: " << src.cols_
+                                                            << " cols onto "
+                                                            << cols_);
+    data_.insert(data_.end(), src.data_.begin(), src.data_.end());
+    rows_ += src.rows_;
+  }
+
   /// Write `src` into this matrix at offset (r0, c0).
   void set_block(int r0, int c0, const Matrix& src) {
     TFACC_CHECK_ARG(r0 >= 0 && c0 >= 0);

@@ -189,7 +189,7 @@ void head_bwd(const MatF& dout, const MatF& q, const MatF& kv,
   accumulate(dkv, gemm_nt(dv1, w.wv));
 }
 
-struct MhaCache {
+struct MhaActCache {
   MatF q, kv;
   Mask mask{0, 0};
   std::vector<HeadCache> heads;
@@ -198,7 +198,7 @@ struct MhaCache {
 };
 
 MatF mha_fwd(const MatF& q, const MatF& kv, const MhaWeights& w,
-             const Mask& mask, MhaCache& c) {
+             const Mask& mask, MhaActCache& c) {
   c.q = q;
   c.kv = kv;
   c.mask = mask;
@@ -213,7 +213,7 @@ MatF mha_fwd(const MatF& q, const MatF& kv, const MhaWeights& w,
 }
 
 /// dq and dkv accumulate; they may alias (self-attention).
-void mha_bwd(const MatF& dy, const MhaWeights& w, const MhaCache& c,
+void mha_bwd(const MatF& dy, const MhaWeights& w, const MhaActCache& c,
              MhaWeights& g, MatF& dq, MatF& dkv) {
   const MatF dg = ln_bwd(dy, w.norm, c.ln, g.norm);
   accumulate(dq, dg);  // residual path
@@ -293,11 +293,11 @@ struct Trainer::ForwardState {
   MatF src_x;  // encoder input embedding (cached for embed_bwd)
   MatF tgt_x;
   struct EncCache {
-    MhaCache mha;
+    MhaActCache mha;
     FfnCache ffn;
   };
   struct DecCache {
-    MhaCache self, cross;
+    MhaActCache self, cross;
     FfnCache ffn;
   };
   std::vector<EncCache> enc;

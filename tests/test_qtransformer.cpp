@@ -31,6 +31,9 @@ TEST(CapturingBackend, RecordsEveryBlockInvocation) {
   Transformer model = make_model(20, rng);
   CaptureStore store;
   model.set_backend(capturing_backend(store));
+  // The capturing backend overrides only the batch-style mha/ffn hooks, so
+  // supports_cached_decode() is false and the decode loop falls back to
+  // full recompute — every block invocation must be recorded.
   model.translate_greedy({3, 4, 5}, 6);
   model.set_backend(ResBlockBackend{});
   // 1 encoder MHA + 1 decoder self + 1 decoder cross = 3 distinct MHA blocks;
