@@ -2,21 +2,30 @@
 // farm of accelerator cards decoding independent translation requests.
 //
 // The paper reports batch-1 latency of one FPGA card; a serving deployment
-// replicates the card and spreads requests across the replicas. BatchRunner
-// simulates every card on its own host thread, so this bench reports both
+// replicates the card and spreads requests across the replicas — since PR 3
+// through a work-stealing RequestQueue instead of a static round-robin deal.
+// BatchRunner simulates every card on its own host thread, so this bench
+// reports both
 //  * wall sent/s  — how fast this machine simulates the farm (host-bound), and
 //  * modeled sent/s — n / makespan at 200 MHz, the throughput a real farm of
 //    these cards would sustain (the architecture-level number).
-// The modeled speedup is near-linear in cards: requests are independent and
-// each card keeps its weights resident, so only load imbalance of the
-// round-robin deal is lost.
+//
+// The second table is this PR's point: continuous batching packs up to
+// `slots` live sentences' single-row decode steps into one multi-row SA
+// invocation. One-row steps are weight-load bound (a 64-cycle tile load buys
+// a ~9-cycle pass); packed steps stream full tiles, so modeled throughput
+// and SA utilization rise at the same card count.
+//
+// Machine-readable results land in BENCH_batch.json for cross-PR tracking.
 //
 //   $ ./build/bench_batch_throughput [sentences]
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "core/batch_runner.hpp"
 #include "core/full_model.hpp"
+#include "json.hpp"
 #include "nlp/synthetic.hpp"
 #include "reference/weights.hpp"
 #include "table.hpp"
@@ -47,13 +56,21 @@ int main(int argc, char** argv) {
     sources.push_back(task.sample(rng).source);
   const int max_len = task.max_len() + 2;
 
+  std::ofstream json_file("BENCH_batch.json");
+  bench::JsonWriter json(json_file);
+  json.begin_object();
+  json.key("bench").value("batch_throughput");
+  json.key("sentences").value(sentences);
+  json.key("max_len").value(max_len);
+
   bench::title("Accelerator-farm decode throughput (" +
                std::to_string(sentences) + " sentences, greedy, max_len " +
-               std::to_string(max_len) + ")");
+               std::to_string(max_len) + ", 1 slot/card)");
   std::printf("%5s | %9s %12s | %14s %14s %9s\n", "cards", "wall s",
               "wall sent/s", "makespan cyc", "modeled sent/s", "speedup");
   bench::rule(74);
 
+  json.key("card_sweep").begin_array();
   double base_modeled = 0.0;
   double modeled_at_8 = 0.0;
   for (const int cards : {1, 2, 4, 8}) {
@@ -69,15 +86,79 @@ int main(int argc, char** argv) {
                 rep.wall_seconds, rep.wall_sentences_per_second(),
                 static_cast<long long>(rep.makespan_cycles()), modeled,
                 base_modeled > 0 ? modeled / base_modeled : 1.0);
+    json.begin_object();
+    json.key("cards").value(cards);
+    json.key("slots_per_card").value(1);
+    json.key("makespan_cycles")
+        .value(static_cast<long long>(rep.makespan_cycles()));
+    json.key("modeled_sentences_per_second").value(modeled);
+    json.key("sa_utilization").value(rep.sa_utilization());
+    json.end_object();
   }
+  json.end_array();
 
-  const double speedup = base_modeled > 0 ? modeled_at_8 / base_modeled : 0.0;
+  const double card_speedup =
+      base_modeled > 0 ? modeled_at_8 / base_modeled : 0.0;
+  std::printf("\n8-card modeled speedup over 1 card: %.2fx (target >= 3x: "
+              "%s)\n",
+              card_speedup, card_speedup >= 3.0 ? "PASS" : "FAIL");
+
+  bench::title(
+      "Continuous batching: one-row steps (PR 2) vs packed slots (1 card)");
+  std::printf("%5s | %12s %12s | %14s %14s %8s\n", "slots", "steps",
+              "rows/step", "makespan cyc", "modeled sent/s", "SA util");
+  bench::rule(74);
+
+  json.key("slot_sweep").begin_array();
+  double one_row_modeled = 0.0, packed_modeled = 0.0;
+  double one_row_util = 0.0, packed_util = 0.0;
+  std::vector<TokenSeq> one_row_outputs;
+  bool outputs_identical = true;
+  for (const int slots : {1, 8}) {
+    BatchConfig bc;
+    bc.num_cards = 1;
+    bc.max_len = max_len;
+    bc.slots_per_card = slots;
+    BatchRunner runner(weights, calib, bc);
+    const BatchReport rep = runner.run(sources);
+    if (slots == 1) {
+      one_row_outputs = rep.outputs;
+      one_row_modeled = rep.modeled_sentences_per_second();
+      one_row_util = rep.sa_utilization();
+    } else {
+      outputs_identical = rep.outputs == one_row_outputs;
+      packed_modeled = rep.modeled_sentences_per_second();
+      packed_util = rep.sa_utilization();
+    }
+    std::printf("%5d | %12ld %12.2f | %14lld %14.1f %7.1f%%\n", slots,
+                rep.packed_steps, rep.packed_rows_mean(),
+                static_cast<long long>(rep.makespan_cycles()),
+                rep.modeled_sentences_per_second(),
+                100.0 * rep.sa_utilization());
+    json.begin_object();
+    json.key("cards").value(1);
+    json.key("slots_per_card").value(slots);
+    json.key("packed_steps").value(rep.packed_steps);
+    json.key("packed_rows_mean").value(rep.packed_rows_mean());
+    json.key("makespan_cycles")
+        .value(static_cast<long long>(rep.makespan_cycles()));
+    json.key("modeled_sentences_per_second")
+        .value(rep.modeled_sentences_per_second());
+    json.key("sa_utilization").value(rep.sa_utilization());
+    json.end_object();
+  }
+  json.end_array();
+
+  const bool packed_wins = outputs_identical &&
+                           packed_modeled > one_row_modeled &&
+                           packed_util > one_row_util;
   std::printf(
-      "\n8-card modeled speedup over 1 card: %.2fx (target >= 3x: %s)\n"
-      "wall sent/s measures this host's simulation speed and scales with\n"
-      "its core count; modeled sent/s is the farm's sustained throughput\n"
-      "at the paper's 200 MHz clock and scales with cards.\n",
-      speedup, speedup >= 3.0 ? "PASS" : "FAIL");
+      "\npacked vs one-row at batch %d: %.2fx modeled sent/s, SA utilization "
+      "%.1f%% -> %.1f%%, outputs %s (gate: %s)\n",
+      sentences, one_row_modeled > 0 ? packed_modeled / one_row_modeled : 0.0,
+      100.0 * one_row_util, 100.0 * packed_util,
+      outputs_identical ? "bit-identical" : "DIVERGED",
+      packed_wins ? "PASS" : "FAIL");
 
   bench::title("KV cache vs full recompute (1 card, same sentences)");
   double wall[2] = {0.0, 0.0};
@@ -115,5 +196,15 @@ int main(int argc, char** argv) {
       wall[0] > 0 ? wall[1] / wall[0] : 0.0,
       cycles[0] > 0 ? static_cast<double>(cycles[1]) / cycles[0] : 0.0,
       modeled_ratio);
-  return speedup >= 3.0 ? 0 : 1;
+
+  json.key("gates").begin_object();
+  json.key("card_speedup_at_8").value(card_speedup);
+  json.key("packed_beats_one_row").value(packed_wins);
+  json.key("outputs_bit_identical").value(outputs_identical);
+  json.end_object();
+  json.end_object();
+  json_file << '\n';
+  std::printf("results written to BENCH_batch.json\n");
+
+  return card_speedup >= 3.0 && packed_wins ? 0 : 1;
 }

@@ -1,0 +1,111 @@
+// Minimal JSON emitter for machine-readable bench outputs (BENCH_*.json):
+// the perf trajectory of the serving stack is tracked across PRs by diffing
+// these files, so benches write them next to their human-readable tables.
+// Comma placement is handled; values are numbers, strings, bools and nested
+// arrays/objects opened and closed explicitly.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tfacc::bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) { os_.precision(12); }
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Key inside an object; follow with exactly one value or begin_*.
+  JsonWriter& key(const std::string& k) {
+    separate();
+    escape(k);
+    os_ << ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(double v) {
+    separate();
+    if (std::isfinite(v))
+      os_ << v;
+    else
+      os_ << "null";
+    return *this;
+  }
+  JsonWriter& value(long long v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(long v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(bool v) {
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(const std::string& v) {
+    separate();
+    escape(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+
+  template <typename T>
+  JsonWriter& value_array(const std::vector<T>& values) {
+    begin_array();
+    for (const T& v : values) value(v);
+    return end_array();
+  }
+
+ private:
+  JsonWriter& open(char c) {
+    separate();
+    os_ << c;
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    first_.pop_back();
+    os_ << c;
+    return *this;
+  }
+  /// Emit a comma before any element that is not the first of its container
+  /// and is not the value completing a key.
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) os_ << ',';
+      first_.back() = false;
+    }
+  }
+  void escape(const std::string& s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        default: os_ << c;
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+}  // namespace tfacc::bench

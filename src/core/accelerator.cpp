@@ -121,6 +121,55 @@ void record_softmax_slack(RunReport& rep, const MhaCachedSchedule& sched) {
   rep.softmax_hidden = rep.softmax_slack_min >= 0;
 }
 
+/// Packed KV-cached MHA flow: one query row per slot, slot r attending over
+/// totals[r] cached keys/values. Projections (QWq, and KWk/VWv for the
+/// project_kv_rows appended rows) stream the stacked rows through a single
+/// weight-tile residency; the ragged per-slot attention GEMMs keep their
+/// one-row shapes. With totals.size() == 1 the op sequence — and therefore
+/// the cycle count — is identical to schedule_mha_cached(1, totals[0], ...).
+MhaCachedSchedule schedule_mha_cached_batch(
+    const AcceleratorConfig& cfg, SaModule& sa, SoftmaxModule& sm,
+    LayerNormModule& ln, const std::vector<int>& totals, int d_model,
+    int num_heads, int project_kv_rows) {
+  const int hd = cfg.sa_cols;
+  const int n = static_cast<int>(totals.size());
+  MhaCachedSchedule sched;
+  Cycle p_ready = 0;
+  for (int h = 0; h < num_heads; ++h) {
+    const std::string tag = "head" + std::to_string(h);
+    const Interval q1 = sa.schedule(n, d_model, hd, 0, SaModule::kStaticWeight,
+                                    tag + ".QWq");
+    Cycle k_ready = SaModule::kStaticWeight;  // cached K₁ᵀ is resident
+    Cycle v_ready = SaModule::kStaticWeight;
+    if (project_kv_rows > 0) {
+      k_ready = sa.schedule(project_kv_rows, d_model, hd, 0,
+                            SaModule::kStaticWeight, tag + ".KWk")
+                    .end;
+      v_ready = sa.schedule(project_kv_rows, d_model, hd, 0,
+                            SaModule::kStaticWeight, tag + ".VWv")
+                    .end;
+    }
+    for (int r = 0; r < n; ++r) {
+      const int s_total = totals[static_cast<std::size_t>(r)];
+      const Interval d =
+          sa.schedule(1, hd, s_total, q1.end, k_ready, tag + ".QKt");
+      const Interval smv = sm.schedule(d.end, s_total, tag + ".softmax");
+      const Interval a =
+          sa.schedule(1, s_total, hd, smv.end, v_ready, tag + ".AV");
+      sched.slack_min = std::min(sched.slack_min, a.start - smv.end);
+      p_ready = a.end;
+    }
+  }
+  Cycle g_done = p_ready;
+  for (int i = 0; i < d_model / hd; ++i)
+    g_done = sa.schedule(n, d_model, hd, p_ready, SaModule::kStaticWeight,
+                         "G" + std::to_string(i))
+                 .end;
+  ln.schedule(g_done, d_model, "LayerNorm");
+  sched.num_heads = num_heads;
+  return sched;
+}
+
 FfnSchedule schedule_ffn(const AcceleratorConfig& cfg, SaModule& sa,
                          LayerNormModule& ln, int s, int d_model, int d_ff) {
   const int bc = cfg.sa_cols;
@@ -340,6 +389,43 @@ Accelerator::MhaResult Accelerator::run_mha_cached(const MhaQuantized& block,
   // path (the caller appended this step's K/V rows before invoking us, so
   // the cache already holds them — mirroring the data memory on chip).
   res.out = block.forward_cached(q, cache, mask);
+
+  record_softmax_slack(rep, sched);
+  finalize_report(rep, cfg_, sa);
+  return res;
+}
+
+Accelerator::MhaResult Accelerator::run_mha_cached_batch(
+    const MhaQuantized& block, const MatI8& q,
+    const std::vector<const QuantKvCache*>& caches,
+    const std::vector<const Mask*>& masks, int projected_rows) const {
+  TFACC_CHECK_ARG(q.cols() == block.d_model);
+  TFACC_CHECK_ARG(static_cast<int>(caches.size()) == q.rows() &&
+                  static_cast<int>(masks.size()) == q.rows());
+  TFACC_CHECK_ARG(projected_rows == 0 || projected_rows == q.rows());
+  TFACC_CHECK_ARG_MSG(block.head_dim == cfg_.sa_cols,
+                      "head_dim " << block.head_dim << " != SA columns "
+                                  << cfg_.sa_cols);
+  std::vector<int> totals(caches.size());
+  for (std::size_t r = 0; r < caches.size(); ++r) {
+    totals[r] = caches[r]->rows();
+    TFACC_CHECK_ARG(masks[r]->rows() == 1 && masks[r]->cols() == totals[r]);
+  }
+
+  MhaResult res;
+  RunReport& rep = res.report;
+  SaModule sa(cfg_, rep.timeline);
+  SoftmaxModule sm(cfg_, rep.timeline);
+  LayerNormModule ln(cfg_, rep.timeline);
+  const MhaCachedSchedule sched =
+      schedule_mha_cached_batch(cfg_, sa, sm, ln, totals, block.d_model,
+                                block.num_heads, projected_rows);
+
+  // Functional pass: identical arithmetic to the quantized model's packed
+  // cached path (the caller appended this step's K/V rows before invoking
+  // us, so each slot's cache already holds them — mirroring the data memory
+  // on chip).
+  res.out = block.forward_cached_batch(q, caches, masks);
 
   record_softmax_slack(rep, sched);
   finalize_report(rep, cfg_, sa);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
 #include "core/modules.hpp"
@@ -71,6 +72,20 @@ class Accelerator {
   MhaResult run_mha_cached(const MhaQuantized& block, const MatI8& q,
                            const QuantKvCache& cache, const Mask& mask,
                            int projected_rows) const;
+
+  /// Packed KV-cached MHA (continuous batching): row r of q is an
+  /// independent hypothesis attending over caches[r] under masks[r]
+  /// (ragged cache lengths allowed). The Q/K/V projections and the W_G
+  /// blocks stream all rows through one weight-tile residency — restoring
+  /// full-tile SA utilization where single-row steps were weight-load
+  /// bound — while the per-slot attention GEMMs stay ragged. With one slot
+  /// this degenerates to exactly run_mha_cached's schedule. `projected_rows`
+  /// is the number of K/V rows appended this step (q.rows() or 0). Output
+  /// row r is bit-identical to run_mha_cached on slot r alone.
+  MhaResult run_mha_cached_batch(const MhaQuantized& block, const MatI8& q,
+                                 const std::vector<const QuantKvCache*>& caches,
+                                 const std::vector<const Mask*>& masks,
+                                 int projected_rows) const;
 
   struct FfnResult {
     MatI8 out;

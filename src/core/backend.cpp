@@ -2,6 +2,24 @@
 
 namespace tfacc {
 
+namespace {
+
+void charge_mha(AcceleratorStats* stats, const RunReport& report) {
+  if (stats == nullptr) return;
+  ++stats->mha_runs;
+  stats->mha_cycles += report.total_cycles;
+  stats->sa_busy_cycles += report.sa_busy;
+}
+
+void charge_ffn(AcceleratorStats* stats, const RunReport& report) {
+  if (stats == nullptr) return;
+  ++stats->ffn_runs;
+  stats->ffn_cycles += report.total_cycles;
+  stats->sa_busy_cycles += report.sa_busy;
+}
+
+}  // namespace
+
 ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
                                     const Accelerator& acc,
                                     AcceleratorStats* stats) {
@@ -14,19 +32,13 @@ ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
     const MhaQuantized& qm = qt.mha_for(w);
     const auto result =
         acc.run_mha(qm, qm.quantize_q(q), qm.quantize_kv(kv), mask);
-    if (stats != nullptr) {
-      ++stats->mha_runs;
-      stats->mha_cycles += result.report.total_cycles;
-    }
+    charge_mha(stats, result.report);
     return qm.dequantize_out(result.out);
   };
   b.ffn = [&qt, &acc, stats](const MatF& x, const FfnWeights& w) {
     const FfnQuantized& qf = qt.ffn_for(w);
     const auto result = acc.run_ffn(qf, qf.quantize_in(x));
-    if (stats != nullptr) {
-      ++stats->ffn_runs;
-      stats->ffn_cycles += result.report.total_cycles;
-    }
+    charge_ffn(stats, result.report);
     return qf.dequantize_out(result.out);
   };
   // Incremental decode: K/V live in the card's data memory as INT8 rows,
@@ -40,10 +52,25 @@ ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
     if (append) qm.append_kv(qm.quantize_kv(q), kv_cache);
     const auto result = acc.run_mha_cached(qm, qm.quantize_q(q), kv_cache,
                                            mask, append ? q.rows() : 0);
-    if (stats != nullptr) {
-      ++stats->mha_runs;
-      stats->mha_cycles += result.report.total_cycles;
-    }
+    charge_mha(stats, result.report);
+    return qm.dequantize_out(result.out);
+  };
+  // Packed decode (continuous batching): all live hypotheses' rows share one
+  // quantization pass and one projection per weight matrix, so the SA
+  // streams full tiles again; per-slot attention stays ragged inside
+  // run_mha_cached_batch's schedule.
+  b.mha_cached_batch = [&qt, &acc, stats](const MatF& q,
+                                          const std::vector<MhaCache*>& caches,
+                                          const MhaWeights& w,
+                                          const std::vector<Mask>& masks,
+                                          bool append) {
+    const MhaQuantized& qm = qt.mha_for(w);
+    const std::vector<QuantKvCache*> kv = quant_kv_caches(caches);
+    if (append) qm.append_kv_batch(qm.quantize_kv(q), kv);
+    const std::vector<const QuantKvCache*> ckv(kv.begin(), kv.end());
+    const auto result = acc.run_mha_cached_batch(
+        qm, qm.quantize_q(q), ckv, mask_ptrs(masks), append ? q.rows() : 0);
+    charge_mha(stats, result.report);
     return qm.dequantize_out(result.out);
   };
   return b;

@@ -17,10 +17,18 @@ struct AcceleratorStats {
   long ffn_runs = 0;
   Cycle mha_cycles = 0;
   Cycle ffn_cycles = 0;
+  Cycle sa_busy_cycles = 0;  ///< SA busy cycles summed over all runs
 
   Cycle total_cycles() const { return mha_cycles + ffn_cycles; }
   double microseconds(double clock_mhz) const {
     return static_cast<double>(total_cycles()) / clock_mhz;
+  }
+  /// Fraction of the accumulated ResBlock cycles the SA was busy — the
+  /// number packed multi-row decode steps are meant to push back up.
+  double sa_utilization() const {
+    return total_cycles() == 0
+               ? 0.0
+               : static_cast<double>(sa_busy_cycles) / total_cycles();
   }
 };
 

@@ -1,19 +1,39 @@
 #include "core/batch_runner.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <exception>
-#include <mutex>
-#include <thread>
 
 #include "common/check.hpp"
 
 namespace tfacc {
 
+namespace {
+
+SchedulerConfig to_scheduler_config(const BatchConfig& cfg) {
+  SchedulerConfig sc;
+  sc.num_cards = cfg.num_cards;
+  sc.max_len = cfg.max_len;
+  sc.slots_per_card = cfg.slots_per_card;
+  sc.beam_size = 0;  // BatchRunner's contract is greedy decode
+  sc.decode = cfg.decode;
+  sc.backend = ServeBackend::kAccelerator;
+  sc.accel = cfg.accel;
+  sc.softmax = cfg.softmax;
+  return sc;
+}
+
+const BatchConfig& validated(const BatchConfig& cfg) {
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace
+
 void BatchConfig::validate() const {
   TFACC_CHECK_ARG_MSG(num_cards >= 1, "num_cards must be >= 1, got "
                                           << num_cards);
   TFACC_CHECK_ARG_MSG(max_len >= 1, "max_len must be >= 1, got " << max_len);
+  TFACC_CHECK_ARG_MSG(slots_per_card >= 1, "slots_per_card must be >= 1, got "
+                                               << slots_per_card);
   accel.validate();
 }
 
@@ -36,92 +56,31 @@ double BatchReport::modeled_sentences_per_second() const {
   return sentences() * clock_mhz * 1e6 / static_cast<double>(makespan);
 }
 
-// One accelerator card: a host model copy, the INT8 quantization of its
-// blocks (keyed by weight addresses inside *this* model, hence per-card),
-// and the cycle-level simulator instance the card's thread drives.
-struct BatchRunner::Card {
-  Transformer model;
-  QuantizedTransformer qt;
-  Accelerator acc;
-
-  Card(const TransformerWeights& weights,
-       const std::vector<TokenSeq>& calib_sources, const BatchConfig& cfg)
-      : model(weights),
-        qt(QuantizedTransformer::build(model, calib_sources, cfg.max_len,
-                                       cfg.softmax)),
-        acc(cfg.accel) {}
-};
-
-namespace {
-
-// Run `fn(c)` for c in [0, n) on one thread each (or inline when n == 1),
-// capturing the first exception so it rethrows on the caller's thread
-// instead of std::terminate-ing the process.
-template <typename Fn>
-void run_per_card(std::size_t n, Fn&& fn) {
-  std::exception_ptr error;
-  std::mutex error_mu;
-  auto guarded = [&](std::size_t c) {
-    try {
-      fn(c);
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mu);
-      if (!error) error = std::current_exception();
-    }
-  };
-  if (n == 1) {
-    guarded(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(n);
-    for (std::size_t c = 0; c < n; ++c) threads.emplace_back(guarded, c);
-    for (std::thread& t : threads) t.join();
-  }
-  if (error) std::rethrow_exception(error);
+double BatchReport::sa_utilization() const {
+  const Cycle total = total_cycles();
+  return total == 0 ? 0.0
+                    : static_cast<double>(sa_busy_cycles) / total;
 }
-
-}  // namespace
 
 BatchRunner::BatchRunner(const TransformerWeights& weights,
                          const std::vector<TokenSeq>& calib_sources,
                          BatchConfig cfg)
-    : cfg_(cfg) {
-  cfg_.validate();
-  TFACC_CHECK_ARG_MSG(!calib_sources.empty(),
-                      "need at least one calibration sentence");
-  // Card setups are independent (each copies the weights and calibrates its
-  // own quantization), so build them concurrently like run() decodes.
-  cards_.resize(cfg_.num_cards);
-  run_per_card(cards_.size(), [&](std::size_t c) {
-    cards_[c] = std::make_unique<Card>(weights, calib_sources, cfg_);
-  });
-}
+    : cfg_(validated(cfg)),
+      scheduler_(weights, calib_sources, to_scheduler_config(cfg_)) {}
 
 BatchRunner::~BatchRunner() = default;
 
 BatchReport BatchRunner::run(const std::vector<TokenSeq>& sources) {
+  ScheduleReport sched = scheduler_.run(sources);
   BatchReport rep;
-  rep.clock_mhz = cfg_.accel.clock_mhz;
-  rep.outputs.resize(sources.size());
-  rep.per_card.assign(cards_.size(), AcceleratorStats{});
-
-  // Sentence i goes to card i % num_cards: a deterministic deal, so the
-  // per-card cycle ledgers (not just the outputs) are reproducible.
-  const auto t0 = std::chrono::steady_clock::now();
-  const std::size_t n_cards = cards_.size();
-  auto work = [&](std::size_t c) {
-    Card& card = *cards_[c];
-    card.model.set_backend(
-        accelerator_backend(card.qt, card.acc, &rep.per_card[c]));
-    for (std::size_t i = c; i < sources.size(); i += n_cards)
-      rep.outputs[i] =
-          card.model.translate_greedy(sources[i], cfg_.max_len, cfg_.decode);
-    card.model.set_backend(ResBlockBackend{});
-  };
-  run_per_card(n_cards, work);
-  rep.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  rep.outputs = std::move(sched.outputs);
+  rep.per_card = std::move(sched.per_card);
+  rep.wall_seconds = sched.wall_seconds;
+  rep.clock_mhz = sched.clock_mhz;
+  rep.packed_steps = sched.packed_steps();
+  rep.packed_rows = sched.packed_rows();
+  for (const AcceleratorStats& s : rep.per_card)
+    rep.sa_busy_cycles += s.sa_busy_cycles;
   return rep;
 }
 

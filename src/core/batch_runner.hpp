@@ -1,34 +1,36 @@
 // Batched translation serving across a farm of accelerator cards.
 //
-// The paper evaluates batch-1 latency on a single FPGA; a deployment serving
-// heavy traffic replicates the card and spreads independent requests across
-// the replicas (the same scaling marian-dev applies to its multi-threaded
-// INT8 CPU decode path). BatchRunner models exactly that: each worker thread
-// owns a complete per-card context — a Transformer host model, its
-// QuantizedTransformer (INT8 blocks are keyed by weight addresses, so every
-// card calibrates its own copy deterministically) and a cycle-level
-// Accelerator — and requests are dealt round-robin across cards.
+// BatchRunner is the original (PR 1) batch API, kept as a thin compatibility
+// shim over the serve/ continuous-batching Scheduler: requests now flow
+// through the work-stealing RequestQueue instead of a static i % num_cards
+// deal, and `slots_per_card` > 1 packs many sentences' single-row decode
+// steps into one multi-row ResBlock invocation (full SA tiles). The default
+// slots_per_card = 1 reproduces the PR 2 behavior — one sentence in flight
+// per card — including its per-sentence cycle costs.
 //
-// Decoding is deterministic, so the batched outputs are bit-identical to a
-// serial single-card run regardless of thread count; only wall-clock time
-// and the per-card cycle ledgers change. Throughput is reported two ways:
+// Decoding is deterministic per sentence, so the batched outputs are
+// bit-identical to a serial single-card run regardless of thread count,
+// slot count, or which card a request lands on — and request placement
+// itself follows the scheduler's simulated-time AdmissionGate, so the
+// per-card cycle ledgers and the makespan are reproducible too, at any
+// card count, on any host. Throughput is reported two ways:
 //  * wall-clock sentences/sec of the simulation itself (host dependent), and
 //  * modeled sentences/sec of the farm: n / makespan, where the makespan is
 //    the busiest card's simulated cycles at the configured clock — the number
 //    a real farm of these cards would sustain.
 #pragma once
 
-#include <memory>
 #include <vector>
 
-#include "core/backend.hpp"
+#include "serve/scheduler.hpp"
 
 namespace tfacc {
 
 /// Configuration of a batched decode farm.
 struct BatchConfig {
-  int num_cards = 1;   ///< worker threads, one modeled accelerator card each
-  int max_len = 32;    ///< greedy-decode length cap per sentence
+  int num_cards = 1;       ///< worker threads, one modeled accelerator card each
+  int max_len = 32;        ///< greedy-decode length cap per sentence
+  int slots_per_card = 1;  ///< sentences packed per decode step (1 = PR 2 mode)
   AcceleratorConfig accel{};              ///< micro-architecture of every card
   SoftmaxImpl softmax = SoftmaxImpl::kHardware;  ///< quantized softmax flavor
   /// KV-cached incremental decode (the production mode) or full recompute
@@ -45,6 +47,9 @@ struct BatchReport {
   std::vector<AcceleratorStats> per_card; ///< cycle ledger of each card
   double wall_seconds = 0;                ///< host time spent simulating
   double clock_mhz = 200.0;
+  long packed_steps = 0;                  ///< step-loop iterations, all cards
+  long packed_rows = 0;                   ///< Σ hypothesis rows over steps
+  Cycle sa_busy_cycles = 0;               ///< Σ SA busy cycles, all cards
 
   int sentences() const { return static_cast<int>(outputs.size()); }
   /// Simulated cycles of the busiest card: the farm finishes when it does.
@@ -57,6 +62,15 @@ struct BatchReport {
   double wall_sentences_per_second() const {
     return wall_seconds <= 0 ? 0.0 : sentences() / wall_seconds;
   }
+  /// Mean hypothesis rows per packed decode step (1.0 = PR 2's one-row
+  /// steps; higher = fuller SA tiles).
+  double packed_rows_mean() const {
+    return packed_steps <= 0
+               ? 0.0
+               : static_cast<double>(packed_rows) / packed_steps;
+  }
+  /// SA-busy fraction of all simulated ResBlock cycles.
+  double sa_utilization() const;
 };
 
 /// Decodes batches of translation requests concurrently across per-thread
@@ -76,15 +90,14 @@ class BatchRunner {
 
   const BatchConfig& config() const { return cfg_; }
 
-  /// Greedily translate every source. Sentence i is decoded by card
-  /// i % num_cards; cards run in parallel threads. Outputs are bit-identical
-  /// to a serial decode of the same sources.
+  /// Greedily translate every source. Cards pull sentences from the shared
+  /// work-stealing queue and run them in parallel threads. Outputs are
+  /// bit-identical to a serial decode of the same sources.
   BatchReport run(const std::vector<TokenSeq>& sources);
 
  private:
-  struct Card;
   BatchConfig cfg_;
-  std::vector<std::unique_ptr<Card>> cards_;
+  Scheduler scheduler_;
 };
 
 }  // namespace tfacc

@@ -281,6 +281,66 @@ MatI8 MhaQuantized::forward_cached(const MatI8& q, const QuantKvCache& cache,
   return mha_output_stage(*this, q, p);
 }
 
+std::vector<QuantKvCache*> quant_kv_caches(
+    const std::vector<MhaCache*>& caches) {
+  std::vector<QuantKvCache*> kv(caches.size());
+  for (std::size_t i = 0; i < caches.size(); ++i)
+    kv[i] = &dynamic_cast<QuantKvCache&>(*caches[i]);
+  return kv;
+}
+
+std::vector<const Mask*> mask_ptrs(const std::vector<Mask>& masks) {
+  std::vector<const Mask*> out(masks.size());
+  for (std::size_t i = 0; i < masks.size(); ++i) out[i] = &masks[i];
+  return out;
+}
+
+void MhaQuantized::append_kv_batch(
+    const MatI8& kv, const std::vector<QuantKvCache*>& caches) const {
+  TFACC_CHECK_ARG(kv.cols() == d_model);
+  TFACC_CHECK_ARG(static_cast<int>(caches.size()) == kv.rows());
+  for (std::size_t h = 0; h < heads.size(); ++h) {
+    const MatI8 k1 = heads[h].wk.forward(kv);
+    const MatI8 v1 = heads[h].wv.forward(kv);
+    for (int r = 0; r < kv.rows(); ++r) {
+      QuantKvCache& cache = *caches[static_cast<std::size_t>(r)];
+      TFACC_CHECK_ARG(cache.k1.size() == heads.size());
+      cache.k1[h].append_rows(k1.block(r, 0, 1, head_dim));
+      cache.v1[h].append_rows(v1.block(r, 0, 1, head_dim));
+    }
+  }
+}
+
+MatI8 MhaQuantized::forward_cached_batch(
+    const MatI8& q, const std::vector<const QuantKvCache*>& caches,
+    const std::vector<const Mask*>& masks) const {
+  const int n = q.rows();
+  TFACC_CHECK_ARG(q.cols() == d_model);
+  TFACC_CHECK_ARG(static_cast<int>(caches.size()) == n &&
+                  static_cast<int>(masks.size()) == n);
+  for (int r = 0; r < n; ++r)
+    TFACC_CHECK_ARG(masks[static_cast<std::size_t>(r)]->rows() == 1 &&
+                    masks[static_cast<std::size_t>(r)]->cols() ==
+                        caches[static_cast<std::size_t>(r)]->rows());
+
+  MatI8 p(n, d_model);
+  for (int h = 0; h < num_heads; ++h) {
+    const auto& qh = heads[static_cast<std::size_t>(h)];
+    const MatI8 q1 = qh.wq.forward(q);  // one stacked projection
+    for (int r = 0; r < n; ++r) {
+      const QuantKvCache& cache = *caches[static_cast<std::size_t>(r)];
+      const MatI8 q1_row = q1.block(r, 0, 1, head_dim);
+      const MatI32 scores =
+          gemm_nt_i8(q1_row, cache.k1[static_cast<std::size_t>(h)]);
+      const MatI8 probs =
+          softmax(scores, *masks[static_cast<std::size_t>(r)], h);
+      const MatI32 a = gemm_i8(probs, cache.v1[static_cast<std::size_t>(h)]);
+      p.set_block(r, h * head_dim, requantize_i8(a, qh.av_requant));
+    }
+  }
+  return mha_output_stage(*this, q, p);
+}
+
 // --- FfnQuantized ------------------------------------------------------------
 
 FfnQuantized FfnQuantized::build(const FfnWeights& w,

@@ -128,6 +128,21 @@ struct MhaQuantized {
   MatI8 forward_cached(const MatI8& q, const QuantKvCache& cache,
                        const Mask& mask) const;
 
+  /// Packed decode step: project the stacked new K/V rows (row r belongs to
+  /// slot r) in ONE pass through wk/wv and scatter row r into caches[r].
+  /// Bit-identical to per-slot append_kv — the projections/requantizers are
+  /// row-independent.
+  void append_kv_batch(const MatI8& kv,
+                       const std::vector<QuantKvCache*>& caches) const;
+  /// forward_cached over many slots at once: row r of q attends over
+  /// caches[r] under masks[r] (1 × caches[r]->rows()). The Q projection and
+  /// the whole output stage (W_G, residual, LayerNorm) run over the stacked
+  /// rows; attention/softmax stay per slot. Bit-identical, row for row, to
+  /// per-slot forward_cached.
+  MatI8 forward_cached_batch(const MatI8& q,
+                             const std::vector<const QuantKvCache*>& caches,
+                             const std::vector<const Mask*>& masks) const;
+
   /// INT8 attention probabilities for one head's score accumulators —
   /// shared by forward() and the accelerator simulator.
   MatI8 softmax(const MatI32& scores, const Mask& mask, int head) const;
@@ -176,6 +191,14 @@ struct FfnQuantized {
     return dequantize(y, QuantParams{out_scale});
   }
 };
+
+/// Downcast a backend hook's cache list to the INT8 caches (throws on a
+/// foreign cache type) — shared marshalling of the packed mha_cached_batch
+/// hooks in qtransformer and core/backend.
+std::vector<QuantKvCache*> quant_kv_caches(
+    const std::vector<MhaCache*>& caches);
+/// Address-of view of a hook's mask list, as forward_cached_batch consumes.
+std::vector<const Mask*> mask_ptrs(const std::vector<Mask>& masks);
 
 /// Saturating INT16 residual add: sat16(a + b) elementwise.
 MatI16 saturating_add_i16(const MatI16& a, const MatI16& b);

@@ -88,6 +88,20 @@ ResBlockBackend QuantizedTransformer::backend() const {
     return qm.dequantize_out(
         qm.forward_cached(qm.quantize_q(q), kv_cache, mask));
   };
+  // Packed decode: the stacked rows share one quantization pass per scale
+  // (q_in for queries/residual, kv_in for the appended K/V) and one
+  // projection per weight matrix; attention stays per slot.
+  b.mha_cached_batch = [this](const MatF& q,
+                              const std::vector<MhaCache*>& caches,
+                              const MhaWeights& w,
+                              const std::vector<Mask>& masks, bool append) {
+    const MhaQuantized& qm = mha_for(w);
+    const std::vector<QuantKvCache*> kv = quant_kv_caches(caches);
+    if (append) qm.append_kv_batch(qm.quantize_kv(q), kv);
+    const std::vector<const QuantKvCache*> ckv(kv.begin(), kv.end());
+    return qm.dequantize_out(
+        qm.forward_cached_batch(qm.quantize_q(q), ckv, mask_ptrs(masks)));
+  };
   return b;
 }
 

@@ -50,6 +50,45 @@ MatF ref_mha_cached(const MatF& q, MhaCache& cache, const MhaWeights& w,
   return layer_norm(g, w.norm);
 }
 
+MatF ref_mha_cached_batch(const MatF& q, const std::vector<MhaCache*>& caches,
+                          const MhaWeights& w, const std::vector<Mask>& masks,
+                          bool append) {
+  const int n = q.rows();
+  TFACC_CHECK_ARG(static_cast<int>(caches.size()) == n &&
+                  static_cast<int>(masks.size()) == n);
+  const int head_dim = w.heads.front().wk.cols();
+  std::vector<MatF> head_outputs;
+  head_outputs.reserve(w.heads.size());
+  for (std::size_t h = 0; h < w.heads.size(); ++h) {
+    const auto& head = w.heads[h];
+    if (append) {
+      // One stacked projection of every slot's new K/V row, scattered into
+      // the per-slot caches (gemm/add_bias are row-independent, so row r
+      // equals the row a per-slot projection would have produced).
+      const MatF k_new = add_bias(gemm(q, head.wk), head.bk);
+      const MatF v_new = add_bias(gemm(q, head.wv), head.bv);
+      for (int r = 0; r < n; ++r) {
+        auto& ref = dynamic_cast<RefMhaCache&>(*caches[static_cast<std::size_t>(r)]);
+        ref.k[h].append_rows(k_new.block(r, 0, 1, head_dim));
+        ref.v[h].append_rows(v_new.block(r, 0, 1, head_dim));
+      }
+    }
+    const MatF qi = add_bias(gemm(q, head.wq), head.bq);
+    MatF out(n, head_dim);
+    for (int r = 0; r < n; ++r) {
+      const auto& ref =
+          dynamic_cast<const RefMhaCache&>(*caches[static_cast<std::size_t>(r)]);
+      out.set_block(r, 0,
+                    attention_head(qi.block(r, 0, 1, head_dim), ref.k[h],
+                                   ref.v[h], masks[static_cast<std::size_t>(r)]));
+    }
+    head_outputs.push_back(std::move(out));
+  }
+  const MatF p = hconcat(head_outputs);
+  const MatF g = add(q, add_bias(gemm(p, w.wg), w.bg));
+  return layer_norm(g, w.norm);
+}
+
 DecodeState DecodeState::clone() const {
   DecodeState out;
   out.self_kv.reserve(self_kv.size());

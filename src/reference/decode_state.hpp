@@ -53,6 +53,16 @@ MhaCachePtr ref_mha_cross_cache(const MatF& memory, const MhaWeights& w);
 /// cached rows. `mask` is q.rows() × cache.rows() (after the append).
 MatF ref_mha_cached(const MatF& q, MhaCache& cache, const MhaWeights& w,
                     const Mask& mask, bool append);
+/// Packed cached MHA over many independent hypotheses: row r of `q` belongs
+/// to slot r, attending over caches[r] under masks[r] (1 × caches[r]->rows()
+/// after the append). Projections run over the stacked rows in one GEMM;
+/// attention stays per slot. Every op is row-independent, so the output is
+/// bit-identical, row for row, to calling ref_mha_cached on each row alone.
+/// With `append`, caches must be distinct objects (each slot appends its own
+/// row); without it, sharing a cache across slots is fine (read-only).
+MatF ref_mha_cached_batch(const MatF& q, const std::vector<MhaCache*>& caches,
+                          const MhaWeights& w, const std::vector<Mask>& masks,
+                          bool append);
 
 /// The whole incremental-decode state of one hypothesis: per-decoder-layer
 /// self-attention caches (grown one row per step) and cross-attention caches

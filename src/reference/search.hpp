@@ -1,0 +1,106 @@
+// Externally-stepped decode search state machines.
+//
+// translate_greedy / translate_beam used to own their decode loops, which
+// welded "which hypothesis advances next" to "one sentence at a time". The
+// continuous-batching scheduler (src/serve) needs the opposite: many
+// sentences' live hypotheses packed into ONE decode step, with each
+// sentence's search logic advancing from the logits rows it is handed.
+//
+// A SentenceSearch is that per-sentence logic with the logits supplier
+// inverted: the driver asks for the live hypotheses (their input tokens, or
+// cached DecodeStates), computes their next-token logits however it likes —
+// serial decode_step, packed decode_step_batch, or full-recompute
+// next_token_logits — and feeds them back through advance(). Because the
+// serial translate_* loops and the packed scheduler drive the *same* state
+// machine, their outputs are bit-identical by construction.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "reference/transformer.hpp"
+
+namespace tfacc {
+
+/// Search state machine of one in-flight sentence. Drivers loop:
+///   while (!done()) { logits[i] = ... for each live i; advance(logits); }
+/// In cached mode (constructed with a DecodeState) the driver feeds
+/// input_token(i) through decode_step on state(i); in full-recompute mode it
+/// evaluates next_token_logits over prefix(i).
+class SentenceSearch {
+ public:
+  virtual ~SentenceSearch() = default;
+
+  /// Number of live hypotheses awaiting logits this step (0 once done()).
+  virtual int live() const = 0;
+  /// Token hypothesis `i` feeds this step (cached-decode drivers).
+  virtual int input_token(int i) const = 0;
+  /// Target prefix (BOS + consumed tokens) of hypothesis `i`
+  /// (full-recompute drivers).
+  virtual const TokenSeq& prefix(int i) const = 0;
+  /// Incremental decode state of hypothesis `i` (cached mode only).
+  virtual DecodeState& state(int i) = 0;
+  /// Consume one vocab-logits row per live hypothesis, in live order.
+  virtual void advance(const std::vector<std::vector<float>>& logits) = 0;
+  virtual bool done() const = 0;
+  /// Final translation (no BOS/EOS). Valid once done().
+  virtual TokenSeq result() const = 0;
+};
+
+/// Greedy argmax decode: one live hypothesis, stop at EOS or max_len tokens.
+/// Exactly the loop translate_greedy runs.
+class GreedySearch final : public SentenceSearch {
+ public:
+  /// `initial` present = cached mode (state advanced by the driver's
+  /// decode_step calls); absent = full-recompute mode.
+  GreedySearch(int max_len, std::optional<DecodeState> initial);
+
+  int live() const override { return done_ ? 0 : 1; }
+  int input_token(int i) const override;
+  const TokenSeq& prefix(int i) const override;
+  DecodeState& state(int i) override;
+  void advance(const std::vector<std::vector<float>>& logits) override;
+  bool done() const override { return done_; }
+  TokenSeq result() const override;
+
+ private:
+  int max_len_;
+  bool done_ = false;
+  TokenSeq prefix_{kBosId};  // BOS + emitted tokens
+  std::optional<DecodeState> state_;
+};
+
+/// Beam search with GNMT length normalization — the algorithm of
+/// Transformer::translate_beam, stepped externally. Live hypotheses fork
+/// their parent's DecodeState on the beam cut (the last surviving child
+/// steals, extra children clone), exactly as the in-loop version did.
+class BeamSearch final : public SentenceSearch {
+ public:
+  BeamSearch(int max_len, Transformer::BeamConfig beam,
+             std::optional<DecodeState> initial);
+
+  int live() const override;
+  int input_token(int i) const override;
+  const TokenSeq& prefix(int i) const override;
+  DecodeState& state(int i) override;
+  void advance(const std::vector<std::vector<float>>& logits) override;
+  bool done() const override;
+  TokenSeq result() const override;
+
+ private:
+  struct Hypothesis {
+    TokenSeq tokens;  // starts with BOS
+    float logprob = 0.0f;
+    DecodeState state;
+  };
+
+  int max_len_;
+  Transformer::BeamConfig beam_;
+  bool cached_;
+  int step_ = 0;
+  std::vector<Hypothesis> live_;
+  std::vector<Hypothesis> finished_;  // tokens end with EOS; state unused
+};
+
+}  // namespace tfacc

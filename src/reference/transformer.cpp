@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "reference/search.hpp"
 #include "tensor/ops.hpp"
 
 namespace tfacc {
@@ -28,6 +29,22 @@ bool ResBlockBackend::supports_cached_decode() const {
   // Default cached hooks only match a default mha; overridden cached hooks
   // are the author's claim of consistency and are trusted.
   return !cached_is_default || holds_default(mha, &mha_resblock);
+}
+
+bool ResBlockBackend::supports_batched_decode() const {
+  if (!supports_cached_decode() || !mha_cached_batch) return false;
+  // The default batch hook only matches backends whose cached hooks are also
+  // the reference defaults; an overridden batch hook is the author's claim
+  // of row-for-row agreement with their mha_cached and is trusted.
+  return !holds_default(mha_cached_batch, &ref_mha_cached_batch) ||
+         holds_default(mha_cached, &ref_mha_cached);
+}
+
+int unpadded_length(const TokenSeq& seq) {
+  int valid = static_cast<int>(seq.size());
+  while (valid > 0 && seq[static_cast<std::size_t>(valid - 1)] == kPadId)
+    --valid;
+  return valid;
 }
 
 MatF positional_encoding(int max_len, int d_model) {
@@ -81,10 +98,7 @@ MatF Transformer::encode(const TokenSeq& src) const {
   MatF x = embed(src, weights_.src_embedding);
   const int s = x.rows();
   // Padding tokens (id 0) at the tail are masked from attention keys.
-  int valid = s;
-  while (valid > 0 && src[static_cast<std::size_t>(valid - 1)] == kPadId)
-    --valid;
-  const Mask mask = padding_mask(s, s, valid);
+  const Mask mask = padding_mask(s, s, unpadded_length(src));
   for (const auto& layer : weights_.encoder_layers) {
     x = backend_.mha(x, x, layer.mha, mask);
     x = backend_.ffn(x, layer.ffn);
@@ -168,27 +182,74 @@ std::vector<float> Transformer::decode_step(DecodeState& state,
   return out;
 }
 
-namespace {
+std::vector<std::vector<float>> Transformer::decode_step_batch(
+    const std::vector<DecodeState*>& states,
+    const std::vector<int>& tokens) const {
+  TFACC_CHECK_ARG(!states.empty() && states.size() == tokens.size());
+  if (!backend_.supports_batched_decode()) {
+    // Untrusted batch hook: the serial path is bit-identical by definition.
+    std::vector<std::vector<float>> out;
+    out.reserve(states.size());
+    for (std::size_t i = 0; i < states.size(); ++i)
+      out.push_back(decode_step(*states[i], tokens[i]));
+    return out;
+  }
 
-/// Row log-softmax of raw logits.
-std::vector<float> log_softmax(const std::vector<float>& logits) {
-  float mx = logits[0];
-  for (float v : logits) mx = std::max(mx, v);
-  double sum = 0.0;
-  for (float v : logits) sum += std::exp(static_cast<double>(v) - mx);
-  const float log_z = mx + static_cast<float>(std::log(sum));
-  std::vector<float> out(logits.size());
-  for (std::size_t i = 0; i < logits.size(); ++i) out[i] = logits[i] - log_z;
+  const int n = static_cast<int>(states.size());
+  const int d_model = weights_.config.d_model;
+  const float scale = std::sqrt(static_cast<float>(d_model));
+  int max_pos = 0;
+  for (int i = 0; i < n; ++i) {
+    const DecodeState& s = *states[static_cast<std::size_t>(i)];
+    TFACC_CHECK_ARG(s.self_kv.size() == weights_.decoder_layers.size());
+    const int tok = tokens[static_cast<std::size_t>(i)];
+    TFACC_CHECK_ARG_MSG(tok >= 0 && tok < weights_.vocab_size,
+                        "token id " << tok);
+    max_pos = std::max(max_pos, s.steps);
+  }
+  const auto pe = positions(max_pos + 1);
+
+  // Stack every hypothesis's embedded input row (each at its own position).
+  MatF y(n, d_model);
+  std::vector<Mask> self_masks, cross_masks;
+  self_masks.reserve(states.size());
+  cross_masks.reserve(states.size());
+  for (int i = 0; i < n; ++i) {
+    const DecodeState& s = *states[static_cast<std::size_t>(i)];
+    const int tok = tokens[static_cast<std::size_t>(i)];
+    for (int c = 0; c < d_model; ++c)
+      y(i, c) = weights_.tgt_embedding(tok, c) * scale + (*pe)(s.steps, c);
+    // Row `steps` of causal_mask(steps + 1), as in decode_step.
+    self_masks.push_back(no_mask(1, s.steps + 1));
+    cross_masks.push_back(padding_mask(1, s.memory_rows, s.src_valid));
+  }
+
+  std::vector<MhaCache*> self_caches(states.size());
+  std::vector<MhaCache*> cross_caches(states.size());
+  for (std::size_t li = 0; li < weights_.decoder_layers.size(); ++li) {
+    const auto& layer = weights_.decoder_layers[li];
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      self_caches[i] = states[i]->self_kv[li].get();
+      cross_caches[i] = states[i]->cross_kv[li].get();
+    }
+    y = backend_.mha_cached_batch(y, self_caches, layer.self_mha, self_masks,
+                                  /*append=*/true);
+    y = backend_.mha_cached_batch(y, cross_caches, layer.cross_mha,
+                                  cross_masks, /*append=*/false);
+    y = backend_.ffn(y, layer.ffn);
+  }
+  for (DecodeState* s : states) ++s->steps;
+
+  const MatF logits = gemm(y, weights_.output_projection);
+  std::vector<std::vector<float>> out(states.size());
+  for (int i = 0; i < n; ++i) {
+    auto& row = out[static_cast<std::size_t>(i)];
+    row.resize(static_cast<std::size_t>(logits.cols()));
+    for (int c = 0; c < logits.cols(); ++c)
+      row[static_cast<std::size_t>(c)] = logits(i, c);
+  }
   return out;
 }
-
-/// GNMT length-normalized score of a hypothesis with `emitted` tokens.
-float beam_score(float logprob, int emitted, float alpha) {
-  const float len = std::max(1.0f, static_cast<float>(emitted));
-  return logprob / std::pow((5.0f + len) / 6.0f, alpha);
-}
-
-}  // namespace
 
 TokenSeq Transformer::translate_beam(const TokenSeq& src, int max_len,
                                      const BeamConfig& beam,
@@ -196,128 +257,29 @@ TokenSeq Transformer::translate_beam(const TokenSeq& src, int max_len,
   TFACC_CHECK_ARG(max_len > 0);
   TFACC_CHECK_ARG(beam.beam_size >= 1);
   const MatF memory = encode(src);
-  int src_valid = static_cast<int>(src.size());
-  while (src_valid > 0 && src[static_cast<std::size_t>(src_valid - 1)] == kPadId)
-    --src_valid;
+  const int src_valid = unpadded_length(src);
   const bool cached = mode == DecodeMode::kKvCache &&
                       backend_.supports_cached_decode();
 
-  // Invariant of a cached hypothesis: `state` has consumed every token but
-  // the last, so one decode_step(tokens.back()) yields the next logits.
-  struct Hypothesis {
-    TokenSeq tokens;  // starts with BOS
-    float logprob = 0.0f;
-    bool finished = false;
-    DecodeState state;
-
-    float score(float alpha) const {
-      return beam_score(logprob, static_cast<int>(tokens.size()) - 1, alpha);
-    }
-  };
-
-  std::vector<Hypothesis> live;
-  {
-    Hypothesis first;
-    first.tokens = {kBosId};
-    if (cached) first.state = begin_decode(memory, src_valid);
-    live.push_back(std::move(first));
+  // Invariant of a cached hypothesis: its state has consumed every token but
+  // the last, so one decode_step(input_token) yields the next logits. The
+  // serve/ scheduler drives the same BeamSearch machine with packed steps,
+  // which is what makes its outputs bit-identical to this serial loop.
+  BeamSearch search(max_len, beam,
+                    cached ? std::optional<DecodeState>(
+                                 begin_decode(memory, src_valid))
+                           : std::nullopt);
+  while (!search.done()) {
+    std::vector<std::vector<float>> logits;
+    logits.reserve(static_cast<std::size_t>(search.live()));
+    for (int i = 0; i < search.live(); ++i)
+      logits.push_back(cached
+                           ? decode_step(search.state(i), search.input_token(i))
+                           : next_token_logits(search.prefix(i), memory,
+                                               src_valid));
+    search.advance(logits);
   }
-  std::vector<Hypothesis> finished;
-
-  for (int step = 0; step < max_len && !live.empty(); ++step) {
-    // Candidates fork their parent's cache lazily: only the survivors of the
-    // beam cut pay the clone.
-    struct Candidate {
-      TokenSeq tokens;
-      float logprob = 0.0f;
-      bool finished = false;
-      std::size_t parent = 0;
-    };
-    std::vector<Candidate> candidates;
-    for (std::size_t i = 0; i < live.size(); ++i) {
-      Hypothesis& hyp = live[i];
-      const auto logits =
-          cached ? decode_step(hyp.state, hyp.tokens.back())
-                 : next_token_logits(hyp.tokens, memory, src_valid);
-      const auto logp = log_softmax(logits);
-      // Top beam_size expansions of this hypothesis.
-      std::vector<int> order(logp.size());
-      for (std::size_t j = 0; j < order.size(); ++j)
-        order[j] = static_cast<int>(j);
-      const std::size_t keep =
-          std::min<std::size_t>(order.size(),
-                                static_cast<std::size_t>(beam.beam_size));
-      std::partial_sort(order.begin(), order.begin() + keep, order.end(),
-                        [&](int a, int b) {
-                          return logp[static_cast<std::size_t>(a)] >
-                                 logp[static_cast<std::size_t>(b)];
-                        });
-      for (std::size_t k = 0; k < keep; ++k) {
-        Candidate next;
-        next.tokens = hyp.tokens;
-        next.tokens.push_back(order[k]);
-        next.logprob =
-            hyp.logprob + logp[static_cast<std::size_t>(order[k])];
-        next.finished = order[k] == kEosId;
-        next.parent = i;
-        candidates.push_back(std::move(next));
-      }
-    }
-    std::sort(candidates.begin(), candidates.end(),
-              [&](const Candidate& a, const Candidate& b) {
-                return beam_score(a.logprob,
-                                  static_cast<int>(a.tokens.size()) - 1,
-                                  beam.length_penalty) >
-                       beam_score(b.logprob,
-                                  static_cast<int>(b.tokens.size()) - 1,
-                                  beam.length_penalty);
-              });
-    std::vector<Hypothesis> next_live;
-    std::vector<std::size_t> parents;
-    for (auto& cand : candidates) {
-      if (cand.finished) {
-        Hypothesis done;
-        done.tokens = std::move(cand.tokens);
-        done.logprob = cand.logprob;
-        done.finished = true;
-        finished.push_back(std::move(done));
-      } else if (static_cast<int>(next_live.size()) < beam.beam_size) {
-        Hypothesis h;
-        h.tokens = std::move(cand.tokens);
-        h.logprob = cand.logprob;
-        next_live.push_back(std::move(h));
-        parents.push_back(cand.parent);
-      }
-      if (static_cast<int>(finished.size()) >= beam.beam_size) break;
-    }
-    if (cached) {
-      // Fork the caches: the last surviving child of each parent steals the
-      // parent's (already advanced) state; only additional children pay a
-      // deep clone. In the common one-survivor-per-parent case no clone
-      // happens at all.
-      std::vector<int> remaining(live.size(), 0);
-      for (const std::size_t p : parents) ++remaining[p];
-      for (std::size_t i = 0; i < next_live.size(); ++i) {
-        const std::size_t p = parents[i];
-        next_live[i].state = --remaining[p] == 0
-                                 ? std::move(live[p].state)
-                                 : live[p].state.clone();
-      }
-    }
-    live = std::move(next_live);
-    if (static_cast<int>(finished.size()) >= beam.beam_size) break;
-  }
-
-  for (auto& hyp : live) finished.push_back(std::move(hyp));
-  TFACC_CHECK(!finished.empty());
-  const auto best = std::max_element(
-      finished.begin(), finished.end(),
-      [&](const Hypothesis& a, const Hypothesis& b) {
-        return a.score(beam.length_penalty) < b.score(beam.length_penalty);
-      });
-  TokenSeq out(best->tokens.begin() + 1, best->tokens.end());
-  if (!out.empty() && out.back() == kEosId) out.pop_back();
-  return out;
+  return search.result();
 }
 
 TokenSeq Transformer::translate_beam(const TokenSeq& src, int max_len) const {
@@ -328,35 +290,21 @@ TokenSeq Transformer::translate_greedy(const TokenSeq& src, int max_len,
                                        DecodeMode mode) const {
   TFACC_CHECK_ARG(max_len > 0);
   const MatF memory = encode(src);
-  int src_valid = static_cast<int>(src.size());
-  while (src_valid > 0 && src[static_cast<std::size_t>(src_valid - 1)] == kPadId)
-    --src_valid;
+  const int src_valid = unpadded_length(src);
+  const bool cached = mode == DecodeMode::kKvCache &&
+                      backend_.supports_cached_decode();
 
-  if (mode == DecodeMode::kFullRecompute ||
-      !backend_.supports_cached_decode()) {
-    TokenSeq tgt{kBosId};
-    for (int step = 0; step < max_len; ++step) {
-      const auto logits = next_token_logits(tgt, memory, src_valid);
-      const int next = static_cast<int>(
-          std::max_element(logits.begin(), logits.end()) - logits.begin());
-      if (next == kEosId) break;
-      tgt.push_back(next);
-    }
-    return TokenSeq(tgt.begin() + 1, tgt.end());
+  GreedySearch search(max_len,
+                      cached ? std::optional<DecodeState>(
+                                   begin_decode(memory, src_valid))
+                             : std::nullopt);
+  while (!search.done()) {
+    search.advance({cached ? decode_step(search.state(0),
+                                         search.input_token(0))
+                           : next_token_logits(search.prefix(0), memory,
+                                               src_valid)});
   }
-
-  DecodeState state = begin_decode(memory, src_valid);
-  TokenSeq out;
-  int prev = kBosId;
-  for (int step = 0; step < max_len; ++step) {
-    const auto logits = decode_step(state, prev);
-    const int next = static_cast<int>(
-        std::max_element(logits.begin(), logits.end()) - logits.begin());
-    if (next == kEosId) break;
-    out.push_back(next);
-    prev = next;
-  }
-  return out;
+  return search.result();
 }
 
 }  // namespace tfacc

@@ -24,6 +24,9 @@ constexpr int kPadId = 0;
 constexpr int kBosId = 1;
 constexpr int kEosId = 2;
 
+/// Length of `seq` with trailing PAD tokens trimmed (attention-mask extent).
+int unpadded_length(const TokenSeq& seq);
+
 /// Sinusoidal positional encoding, rows = positions, cols = d_model
 /// (Vaswani et al. 2017, Eq. 5.1; referenced by Fig. 1).
 MatF positional_encoding(int max_len, int d_model);
@@ -54,6 +57,14 @@ struct ResBlockBackend {
   std::function<MatF(const MatF& q, MhaCache& cache, const MhaWeights&,
                      const Mask&, bool append)>
       mha_cached = ref_mha_cached;
+  /// Packed cached MHA: row r of q is an independent hypothesis attending
+  /// over caches[r] under masks[r]. Must agree row-for-row with mha_cached
+  /// (trivially true for the defaults and the shipped backends: every op is
+  /// row-independent, the packing only amortizes projections/quantization).
+  std::function<MatF(const MatF& q, const std::vector<MhaCache*>& caches,
+                     const MhaWeights&, const std::vector<Mask>& masks,
+                     bool append)>
+      mha_cached_batch = ref_mha_cached_batch;
 
   /// True when the cached hooks can be trusted to agree with `mha`: either
   /// everything is still the reference default, or the cached hooks were
@@ -61,6 +72,11 @@ struct ResBlockBackend {
   /// `mha` with default cached hooks — makes the decode loops fall back to
   /// full recompute rather than compute attention with the wrong backend.
   bool supports_cached_decode() const;
+  /// True when mha_cached_batch can be trusted to agree with mha_cached: the
+  /// whole backend is still the reference default, or the batch hook was
+  /// overridden alongside the cached ones. False makes decode_step_batch
+  /// fall back to per-hypothesis mha_cached calls — slower, never wrong.
+  bool supports_batched_decode() const;
 };
 
 /// How translate_greedy / translate_beam run the decoder stack. Both modes
@@ -107,6 +123,20 @@ class Transformer {
   /// state, and return the vocab logits row for the following position.
   /// Bit-identical to next_token_logits over the same token prefix.
   std::vector<float> decode_step(DecodeState& state, int token) const;
+
+  /// One packed decode step over many independent hypotheses: feeds
+  /// tokens[i] into *states[i] (each at its own position, against its own
+  /// caches and masks — lengths may be ragged) through ONE stacked ResBlock
+  /// pass per decoder sublayer, then returns one logits row per hypothesis.
+  /// Bit-identical to calling decode_step(*states[i], tokens[i]) serially,
+  /// because every op in the stack is row-independent; the packing exists so
+  /// the systolic array streams full tiles instead of single rows. Self
+  /// caches must be distinct objects; cross caches may be shared (beam
+  /// siblings). Falls back to serial decode_step when the backend does not
+  /// provide a trusted batch hook (supports_batched_decode()).
+  std::vector<std::vector<float>> decode_step_batch(
+      const std::vector<DecodeState*>& states,
+      const std::vector<int>& tokens) const;
 
   /// Greedy autoregressive translation: BOS ... EOS, capped at max_len.
   /// The returned sequence excludes BOS and EOS.

@@ -1,0 +1,68 @@
+#include "serve/request_queue.hpp"
+
+#include "common/check.hpp"
+
+namespace tfacc {
+
+RequestQueue::RequestQueue(int num_shards)
+    : shards_(static_cast<std::size_t>(num_shards)) {
+  TFACC_CHECK_ARG_MSG(num_shards >= 1,
+                      "num_shards must be >= 1, got " << num_shards);
+}
+
+void RequestQueue::push(TranslationRequest req) {
+  TFACC_CHECK_MSG(!closed(), "push after close");
+  const std::size_t s =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  const std::lock_guard<std::mutex> lock(shards_[s].mu);
+  shards_[s].q.push_back(std::move(req));
+}
+
+void RequestQueue::close() { closed_.store(true, std::memory_order_release); }
+
+bool RequestQueue::try_pop(int shard, TranslationRequest& out) {
+  TFACC_CHECK_ARG(shard >= 0 &&
+                  shard < static_cast<int>(shards_.size()));
+  {
+    Shard& own = shards_[static_cast<std::size_t>(shard)];
+    const std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.q.empty()) {
+      out = std::move(own.q.front());
+      own.q.pop_front();
+      return true;
+    }
+  }
+  // Steal from the most loaded sibling. A victim may drain between the scan
+  // and the steal; rescan until a steal lands or everything is empty.
+  for (;;) {
+    int victim = -1;
+    std::size_t victim_load = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (static_cast<int>(s) == shard) continue;
+      const std::lock_guard<std::mutex> lock(shards_[s].mu);
+      if (shards_[s].q.size() > victim_load) {
+        victim_load = shards_[s].q.size();
+        victim = static_cast<int>(s);
+      }
+    }
+    if (victim < 0) return false;
+    Shard& v = shards_[static_cast<std::size_t>(victim)];
+    const std::lock_guard<std::mutex> lock(v.mu);
+    if (!v.q.empty()) {
+      out = std::move(v.q.back());
+      v.q.pop_back();
+      return true;
+    }
+  }
+}
+
+std::size_t RequestQueue::pending() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    n += s.q.size();
+  }
+  return n;
+}
+
+}  // namespace tfacc

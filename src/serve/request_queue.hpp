@@ -1,0 +1,67 @@
+// Work-stealing request queue in front of the decode farm.
+//
+// PR 1's BatchRunner dealt sentence i to card i % num_cards statically: a
+// card that drew short sentences idled while its neighbors worked through
+// long ones. Here every card owns a shard (deque) of the queue; requests are
+// dealt round-robin into the shards, a card pops work from the front of its
+// own shard, and a card whose shard runs dry steals from the *back* of the
+// most loaded sibling — the classic owner-front/thief-back split that keeps
+// contention off the common path. The queue itself does not order *when*
+// cards pop; the scheduler's simulated-time AdmissionGate does, which makes
+// request placement deterministic. Outputs are bit-identical regardless of
+// assignment either way (decoding is deterministic per request).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "reference/transformer.hpp"
+
+namespace tfacc {
+
+/// One translation request; `id` is echoed so responses can be matched up
+/// (Scheduler uses the source index).
+struct TranslationRequest {
+  std::uint64_t id = 0;
+  TokenSeq src;
+};
+
+class RequestQueue {
+ public:
+  /// One shard per worker (card). Workers are numbered [0, num_shards).
+  explicit RequestQueue(int num_shards);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Enqueue a request; requests are dealt round-robin across shards.
+  void push(TranslationRequest req);
+
+  /// No more pushes will follow; try_pop returning false is then final.
+  void close();
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Pop the next request for worker `shard`: its own shard's front first,
+  /// else steal from the back of the most loaded sibling. Returns false only
+  /// when every shard is empty at the time of the scan.
+  bool try_pop(int shard, TranslationRequest& out);
+
+  /// Requests currently enqueued across all shards (advisory under
+  /// concurrency).
+  std::size_t pending() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::deque<TranslationRequest> q;
+  };
+
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> next_shard_{0};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace tfacc

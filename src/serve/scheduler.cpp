@@ -1,0 +1,368 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "common/check.hpp"
+#include "reference/search.hpp"
+
+namespace tfacc {
+
+void SchedulerConfig::validate() const {
+  TFACC_CHECK_ARG_MSG(num_cards >= 1,
+                      "num_cards must be >= 1, got " << num_cards);
+  TFACC_CHECK_ARG_MSG(max_len >= 1, "max_len must be >= 1, got " << max_len);
+  TFACC_CHECK_ARG_MSG(beam_size >= 0,
+                      "beam_size must be >= 0, got " << beam_size);
+  TFACC_CHECK_ARG_MSG(slots_per_card >= slot_demand(),
+                      "slots_per_card must be >= " << slot_demand()
+                          << " (one sentence's hypotheses), got "
+                          << slots_per_card);
+  accel.validate();
+}
+
+Cycle ScheduleReport::makespan_cycles() const {
+  Cycle m = 0;
+  for (const AcceleratorStats& s : per_card)
+    m = std::max(m, s.total_cycles());
+  return m;
+}
+
+Cycle ScheduleReport::total_cycles() const {
+  Cycle t = 0;
+  for (const AcceleratorStats& s : per_card) t += s.total_cycles();
+  return t;
+}
+
+double ScheduleReport::modeled_sentences_per_second() const {
+  const Cycle makespan = makespan_cycles();
+  if (makespan <= 0) return 0.0;
+  return sentences() * clock_mhz * 1e6 / static_cast<double>(makespan);
+}
+
+long ScheduleReport::packed_steps() const {
+  long n = 0;
+  for (const CardStepStats& s : per_card_steps) n += s.steps;
+  return n;
+}
+
+long ScheduleReport::packed_rows() const {
+  long n = 0;
+  for (const CardStepStats& s : per_card_steps) n += s.packed_rows;
+  return n;
+}
+
+double ScheduleReport::packed_rows_mean() const {
+  const long steps = packed_steps();
+  return steps <= 0 ? 0.0
+                    : static_cast<double>(packed_rows()) / steps;
+}
+
+double ScheduleReport::sa_utilization() const {
+  Cycle busy = 0;
+  for (const AcceleratorStats& s : per_card) busy += s.sa_busy_cycles;
+  const Cycle total = total_cycles();
+  return total == 0 ? 0.0 : static_cast<double>(busy) / total;
+}
+
+// One card: a host model copy, the INT8 quantization of its blocks (keyed by
+// weight addresses inside *this* model, hence per-card) and a cycle-level
+// simulator. The functional backends skip the parts they do not need.
+struct Scheduler::Card {
+  Transformer model;
+  std::optional<QuantizedTransformer> qt;
+  std::optional<Accelerator> acc;
+
+  Card(const TransformerWeights& weights,
+       const std::vector<TokenSeq>& calib_sources,
+       const SchedulerConfig& cfg)
+      : model(weights) {
+    if (cfg.backend != ServeBackend::kReference)
+      qt.emplace(QuantizedTransformer::build(model, calib_sources,
+                                             cfg.max_len, cfg.softmax));
+    if (cfg.backend == ServeBackend::kAccelerator) acc.emplace(cfg.accel);
+  }
+};
+
+/// Conservative simulated-time admission order. Card threads race on the
+/// host (and may even be fully serialized on a single CPU), but the farm
+/// being modeled has every card live at once, so "who takes the next
+/// request" must follow *simulated* time, not host scheduling: a card may
+/// admit only while no live sibling sits at a smaller virtual clock (ties
+/// break toward the lower card id). Cards publish their clock after every
+/// admission and every packed step, so waiters advance promptly. This makes
+/// multi-card request placement — and with it every per-card cycle ledger —
+/// fully deterministic and host-independent.
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(std::size_t n) : clock_(n, 0), live_(n, true) {}
+
+  /// Monotonically raise card c's virtual clock and wake waiters.
+  void publish(std::size_t c, Cycle t) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      clock_[c] = std::max(clock_[c], t);
+    }
+    cv_.notify_all();
+  }
+
+  /// Card c is done (no further admissions); waiters stop considering it.
+  void retire(std::size_t c) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      live_[c] = false;
+    }
+    cv_.notify_all();
+  }
+
+  /// Block until card c holds the smallest (clock, id) among live cards.
+  void wait_turn(std::size_t c) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return my_turn(c); });
+  }
+
+ private:
+  bool my_turn(std::size_t c) const {
+    for (std::size_t i = 0; i < clock_.size(); ++i) {
+      if (i == c || !live_[i]) continue;
+      if (clock_[i] < clock_[c] || (clock_[i] == clock_[c] && i < c))
+        return false;
+    }
+    return true;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Cycle> clock_;
+  std::vector<bool> live_;
+};
+
+namespace {
+
+// Run `fn(c)` for c in [0, n) on one thread each (or inline when n == 1),
+// capturing the first exception so it rethrows on the caller's thread
+// instead of std::terminate-ing the process.
+template <typename Fn>
+void run_per_card(std::size_t n, Fn&& fn) {
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto guarded = [&](std::size_t c) {
+    try {
+      fn(c);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mu);
+      if (!error) error = std::current_exception();
+    }
+  };
+  if (n == 1) {
+    guarded(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (std::size_t c = 0; c < n; ++c) threads.emplace_back(guarded, c);
+    for (std::thread& t : threads) t.join();
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+std::unique_ptr<SentenceSearch> make_search(const SchedulerConfig& cfg,
+                                            std::optional<DecodeState> state) {
+  if (cfg.beam_size < 1)
+    return std::make_unique<GreedySearch>(cfg.max_len, std::move(state));
+  Transformer::BeamConfig beam;
+  beam.beam_size = cfg.beam_size;
+  beam.length_penalty = cfg.length_penalty;
+  return std::make_unique<BeamSearch>(cfg.max_len, beam, std::move(state));
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const TransformerWeights& weights,
+                     const std::vector<TokenSeq>& calib_sources,
+                     SchedulerConfig cfg)
+    : cfg_(cfg) {
+  cfg_.validate();
+  TFACC_CHECK_ARG_MSG(
+      cfg_.backend == ServeBackend::kReference || !calib_sources.empty(),
+      "need at least one calibration sentence");
+  // Card setups are independent (each copies the weights and calibrates its
+  // own quantization), so build them concurrently like run() decodes.
+  cards_.resize(static_cast<std::size_t>(cfg_.num_cards));
+  run_per_card(cards_.size(), [&](std::size_t c) {
+    cards_[c] = std::make_unique<Card>(weights, calib_sources, cfg_);
+  });
+}
+
+Scheduler::~Scheduler() = default;
+
+ScheduleReport Scheduler::run(const std::vector<TokenSeq>& sources) {
+  ScheduleReport rep;
+  rep.clock_mhz = cfg_.accel.clock_mhz;
+  rep.outputs.resize(sources.size());
+  rep.per_card.assign(cards_.size(), AcceleratorStats{});
+  rep.per_card_steps.assign(cards_.size(), CardStepStats{});
+  for (CardStepStats& s : rep.per_card_steps)
+    s.rows_hist.assign(static_cast<std::size_t>(cfg_.slots_per_card) + 1, 0);
+
+  RequestQueue queue(cfg_.num_cards);
+  for (std::size_t i = 0; i < sources.size(); ++i)
+    queue.push(TranslationRequest{static_cast<std::uint64_t>(i), sources[i]});
+  queue.close();
+
+  AdmissionGate gate(cards_.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  run_per_card(cards_.size(),
+               [&](std::size_t c) { run_card(c, queue, gate, rep); });
+  rep.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return rep;
+}
+
+void Scheduler::run_card(std::size_t c, RequestQueue& queue,
+                         AdmissionGate& gate, ScheduleReport& rep) {
+  Card& card = *cards_[c];
+  AcceleratorStats& stats = rep.per_card[c];
+  CardStepStats& step_stats = rep.per_card_steps[c];
+
+  switch (cfg_.backend) {
+    case ServeBackend::kReference:
+      card.model.set_backend(ResBlockBackend{});
+      break;
+    case ServeBackend::kQuantized:
+      card.model.set_backend(card.qt->backend());
+      break;
+    case ServeBackend::kAccelerator:
+      card.model.set_backend(
+          accelerator_backend(*card.qt, *card.acc, &stats));
+      break;
+  }
+  const bool cached = cfg_.decode == DecodeMode::kKvCache;
+  const int demand = cfg_.slot_demand();
+
+  // One admitted sentence: its id, the encoder memory (needed per step in
+  // full-recompute mode, at admission only in cached mode) and its search
+  // state machine.
+  struct Active {
+    std::uint64_t id = 0;
+    MatF memory;
+    int src_valid = 0;
+    std::unique_ptr<SentenceSearch> search;
+  };
+  std::vector<Active> active;
+  int reserved = 0;  // slots claimed by admitted sentences (demand each)
+
+  // Virtual clock driving the admission order: simulated ResBlock cycles on
+  // the accelerator; a work proxy (rows stepped + sentences admitted) for
+  // the functional backends, which have no cycle model.
+  const auto virtual_time = [&]() -> Cycle {
+    return cfg_.backend == ServeBackend::kAccelerator
+               ? stats.total_cycles()
+               : static_cast<Cycle>(step_stats.packed_rows +
+                                    step_stats.sentences);
+  };
+
+  bool queue_drained = false;
+  for (;;) {
+    // Refill every vacant slot before stepping: finished sentences left last
+    // iteration, so admission is continuous — no barrier per batch. Each
+    // admission waits its simulated-time turn so request placement follows
+    // the modeled farm, not host thread scheduling.
+    while (!queue_drained && reserved + demand <= cfg_.slots_per_card) {
+      gate.wait_turn(c);
+      TranslationRequest req;
+      if (!queue.try_pop(static_cast<int>(c), req)) {
+        queue_drained = true;  // closed before run(): empty is final
+        break;
+      }
+      Active a;
+      a.id = req.id;
+      a.memory = card.model.encode(req.src);
+      a.src_valid = unpadded_length(req.src);
+      a.search = make_search(
+          cfg_, cached ? std::optional<DecodeState>(card.model.begin_decode(
+                             a.memory, a.src_valid))
+                       : std::nullopt);
+      reserved += demand;
+      ++step_stats.sentences;
+      active.push_back(std::move(a));
+      gate.publish(c, virtual_time());
+    }
+    if (active.empty()) break;  // queue drained and nothing in flight
+
+    // Gather the next-token row of every live hypothesis on this card.
+    std::vector<DecodeState*> states;
+    std::vector<int> tokens;
+    std::vector<int> live_counts(active.size());
+    int rows = 0;
+    for (std::size_t ai = 0; ai < active.size(); ++ai) {
+      const int k = active[ai].search->live();
+      live_counts[ai] = k;
+      rows += k;
+      if (cached) {
+        for (int i = 0; i < k; ++i) {
+          states.push_back(&active[ai].search->state(i));
+          tokens.push_back(active[ai].search->input_token(i));
+        }
+      }
+    }
+    // Full recompute issues one whole-prefix pass per hypothesis — nothing
+    // is packed — so it is charged as `rows` one-row steps; only the cached
+    // mode's single stacked invocation counts as one multi-row step.
+    if (cached) {
+      ++step_stats.steps;
+      step_stats.packed_rows += rows;
+      ++step_stats.rows_hist[static_cast<std::size_t>(
+          std::min(rows, cfg_.slots_per_card))];
+    } else {
+      step_stats.steps += rows;
+      step_stats.packed_rows += rows;
+      step_stats.rows_hist[1] += rows;
+    }
+
+    // One packed pass for every row (cached), or the legacy per-hypothesis
+    // full recompute (the O(L³) comparison mode — nothing to pack there).
+    std::vector<std::vector<float>> logits;
+    if (cached) {
+      logits = card.model.decode_step_batch(states, tokens);
+    } else {
+      logits.reserve(static_cast<std::size_t>(rows));
+      for (std::size_t ai = 0; ai < active.size(); ++ai)
+        for (int i = 0; i < live_counts[ai]; ++i)
+          logits.push_back(card.model.next_token_logits(
+              active[ai].search->prefix(i), active[ai].memory,
+              active[ai].src_valid));
+    }
+
+    // Scatter the logits rows back to each sentence's search machine.
+    std::size_t off = 0;
+    for (std::size_t ai = 0; ai < active.size(); ++ai) {
+      const std::size_t k = static_cast<std::size_t>(live_counts[ai]);
+      active[ai].search->advance(std::vector<std::vector<float>>(
+          logits.begin() + static_cast<std::ptrdiff_t>(off),
+          logits.begin() + static_cast<std::ptrdiff_t>(off + k)));
+      off += k;
+    }
+
+    // Finished sentences vacate their slots; the next iteration refills.
+    for (std::size_t ai = 0; ai < active.size();) {
+      if (active[ai].search->done()) {
+        rep.outputs[active[ai].id] = active[ai].search->result();
+        reserved -= demand;
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(ai));
+      } else {
+        ++ai;
+      }
+    }
+    gate.publish(c, virtual_time());
+  }
+  gate.retire(c);
+  card.model.set_backend(ResBlockBackend{});
+}
+
+}  // namespace tfacc

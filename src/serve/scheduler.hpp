@@ -1,0 +1,123 @@
+// Iteration-level continuous batching over a farm of accelerator cards —
+// the serving architecture marian-dev uses for production NMT, applied to
+// the paper's card.
+//
+// PR 2's KV-cached decode shrank every decode step to a single-row ResBlock
+// invocation, which leaves the systolic array weight-load bound (a 1-row
+// pass under a 64-cycle tile load). The Scheduler restores full tiles by
+// packing: each card keeps up to `slots_per_card` live hypotheses; every
+// step-loop iteration gathers their next-token rows into one stacked matrix,
+// runs ONE batched cached-MHA/FFN ResBlock pass per decoder sublayer
+// (Transformer::decode_step_batch), and scatters the logits rows back to
+// each sentence's search state machine. Sentences finish at ragged lengths;
+// a finished sentence vacates its slot and the card immediately refills from
+// the work-stealing RequestQueue — no barrier per batch.
+//
+// Invariants:
+//  * Outputs are bit-identical to serial per-sentence decode (greedy and
+//    beam) on every backend: all packed ops are row-independent and the
+//    serial translate_* loops drive the same GreedySearch/BeamSearch
+//    machines.
+//  * Which card serves a request is dynamic (work stealing) yet
+//    deterministic: admissions are ordered by the simulated-time
+//    AdmissionGate, so per-card cycle ledgers reproduce at any card count
+//    on any host.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "serve/request_queue.hpp"
+
+namespace tfacc {
+
+class AdmissionGate;  // simulated-time admission ordering (scheduler.cpp)
+
+/// Which per-card execution engine the scheduler drives. The accelerator is
+/// the deployment target; the functional backends exist so the bit-identity
+/// guarantee can be pinned on all three.
+enum class ServeBackend { kAccelerator, kQuantized, kReference };
+
+struct SchedulerConfig {
+  int num_cards = 1;       ///< worker threads, one card each
+  int max_len = 32;        ///< decode length cap per sentence
+  int slots_per_card = 8;  ///< max hypothesis rows packed into one step
+  /// 0 = greedy decode; >= 1 = beam search of this width (a sentence's beam
+  /// hypotheses become sibling slots of the packed step).
+  int beam_size = 0;
+  float length_penalty = 0.6f;  ///< GNMT alpha (beam mode)
+  DecodeMode decode = DecodeMode::kKvCache;
+  ServeBackend backend = ServeBackend::kAccelerator;
+  AcceleratorConfig accel{};
+  SoftmaxImpl softmax = SoftmaxImpl::kHardware;
+
+  /// Slots one sentence may occupy (1 for greedy, beam_size for beam).
+  int slot_demand() const { return beam_size < 1 ? 1 : beam_size; }
+  void validate() const;
+};
+
+/// Step-loop activity of one card.
+struct CardStepStats {
+  long steps = 0;        ///< packed step-loop iterations
+  long packed_rows = 0;  ///< Σ hypothesis rows over all steps
+  int sentences = 0;     ///< sentences this card decoded
+  /// rows_hist[k] = steps that packed exactly k rows (k in [1, slots]).
+  std::vector<long> rows_hist;
+};
+
+/// Outcome of one Scheduler::run call.
+struct ScheduleReport {
+  std::vector<TokenSeq> outputs;  ///< outputs[i] decodes sources[i]
+  std::vector<AcceleratorStats> per_card;
+  std::vector<CardStepStats> per_card_steps;
+  double wall_seconds = 0;
+  double clock_mhz = 200.0;
+
+  int sentences() const { return static_cast<int>(outputs.size()); }
+  /// Simulated cycles of the busiest card: the farm finishes when it does.
+  Cycle makespan_cycles() const;
+  /// Sum of ResBlock cycles across every card.
+  Cycle total_cycles() const;
+  /// Farm throughput a real deployment of these cards would sustain.
+  double modeled_sentences_per_second() const;
+  long packed_steps() const;
+  long packed_rows() const;
+  /// Mean hypothesis rows per packed step — 1.0 is PR 2's one-row mode,
+  /// higher means the SA streams fuller tiles.
+  double packed_rows_mean() const;
+  /// SA-busy fraction of all simulated ResBlock cycles across the farm.
+  double sa_utilization() const;
+};
+
+/// Continuous-batching decode farm. Construction pays the per-card setup
+/// (weight copy + INT8 calibration) once; run() may be called repeatedly.
+class Scheduler {
+ public:
+  /// `weights` is copied into every card. `calib_sources` drive the INT8
+  /// calibration (identical across cards because calibration is
+  /// deterministic); they may be empty for ServeBackend::kReference.
+  Scheduler(const TransformerWeights& weights,
+            const std::vector<TokenSeq>& calib_sources,
+            SchedulerConfig cfg = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  const SchedulerConfig& config() const { return cfg_; }
+
+  /// Translate every source. Outputs are bit-identical to serial decode of
+  /// each source alone on the same backend, whatever the packing.
+  ScheduleReport run(const std::vector<TokenSeq>& sources);
+
+ private:
+  struct Card;
+  void run_card(std::size_t c, RequestQueue& queue, AdmissionGate& gate,
+                ScheduleReport& rep);
+
+  SchedulerConfig cfg_;
+  std::vector<std::unique_ptr<Card>> cards_;
+};
+
+}  // namespace tfacc

@@ -62,6 +62,9 @@ TEST(BatchConfig, RejectsBadArguments) {
   cfg.num_cards = 1;
   cfg.max_len = 0;
   EXPECT_THROW(cfg.validate(), CheckError);
+  cfg.max_len = 1;
+  cfg.slots_per_card = 0;
+  EXPECT_THROW(cfg.validate(), CheckError);
 }
 
 TEST(BatchRunner, RequiresCalibrationSentences) {
@@ -125,6 +128,8 @@ TEST(BatchRunner, OutputsInvariantUnderThreadCount) {
 
 TEST(BatchRunner, RunIsRepeatable) {
   const BatchFixture fx(6);
+  // Request placement follows the simulated-time admission gate, not host
+  // thread timing, so even multi-card per-card ledgers reproduce exactly.
   BatchRunner runner(fx.weights, fx.calib, config_with_cards(3, fx.max_len));
   const BatchReport a = runner.run(fx.sources);
   const BatchReport b = runner.run(fx.sources);
@@ -155,10 +160,31 @@ TEST(BatchRunner, MoreCardsThanSentences) {
   const BatchReport rep = runner.run(fx.sources);
   ASSERT_EQ(rep.outputs.size(), 2u);
   ASSERT_EQ(rep.per_card.size(), 6u);
+  // The admission gate spreads the two sentences over two distinct cards
+  // (least-loaded card takes the next request) regardless of host timing.
   int busy_cards = 0;
   for (const AcceleratorStats& s : rep.per_card)
     if (s.total_cycles() > 0) ++busy_cards;
   EXPECT_EQ(busy_cards, 2);
+}
+
+// The continuous-batching satellite: slots_per_card > 1 packs sentences into
+// multi-row decode steps — same outputs, fuller SA tiles, fewer cycles.
+TEST(BatchRunner, PackedSlotsKeepOutputsAndRaiseUtilization) {
+  const BatchFixture fx(8);
+  BatchConfig one_row = config_with_cards(1, fx.max_len);
+  BatchConfig packed = config_with_cards(1, fx.max_len);
+  packed.slots_per_card = 8;
+  BatchRunner runner1(fx.weights, fx.calib, one_row);
+  BatchRunner runner8(fx.weights, fx.calib, packed);
+  const BatchReport rep1 = runner1.run(fx.sources);
+  const BatchReport rep8 = runner8.run(fx.sources);
+
+  EXPECT_EQ(rep1.outputs, rep8.outputs);
+  EXPECT_EQ(rep1.packed_rows_mean(), 1.0);
+  EXPECT_GT(rep8.packed_rows_mean(), 1.0);
+  EXPECT_LT(rep8.makespan_cycles(), rep1.makespan_cycles());
+  EXPECT_GT(rep8.sa_utilization(), rep1.sa_utilization());
 }
 
 TEST(BatchRunner, EmptyBatch) {

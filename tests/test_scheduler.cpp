@@ -1,0 +1,543 @@
+// Continuous-batching scheduler suite: packed multi-row decode steps must be
+// bit-identical to serial per-sentence decode (greedy and beam) on all three
+// backends, through ragged finish times, slot refills, work stealing, and
+// adversarial shapes (one sentence on an 8-card farm, max_len = 1, duplicate
+// sources). Also pins the modeled win: packing beats PR 2's one-row steps in
+// modeled sentences/sec and SA utilization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/check.hpp"
+#include "core/backend.hpp"
+#include "nlp/synthetic.hpp"
+#include "quant/qtransformer.hpp"
+#include "reference/search.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/scheduler.hpp"
+
+namespace tfacc {
+namespace {
+
+// Multi-layer, multi-head micro model for the FP32 reference backend.
+ModelConfig micro_config() {
+  ModelConfig cfg;
+  cfg.name = "sched-micro";
+  cfg.d_model = 32;
+  cfg.d_ff = 128;
+  cfg.num_heads = 2;
+  cfg.head_dim = 16;
+  cfg.num_encoder_layers = 2;
+  cfg.num_decoder_layers = 2;
+  return cfg;
+}
+
+// Hardware-compatible model (head_dim 64 = SA columns) for the quantized and
+// accelerator backends.
+ModelConfig hw_config() {
+  ModelConfig cfg;
+  cfg.name = "sched-hw";
+  cfg.d_model = 64;
+  cfg.d_ff = 256;
+  cfg.num_heads = 1;
+  cfg.head_dim = 64;
+  cfg.num_encoder_layers = 1;
+  cfg.num_decoder_layers = 2;
+  return cfg;
+}
+
+// Ragged source lengths (1..7 tokens) so sentences finish at wildly
+// different steps and slots churn; includes a duplicate pair and padding.
+std::vector<TokenSeq> ragged_sources() {
+  return {{3, 4, 5, 6},
+          {7},
+          {10, 3, 11, 4, 12, 5, 13},
+          {5, 5, 6},
+          {3, 4, 5, 6},  // duplicate of sources[0]
+          {8, 9, kPadId, kPadId},
+          {6, 7, 8, 9, 10, 11},
+          {4}};
+}
+
+std::vector<TokenSeq> calib_sources() { return {{3, 4, 5}, {6, 7}}; }
+
+SchedulerConfig base_config(ServeBackend backend, int cards, int slots,
+                            int max_len = 12) {
+  SchedulerConfig cfg;
+  cfg.backend = backend;
+  cfg.num_cards = cards;
+  cfg.slots_per_card = slots;
+  cfg.max_len = max_len;
+  return cfg;
+}
+
+/// Serial per-sentence greedy decode with the same backend the scheduler
+/// installs — the bit-identity baseline.
+std::vector<TokenSeq> serial_greedy(Transformer& model, ServeBackend backend,
+                                    const QuantizedTransformer* qt,
+                                    const std::vector<TokenSeq>& sources,
+                                    int max_len) {
+  Accelerator acc;
+  switch (backend) {
+    case ServeBackend::kReference:
+      model.set_backend(ResBlockBackend{});
+      break;
+    case ServeBackend::kQuantized:
+      model.set_backend(qt->backend());
+      break;
+    case ServeBackend::kAccelerator:
+      model.set_backend(accelerator_backend(*qt, acc, nullptr));
+      break;
+  }
+  std::vector<TokenSeq> out;
+  for (const TokenSeq& src : sources)
+    out.push_back(model.translate_greedy(src, max_len));
+  model.set_backend(ResBlockBackend{});
+  return out;
+}
+
+// --- RequestQueue -------------------------------------------------------------
+
+TEST(RequestQueue, SingleShardFifoOrder) {
+  RequestQueue q(1);
+  for (std::uint64_t i = 0; i < 5; ++i) q.push({i, {3}});
+  q.close();
+  TranslationRequest req;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.try_pop(0, req));
+    EXPECT_EQ(req.id, i);
+  }
+  EXPECT_FALSE(q.try_pop(0, req));
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(RequestQueue, StealsFromLoadedSibling) {
+  RequestQueue q(3);
+  // Round-robin deal: ids 0,3 -> shard 0; 1,4 -> shard 1; 2 -> shard 2.
+  for (std::uint64_t i = 0; i < 5; ++i) q.push({i, {3}});
+  TranslationRequest req;
+  // Drain shard 2's own item, then force it to steal twice.
+  ASSERT_TRUE(q.try_pop(2, req));
+  EXPECT_EQ(req.id, 2u);
+  std::set<std::uint64_t> stolen;
+  ASSERT_TRUE(q.try_pop(2, req));
+  stolen.insert(req.id);
+  ASSERT_TRUE(q.try_pop(2, req));
+  stolen.insert(req.id);
+  // Thieves take the back of a sibling deque.
+  EXPECT_TRUE(stolen.count(3) == 1 || stolen.count(4) == 1);
+  EXPECT_EQ(q.pending(), 2u);
+}
+
+TEST(RequestQueue, RejectsBadShard) {
+  RequestQueue q(2);
+  TranslationRequest req;
+  EXPECT_THROW(q.try_pop(2, req), CheckError);
+  EXPECT_THROW(RequestQueue(0), CheckError);
+}
+
+// --- Config validation --------------------------------------------------------
+
+TEST(SchedulerConfig, RejectsBadArguments) {
+  SchedulerConfig cfg;
+  cfg.num_cards = 0;
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg.num_cards = 1;
+  cfg.max_len = 0;
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg.max_len = 8;
+  cfg.beam_size = -1;
+  EXPECT_THROW(cfg.validate(), CheckError);
+  // A sentence's beam hypotheses must fit its card's slots.
+  cfg.beam_size = 4;
+  cfg.slots_per_card = 3;
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg.slots_per_card = 4;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+// --- decode_step_batch row-equivalence (all three backends) -------------------
+
+// Lockstep packed-vs-serial logits: three hypotheses at ragged positions fed
+// forced tokens; every packed logits row must equal the serial decode_step
+// row bitwise. Run against each backend's batch hook.
+void check_decode_step_batch(Transformer& model) {
+  const std::vector<TokenSeq> srcs = {{3, 4, 5}, {6, 7}, {8, 9, 10, 3}};
+  std::vector<MatF> memories;
+  std::vector<DecodeState> packed, serial;
+  for (const TokenSeq& src : srcs) {
+    memories.push_back(model.encode(src));
+    packed.push_back(
+        model.begin_decode(memories.back(), static_cast<int>(src.size())));
+    serial.push_back(
+        model.begin_decode(memories.back(), static_cast<int>(src.size())));
+  }
+  // Desynchronize positions: advance hypothesis 2 by two forced steps.
+  for (int warm = 0; warm < 2; ++warm) {
+    (void)model.decode_step(packed[2], warm == 0 ? kBosId : 5);
+    (void)model.decode_step(serial[2], warm == 0 ? kBosId : 5);
+  }
+  std::vector<int> tokens = {kBosId, kBosId, 7};
+  for (int step = 0; step < 4; ++step) {
+    std::vector<DecodeState*> states;
+    for (auto& s : packed) states.push_back(&s);
+    const auto batch = model.decode_step_batch(states, tokens);
+    ASSERT_EQ(batch.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto one = model.decode_step(serial[i], tokens[i]);
+      ASSERT_EQ(batch[i].size(), one.size());
+      for (std::size_t c = 0; c < one.size(); ++c)
+        ASSERT_EQ(batch[i][c], one[c])
+            << "step " << step << " hyp " << i << " logit " << c;
+      // Feed the argmax next, like a real greedy loop.
+      tokens[i] = static_cast<int>(
+          std::max_element(one.begin(), one.end()) - one.begin());
+      if (tokens[i] == kEosId) tokens[i] = 3;  // keep all slots live
+    }
+  }
+}
+
+TEST(DecodeStepBatch, ReferenceBackendBitIdentical) {
+  Rng rng(81);
+  Transformer model(TransformerWeights::random(micro_config(), 20, rng));
+  ASSERT_TRUE(ResBlockBackend{}.supports_batched_decode());
+  check_decode_step_batch(model);
+}
+
+TEST(DecodeStepBatch, QuantizedBackendBitIdentical) {
+  Rng rng(82);
+  Transformer model(TransformerWeights::random(hw_config(), 20, rng));
+  const auto qt = QuantizedTransformer::build(model, calib_sources(), 12,
+                                              SoftmaxImpl::kHardware);
+  ASSERT_TRUE(qt.backend().supports_batched_decode());
+  model.set_backend(qt.backend());
+  check_decode_step_batch(model);
+  model.set_backend(ResBlockBackend{});
+}
+
+TEST(DecodeStepBatch, AcceleratorBackendBitIdentical) {
+  Rng rng(83);
+  Transformer model(TransformerWeights::random(hw_config(), 20, rng));
+  const auto qt = QuantizedTransformer::build(model, calib_sources(), 12,
+                                              SoftmaxImpl::kHardware);
+  Accelerator acc;
+  AcceleratorStats stats;
+  model.set_backend(accelerator_backend(qt, acc, &stats));
+  check_decode_step_batch(model);
+  model.set_backend(ResBlockBackend{});
+  EXPECT_GT(stats.mha_runs, 0);
+  EXPECT_GT(stats.sa_busy_cycles, 0);
+}
+
+// An overridden mha without a batch hook must not reach the reference batch
+// default: decode_step_batch falls back to the (trusted) serial path.
+TEST(DecodeStepBatch, PartialOverrideFallsBackToSerial) {
+  ResBlockBackend partial;
+  partial.mha_cached = [](const MatF& q, MhaCache& cache, const MhaWeights& w,
+                          const Mask& m, bool append) {
+    return ref_mha_cached(q, cache, w, m, append);
+  };
+  EXPECT_TRUE(partial.supports_cached_decode());
+  EXPECT_FALSE(partial.supports_batched_decode());
+}
+
+// --- Scheduler bit-identity ---------------------------------------------------
+
+TEST(SchedulerReference, RaggedGreedyBitIdenticalToSerial) {
+  Rng rng(91);
+  const TransformerWeights weights =
+      TransformerWeights::random(micro_config(), 20, rng);
+  Transformer model(weights);
+  const auto serial =
+      serial_greedy(model, ServeBackend::kReference, nullptr,
+                    ragged_sources(), 12);
+
+  for (const int slots : {1, 3, 8}) {
+    Scheduler sched(weights, {},
+                    base_config(ServeBackend::kReference, 2, slots));
+    const ScheduleReport rep = sched.run(ragged_sources());
+    ASSERT_EQ(rep.outputs.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      EXPECT_EQ(rep.outputs[i], serial[i])
+          << "slots " << slots << " sentence " << i;
+  }
+}
+
+TEST(SchedulerQuantized, RaggedGreedyBitIdenticalToSerial) {
+  Rng rng(92);
+  const TransformerWeights weights =
+      TransformerWeights::random(hw_config(), 20, rng);
+  Transformer model(weights);
+  const auto qt = QuantizedTransformer::build(model, calib_sources(), 12,
+                                              SoftmaxImpl::kHardware);
+  const auto serial = serial_greedy(model, ServeBackend::kQuantized, &qt,
+                                    ragged_sources(), 12);
+
+  Scheduler sched(weights, calib_sources(),
+                  base_config(ServeBackend::kQuantized, 2, 4));
+  const ScheduleReport rep = sched.run(ragged_sources());
+  ASSERT_EQ(rep.outputs.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(rep.outputs[i], serial[i]) << "sentence " << i;
+}
+
+TEST(SchedulerAccelerator, RaggedGreedyBitIdenticalToSerial) {
+  Rng rng(93);
+  const TransformerWeights weights =
+      TransformerWeights::random(hw_config(), 20, rng);
+  Transformer model(weights);
+  const auto qt = QuantizedTransformer::build(model, calib_sources(), 12,
+                                              SoftmaxImpl::kHardware);
+  const auto serial = serial_greedy(model, ServeBackend::kAccelerator, &qt,
+                                    ragged_sources(), 12);
+
+  for (const int slots : {1, 4, 8}) {
+    Scheduler sched(weights, calib_sources(),
+                    base_config(ServeBackend::kAccelerator, 2, slots));
+    const ScheduleReport rep = sched.run(ragged_sources());
+    ASSERT_EQ(rep.outputs.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      EXPECT_EQ(rep.outputs[i], serial[i])
+          << "slots " << slots << " sentence " << i;
+  }
+}
+
+TEST(SchedulerAccelerator, BeamBitIdenticalToSerial) {
+  Rng rng(94);
+  const TransformerWeights weights =
+      TransformerWeights::random(hw_config(), 20, rng);
+  Transformer model(weights);
+  const auto qt = QuantizedTransformer::build(model, calib_sources(), 10,
+                                              SoftmaxImpl::kHardware);
+  Accelerator acc;
+  Transformer::BeamConfig beam;
+  beam.beam_size = 3;
+  model.set_backend(accelerator_backend(qt, acc, nullptr));
+  std::vector<TokenSeq> serial;
+  for (const TokenSeq& src : ragged_sources())
+    serial.push_back(model.translate_beam(src, 10, beam));
+  model.set_backend(ResBlockBackend{});
+
+  // Beam hypotheses of one sentence become sibling slots of the packed step:
+  // 6 slots hold two sentences' beams at once.
+  SchedulerConfig cfg = base_config(ServeBackend::kAccelerator, 2, 6, 10);
+  cfg.beam_size = 3;
+  Scheduler sched(weights, calib_sources(), cfg);
+  const ScheduleReport rep = sched.run(ragged_sources());
+  ASSERT_EQ(rep.outputs.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(rep.outputs[i], serial[i]) << "sentence " << i;
+}
+
+TEST(SchedulerReference, BeamBitIdenticalToSerial) {
+  Rng rng(95);
+  const TransformerWeights weights =
+      TransformerWeights::random(micro_config(), 20, rng);
+  Transformer model(weights);
+  Transformer::BeamConfig beam;
+  beam.beam_size = 3;
+  std::vector<TokenSeq> serial;
+  for (const TokenSeq& src : ragged_sources())
+    serial.push_back(model.translate_beam(src, 10, beam));
+
+  SchedulerConfig cfg = base_config(ServeBackend::kReference, 1, 9, 10);
+  cfg.beam_size = 3;
+  Scheduler sched(weights, {}, cfg);
+  const ScheduleReport rep = sched.run(ragged_sources());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(rep.outputs[i], serial[i]) << "sentence " << i;
+}
+
+// --- Adversarial shapes -------------------------------------------------------
+
+TEST(SchedulerShapes, OneSentenceOnEightCardFarm) {
+  Rng rng(101);
+  const TransformerWeights weights =
+      TransformerWeights::random(hw_config(), 20, rng);
+  Transformer model(weights);
+  const auto qt = QuantizedTransformer::build(model, calib_sources(), 12,
+                                              SoftmaxImpl::kHardware);
+  const auto serial = serial_greedy(model, ServeBackend::kAccelerator, &qt,
+                                    {{3, 4, 5, 6}}, 12);
+
+  Scheduler sched(weights, calib_sources(),
+                  base_config(ServeBackend::kAccelerator, 8, 4));
+  const ScheduleReport rep = sched.run({{3, 4, 5, 6}});
+  ASSERT_EQ(rep.outputs.size(), 1u);
+  EXPECT_EQ(rep.outputs[0], serial[0]);
+  ASSERT_EQ(rep.per_card.size(), 8u);
+  // Exactly one card decoded it; the other seven found the queue empty.
+  int busy = 0, sentences = 0;
+  for (std::size_t c = 0; c < rep.per_card.size(); ++c) {
+    if (rep.per_card[c].total_cycles() > 0) ++busy;
+    sentences += rep.per_card_steps[c].sentences;
+  }
+  EXPECT_EQ(busy, 1);
+  EXPECT_EQ(sentences, 1);
+}
+
+TEST(SchedulerShapes, MaxLenOne) {
+  Rng rng(102);
+  const TransformerWeights weights =
+      TransformerWeights::random(micro_config(), 20, rng);
+  Transformer model(weights);
+  std::vector<TokenSeq> serial;
+  for (const TokenSeq& src : ragged_sources())
+    serial.push_back(model.translate_greedy(src, 1));
+
+  Scheduler sched(weights, {},
+                  base_config(ServeBackend::kReference, 2, 4, /*max_len=*/1));
+  const ScheduleReport rep = sched.run(ragged_sources());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(rep.outputs[i], serial[i]) << "sentence " << i;
+    EXPECT_LE(rep.outputs[i].size(), 1u);
+  }
+}
+
+TEST(SchedulerShapes, DuplicateSourcesDecodeIdentically) {
+  Rng rng(103);
+  const TransformerWeights weights =
+      TransformerWeights::random(micro_config(), 20, rng);
+  const std::vector<TokenSeq> sources(6, TokenSeq{3, 4, 5, 6});
+  Transformer model(weights);
+  const TokenSeq serial = model.translate_greedy(sources[0], 12);
+
+  Scheduler sched(weights, {}, base_config(ServeBackend::kReference, 3, 2));
+  const ScheduleReport rep = sched.run(sources);
+  for (std::size_t i = 0; i < sources.size(); ++i)
+    EXPECT_EQ(rep.outputs[i], serial) << "sentence " << i;
+}
+
+TEST(SchedulerShapes, EmptyBatch) {
+  Rng rng(104);
+  const TransformerWeights weights =
+      TransformerWeights::random(micro_config(), 20, rng);
+  Scheduler sched(weights, {}, base_config(ServeBackend::kReference, 2, 4));
+  const ScheduleReport rep = sched.run({});
+  EXPECT_EQ(rep.sentences(), 0);
+  EXPECT_EQ(rep.packed_steps(), 0l);
+  EXPECT_EQ(rep.packed_rows_mean(), 0.0);
+}
+
+TEST(SchedulerShapes, FullRecomputeModeMatchesCachedOutputs) {
+  Rng rng(105);
+  const TransformerWeights weights =
+      TransformerWeights::random(micro_config(), 20, rng);
+  Scheduler cached(weights, {}, base_config(ServeBackend::kReference, 1, 4));
+  SchedulerConfig recompute_cfg = base_config(ServeBackend::kReference, 1, 4);
+  recompute_cfg.decode = DecodeMode::kFullRecompute;
+  Scheduler recompute(weights, {}, recompute_cfg);
+  const auto a = cached.run(ragged_sources());
+  const auto b = recompute.run(ragged_sources());
+  EXPECT_EQ(a.outputs, b.outputs);
+}
+
+// --- Packed-step accounting and the modeled win -------------------------------
+
+TEST(SchedulerStats, PackedRowsAccounting) {
+  Rng rng(111);
+  const TransformerWeights weights =
+      TransformerWeights::random(hw_config(), 20, rng);
+  Scheduler sched(weights, calib_sources(),
+                  base_config(ServeBackend::kAccelerator, 1, 8));
+  const ScheduleReport rep = sched.run(ragged_sources());
+
+  ASSERT_EQ(rep.per_card_steps.size(), 1u);
+  const CardStepStats& s = rep.per_card_steps[0];
+  EXPECT_EQ(s.sentences, 8);
+  EXPECT_GT(s.steps, 0l);
+  // Eight sentences into eight slots: early steps pack all of them.
+  EXPECT_GT(rep.packed_rows_mean(), 1.0);
+  EXPECT_LE(rep.packed_rows_mean(), 8.0);
+  // Histogram sums back to the step and row totals.
+  long hist_steps = 0, hist_rows = 0;
+  for (std::size_t k = 0; k < s.rows_hist.size(); ++k) {
+    hist_steps += s.rows_hist[k];
+    hist_rows += s.rows_hist[k] * static_cast<long>(k);
+  }
+  EXPECT_EQ(hist_steps, s.steps);
+  EXPECT_EQ(hist_rows, s.packed_rows);
+  EXPECT_GT(s.rows_hist[8], 0l);  // the full-pack bucket was hit
+}
+
+// The acceptance criterion: at batch >= 8, packed multi-row steps beat the
+// one-row-per-step mode in modeled sentences/sec AND SA utilization.
+TEST(SchedulerStats, PackingBeatsOneRowStepsModeled) {
+  SyntheticTranslationTask task(24, 5, 8);
+  Rng rng(112);
+  const TransformerWeights weights =
+      TransformerWeights::random(hw_config(), task.vocab_size(), rng);
+  Rng src_rng(7);
+  std::vector<TokenSeq> sources;
+  for (int i = 0; i < 8; ++i) sources.push_back(task.sample(src_rng).source);
+
+  Scheduler one_row(weights, calib_sources(),
+                    base_config(ServeBackend::kAccelerator, 1, 1));
+  Scheduler packed(weights, calib_sources(),
+                   base_config(ServeBackend::kAccelerator, 1, 8));
+  const ScheduleReport rep1 = one_row.run(sources);
+  const ScheduleReport rep8 = packed.run(sources);
+
+  // Same sentences, same outputs, fewer+fuller SA invocations.
+  EXPECT_EQ(rep1.outputs, rep8.outputs);
+  EXPECT_EQ(rep1.packed_rows_mean(), 1.0);
+  EXPECT_GT(rep8.packed_rows_mean(), 2.0);
+  EXPECT_LT(rep8.makespan_cycles(), rep1.makespan_cycles());
+  EXPECT_GT(rep8.modeled_sentences_per_second(),
+            rep1.modeled_sentences_per_second());
+  EXPECT_GT(rep8.sa_utilization(), rep1.sa_utilization());
+}
+
+// Request placement follows the simulated-time admission gate (least-loaded
+// card takes the next request, ties to the lower id), so repeated runs
+// reproduce outputs AND every per-card cycle ledger exactly — even with
+// multiple racing host threads.
+TEST(SchedulerStats, RunsAreReproducibleIncludingPerCardLedgers) {
+  Rng rng(113);
+  const TransformerWeights weights =
+      TransformerWeights::random(hw_config(), 20, rng);
+  for (const int cards : {1, 3}) {
+    Scheduler sched(weights, calib_sources(),
+                    base_config(ServeBackend::kAccelerator, cards, 4));
+    const ScheduleReport a = sched.run(ragged_sources());
+    const ScheduleReport b = sched.run(ragged_sources());
+    EXPECT_EQ(a.outputs, b.outputs);
+    EXPECT_EQ(a.makespan_cycles(), b.makespan_cycles()) << cards << " cards";
+    EXPECT_EQ(a.total_cycles(), b.total_cycles()) << cards << " cards";
+    ASSERT_EQ(a.per_card.size(), b.per_card.size());
+    for (std::size_t c = 0; c < a.per_card.size(); ++c) {
+      EXPECT_EQ(a.per_card[c].total_cycles(), b.per_card[c].total_cycles())
+          << "card " << c << " of " << cards;
+      EXPECT_EQ(a.per_card_steps[c].packed_rows,
+                b.per_card_steps[c].packed_rows)
+          << "card " << c << " of " << cards;
+    }
+  }
+}
+
+// More cards shrink the modeled makespan: the admission gate hands each
+// request to the card with the smallest virtual clock, so a farm twice the
+// size finishes the same queue in about half the busiest-card cycles.
+TEST(SchedulerStats, ModeledThroughputScalesWithCards) {
+  SyntheticTranslationTask task(24, 5, 8);
+  Rng rng(114);
+  const TransformerWeights weights =
+      TransformerWeights::random(hw_config(), task.vocab_size(), rng);
+  Rng src_rng(9);
+  std::vector<TokenSeq> sources;
+  for (int i = 0; i < 16; ++i) sources.push_back(task.sample(src_rng).source);
+
+  double prev = 0.0;
+  for (const int cards : {1, 2, 4}) {
+    Scheduler sched(weights, calib_sources(),
+                    base_config(ServeBackend::kAccelerator, cards, 1));
+    const ScheduleReport rep = sched.run(sources);
+    EXPECT_GT(rep.modeled_sentences_per_second(), prev) << cards << " cards";
+    prev = rep.modeled_sentences_per_second();
+  }
+}
+
+}  // namespace
+}  // namespace tfacc
