@@ -93,6 +93,12 @@ int main(int argc, char** argv) {
         .value(static_cast<long long>(rep.makespan_cycles()));
     json.key("modeled_sentences_per_second").value(modeled);
     json.key("sa_utilization").value(rep.sa_utilization());
+    bench::write_module_breakdown(
+        json, static_cast<long long>(rep.total_cycles()),
+        static_cast<long long>(rep.sa_busy_cycles),
+        static_cast<long long>(rep.softmax_busy_cycles),
+        static_cast<long long>(rep.layernorm_busy_cycles),
+        static_cast<long long>(rep.softmax_stall_cycles));
     json.end_object();
   }
   json.end_array();
@@ -145,6 +151,12 @@ int main(int argc, char** argv) {
     json.key("modeled_sentences_per_second")
         .value(rep.modeled_sentences_per_second());
     json.key("sa_utilization").value(rep.sa_utilization());
+    bench::write_module_breakdown(
+        json, static_cast<long long>(rep.total_cycles()),
+        static_cast<long long>(rep.sa_busy_cycles),
+        static_cast<long long>(rep.softmax_busy_cycles),
+        static_cast<long long>(rep.layernorm_busy_cycles),
+        static_cast<long long>(rep.softmax_stall_cycles));
     json.end_object();
   }
   json.end_array();

@@ -48,9 +48,10 @@ int main(int argc, char** argv) {
 
   bench::title("Continuous batching: packed rows per decode step (1 card, " +
                std::to_string(sentences) + " sentences)");
-  std::printf("%5s | %10s %12s | %14s %14s %8s\n", "slots", "steps",
-              "rows/step", "makespan cyc", "modeled sent/s", "SA util");
-  bench::rule(74);
+  std::printf("%5s | %10s %12s | %14s %14s %8s %9s\n", "slots", "steps",
+              "rows/step", "makespan cyc", "modeled sent/s", "SA util",
+              "sm stall");
+  bench::rule(84);
 
   std::ofstream json_file("BENCH_scheduler.json");
   bench::JsonWriter json(json_file);
@@ -80,11 +81,12 @@ int main(int argc, char** argv) {
     }
     best_modeled = rep.modeled_sentences_per_second();
     best_util = rep.sa_utilization();
-    std::printf("%5d | %10ld %12.2f | %14lld %14.1f %7.1f%%\n", slots,
+    std::printf("%5d | %10ld %12.2f | %14lld %14.1f %7.1f%% %9lld\n", slots,
                 rep.packed_steps(), rep.packed_rows_mean(),
                 static_cast<long long>(rep.makespan_cycles()),
                 rep.modeled_sentences_per_second(),
-                100.0 * rep.sa_utilization());
+                100.0 * rep.sa_utilization(),
+                static_cast<long long>(rep.softmax_stall_cycles()));
 
     json.begin_object();
     json.key("slots").value(slots);
@@ -95,6 +97,12 @@ int main(int argc, char** argv) {
     json.key("modeled_sentences_per_second")
         .value(rep.modeled_sentences_per_second());
     json.key("sa_utilization").value(rep.sa_utilization());
+    bench::write_module_breakdown(
+        json, static_cast<long long>(rep.total_cycles()),
+        static_cast<long long>(rep.sa_busy_cycles()),
+        static_cast<long long>(rep.softmax_busy_cycles()),
+        static_cast<long long>(rep.layernorm_busy_cycles()),
+        static_cast<long long>(rep.softmax_stall_cycles()));
     json.key("packed_rows_histogram")
         .value_array(rep.per_card_steps[0].rows_hist);
     json.end_object();
@@ -122,6 +130,12 @@ int main(int argc, char** argv) {
   json.key("modeled_sentences_per_second")
       .value(beam_rep.modeled_sentences_per_second());
   json.key("sa_utilization").value(beam_rep.sa_utilization());
+  bench::write_module_breakdown(
+      json, static_cast<long long>(beam_rep.total_cycles()),
+      static_cast<long long>(beam_rep.sa_busy_cycles()),
+      static_cast<long long>(beam_rep.softmax_busy_cycles()),
+      static_cast<long long>(beam_rep.layernorm_busy_cycles()),
+      static_cast<long long>(beam_rep.softmax_stall_cycles()));
   json.end_object();
   json.end_object();
   json_file << '\n';

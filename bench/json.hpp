@@ -108,4 +108,27 @@ class JsonWriter {
   bool pending_key_ = false;
 };
 
+/// Per-module busy/idle breakdown of a farm report (PR 4 BENCH schema):
+///   "modules": {"sa"|"softmax"|"layernorm": {"busy_cycles", "idle_cycles"},
+///               "softmax_stall_cycles": ...}
+/// where idle = total simulated ResBlock cycles − module busy, and
+/// softmax_stall_cycles counts SA cycles lost waiting on softmax results.
+inline void write_module_breakdown(JsonWriter& json, long long total_cycles,
+                                   long long sa_busy, long long softmax_busy,
+                                   long long layernorm_busy,
+                                   long long softmax_stall) {
+  const auto module = [&](const char* name, long long busy) {
+    json.key(name).begin_object();
+    json.key("busy_cycles").value(busy);
+    json.key("idle_cycles").value(total_cycles - busy);
+    json.end_object();
+  };
+  json.key("modules").begin_object();
+  module("sa", sa_busy);
+  module("softmax", softmax_busy);
+  module("layernorm", layernorm_busy);
+  json.key("softmax_stall_cycles").value(softmax_stall);
+  json.end_object();
+}
+
 }  // namespace tfacc::bench

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Perf gate: fail when a bench's modeled throughput or SA utilization
+regresses more than the tolerance against its committed baseline.
+
+Usage:  perf_gate.py CURRENT_BENCH.json BASELINE.json [--tolerance 0.02]
+
+The BENCH_*.json files are produced by bench_batch_throughput and
+bench_scheduler (see README "BENCH_*.json schema"). The simulated cycle
+ledgers are integer-deterministic for a given workload, so on an unchanged
+tree current == baseline exactly; the tolerance only leaves head-room for
+deliberate small model refinements. Gated metrics, compared at every
+structurally matching position (sweep points, beam section, gates):
+
+  * sa_utilization               — must not drop below baseline * (1 - tol)
+  * modeled_sentences_per_second — must not drop below baseline * (1 - tol)
+
+Workload keys (sentences, max_len, slots, cards, ...) must match exactly:
+comparing different workloads is a configuration error, not a regression.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_METRICS = {"sa_utilization", "modeled_sentences_per_second"}
+WORKLOAD_KEYS = {"sentences", "max_len", "slots", "slots_per_card", "cards",
+                 "beam_size", "bench"}
+
+
+def walk(current, baseline, path, failures, checks):
+    if isinstance(baseline, dict):
+        if not isinstance(current, dict):
+            failures.append(f"{path}: baseline is an object, current is not")
+            return
+        for key, base_value in baseline.items():
+            if key not in current:
+                failures.append(f"{path}.{key}: missing from current bench")
+                continue
+            walk(current[key], base_value, f"{path}.{key}", failures, checks)
+    elif isinstance(baseline, list):
+        if not isinstance(current, list) or len(current) != len(baseline):
+            failures.append(f"{path}: sweep shape differs from baseline")
+            return
+        for i, base_value in enumerate(baseline):
+            walk(current[i], base_value, f"{path}[{i}]", failures, checks)
+    else:
+        leaf = path.rsplit(".", 1)[-1]
+        if leaf in WORKLOAD_KEYS and current != baseline:
+            failures.append(
+                f"{path}: workload mismatch (current {current!r} vs "
+                f"baseline {baseline!r}) — rerun the bench with the "
+                f"baseline's arguments")
+        elif leaf in GATED_METRICS:
+            try:
+                checks.append((path, float(current), float(baseline)))
+            except (TypeError, ValueError):
+                failures.append(
+                    f"{path}: gated metric is not numeric "
+                    f"(current {current!r}, baseline {baseline!r})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="allowed fractional regression (default 0.02)")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures, checks = [], []
+    walk(current, baseline, "$", failures, checks)
+
+    regressions = 0
+    for path, cur, base in checks:
+        floor = base * (1.0 - args.tolerance)
+        status = "ok"
+        if cur < floor:
+            status = "REGRESSION"
+            regressions += 1
+        elif cur > base:
+            status = "improved"
+        print(f"  {status:>10}  {path}: {cur:.6g} (baseline {base:.6g})")
+
+    for failure in failures:
+        print(f"  STRUCTURE   {failure}")
+
+    if not checks and not failures:
+        print("perf gate: no gated metrics found — check the file pair")
+        return 1
+    if regressions or failures:
+        print(f"perf gate: FAIL ({regressions} regression(s), "
+              f"{len(failures)} structural problem(s)) vs {args.baseline}")
+        return 1
+    print(f"perf gate: PASS ({len(checks)} metrics within "
+          f"{args.tolerance:.0%} of {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,200 +1,11 @@
 #include "core/accelerator.hpp"
 
-#include <limits>
-
+#include "core/schedules.hpp"
 #include "tensor/ops.hpp"
 
 namespace tfacc {
 
 namespace {
-
-/// Per-head SA/Softmax intervals of the MHA flow (Algorithm 1 lines 2-8).
-struct HeadIntervals {
-  Interval q1, k1, d, sm, v1, a;
-};
-
-struct MhaSchedule {
-  std::vector<HeadIntervals> heads;
-  std::vector<Interval> g;
-  Interval ln;
-};
-
-struct FfnSchedule {
-  std::vector<Interval> h;
-  std::vector<Interval> g;
-  Interval ln;
-};
-
-/// Slack bookkeeping of the KV-cached MHA flow (intervals are not needed
-/// downstream, only the softmax-overlap check).
-struct MhaCachedSchedule {
-  Cycle slack_min = std::numeric_limits<Cycle>::max();
-  int num_heads = 0;
-};
-
-MhaSchedule schedule_mha(const AcceleratorConfig& cfg, SaModule& sa,
-                         SoftmaxModule& sm, LayerNormModule& ln, int s_q,
-                         int s_kv, int d_model, int num_heads) {
-  const int hd = cfg.sa_cols;
-  MhaSchedule sched;
-  sched.heads.reserve(static_cast<std::size_t>(num_heads));
-  Cycle p_ready = 0;
-  for (int h = 0; h < num_heads; ++h) {
-    const std::string tag = "head" + std::to_string(h);
-    HeadIntervals hi;
-    // Lines 3-4: Temp1 = Q·W_Qi + b, Temp2 = K·W_Ki + b.
-    hi.q1 = sa.schedule(s_q, d_model, hd, 0, SaModule::kStaticWeight,
-                        tag + ".QWq");
-    hi.k1 = sa.schedule(s_kv, d_model, hd, 0, SaModule::kStaticWeight,
-                        tag + ".KWk");
-    // Line 5: softmax input = Temp1 · Temp2ᵀ (K₁ᵀ is a runtime operand).
-    hi.d = sa.schedule(s_q, hd, s_kv, hi.q1.end, hi.k1.end, tag + ".QKt");
-    // Line 6: softmax runs in parallel with V·W_Vi (the overlap claim).
-    hi.sm = sm.schedule(hi.d.end, s_kv, tag + ".softmax");
-    hi.v1 = sa.schedule(s_kv, d_model, hd,
-                        cfg.overlap_softmax ? 0 : hi.sm.end,
-                        SaModule::kStaticWeight, tag + ".VWv");
-    // Line 7: P_i = softmax · Temp2 (V₁ is a runtime operand).
-    hi.a = sa.schedule(s_q, s_kv, hd, hi.sm.end, hi.v1.end, tag + ".AV");
-    p_ready = hi.a.end;
-    sched.heads.push_back(hi);
-  }
-  // Lines 9-11: G_i = P·W_Gi + b + Q_i, one op per 64-column block.
-  Cycle g_done = p_ready;
-  for (int i = 0; i < d_model / hd; ++i) {
-    const Interval g_iv = sa.schedule(s_q, d_model, hd, p_ready,
-                                      SaModule::kStaticWeight,
-                                      "G" + std::to_string(i));
-    g_done = g_iv.end;
-    sched.g.push_back(g_iv);
-  }
-  // Line 12: LayerNorm.
-  sched.ln = ln.schedule(g_done, d_model, "LayerNorm");
-  return sched;
-}
-
-/// KV-cached MHA flow: `s_new` query rows are projected and attend over
-/// `s_total` cached keys/values; only `project_kv_rows` K/V rows are
-/// projected this call (0 = fully cached, the steady decode state).
-MhaCachedSchedule schedule_mha_cached(const AcceleratorConfig& cfg,
-                                      SaModule& sa, SoftmaxModule& sm,
-                                      LayerNormModule& ln, int s_new,
-                                      int s_total, int d_model, int num_heads,
-                                      int project_kv_rows) {
-  const int hd = cfg.sa_cols;
-  MhaCachedSchedule sched;
-  Cycle p_ready = 0;
-  for (int h = 0; h < num_heads; ++h) {
-    const std::string tag = "head" + std::to_string(h);
-    const Interval q1 = sa.schedule(s_new, d_model, hd, 0,
-                                    SaModule::kStaticWeight, tag + ".QWq");
-    Cycle k_ready = SaModule::kStaticWeight;  // cached K₁ᵀ is resident
-    Cycle v_ready = SaModule::kStaticWeight;
-    if (project_kv_rows > 0) {
-      k_ready = sa.schedule(project_kv_rows, d_model, hd, 0,
-                            SaModule::kStaticWeight, tag + ".KWk")
-                    .end;
-      v_ready = sa.schedule(project_kv_rows, d_model, hd, 0,
-                            SaModule::kStaticWeight, tag + ".VWv")
-                    .end;
-    }
-    const Interval d = sa.schedule(s_new, hd, s_total, q1.end, k_ready,
-                                   tag + ".QKt");
-    const Interval smv = sm.schedule(d.end, s_total, tag + ".softmax");
-    const Interval a = sa.schedule(s_new, s_total, hd, smv.end, v_ready,
-                                   tag + ".AV");
-    sched.slack_min = std::min(sched.slack_min, a.start - smv.end);
-    p_ready = a.end;
-  }
-  Cycle g_done = p_ready;
-  for (int i = 0; i < d_model / hd; ++i)
-    g_done = sa.schedule(s_new, d_model, hd, p_ready,
-                         SaModule::kStaticWeight, "G" + std::to_string(i))
-                 .end;
-  ln.schedule(g_done, d_model, "LayerNorm");
-  sched.num_heads = num_heads;
-  return sched;
-}
-
-void record_softmax_slack(RunReport& rep, const MhaCachedSchedule& sched) {
-  rep.softmax_slack_min = sched.num_heads > 0 ? sched.slack_min : 0;
-  rep.softmax_hidden = rep.softmax_slack_min >= 0;
-}
-
-/// Packed KV-cached MHA flow: one query row per slot, slot r attending over
-/// totals[r] cached keys/values. Projections (QWq, and KWk/VWv for the
-/// project_kv_rows appended rows) stream the stacked rows through a single
-/// weight-tile residency; the ragged per-slot attention GEMMs keep their
-/// one-row shapes. With totals.size() == 1 the op sequence — and therefore
-/// the cycle count — is identical to schedule_mha_cached(1, totals[0], ...).
-MhaCachedSchedule schedule_mha_cached_batch(
-    const AcceleratorConfig& cfg, SaModule& sa, SoftmaxModule& sm,
-    LayerNormModule& ln, const std::vector<int>& totals, int d_model,
-    int num_heads, int project_kv_rows) {
-  const int hd = cfg.sa_cols;
-  const int n = static_cast<int>(totals.size());
-  MhaCachedSchedule sched;
-  Cycle p_ready = 0;
-  for (int h = 0; h < num_heads; ++h) {
-    const std::string tag = "head" + std::to_string(h);
-    const Interval q1 = sa.schedule(n, d_model, hd, 0, SaModule::kStaticWeight,
-                                    tag + ".QWq");
-    Cycle k_ready = SaModule::kStaticWeight;  // cached K₁ᵀ is resident
-    Cycle v_ready = SaModule::kStaticWeight;
-    if (project_kv_rows > 0) {
-      k_ready = sa.schedule(project_kv_rows, d_model, hd, 0,
-                            SaModule::kStaticWeight, tag + ".KWk")
-                    .end;
-      v_ready = sa.schedule(project_kv_rows, d_model, hd, 0,
-                            SaModule::kStaticWeight, tag + ".VWv")
-                    .end;
-    }
-    for (int r = 0; r < n; ++r) {
-      const int s_total = totals[static_cast<std::size_t>(r)];
-      const Interval d =
-          sa.schedule(1, hd, s_total, q1.end, k_ready, tag + ".QKt");
-      const Interval smv = sm.schedule(d.end, s_total, tag + ".softmax");
-      const Interval a =
-          sa.schedule(1, s_total, hd, smv.end, v_ready, tag + ".AV");
-      sched.slack_min = std::min(sched.slack_min, a.start - smv.end);
-      p_ready = a.end;
-    }
-  }
-  Cycle g_done = p_ready;
-  for (int i = 0; i < d_model / hd; ++i)
-    g_done = sa.schedule(n, d_model, hd, p_ready, SaModule::kStaticWeight,
-                         "G" + std::to_string(i))
-                 .end;
-  ln.schedule(g_done, d_model, "LayerNorm");
-  sched.num_heads = num_heads;
-  return sched;
-}
-
-FfnSchedule schedule_ffn(const AcceleratorConfig& cfg, SaModule& sa,
-                         LayerNormModule& ln, int s, int d_model, int d_ff) {
-  const int bc = cfg.sa_cols;
-  FfnSchedule sched;
-  // Lines 15-17: P_i = ReLU(X·W_1i + b_1i), 4h blocks.
-  Cycle h_done = 0;
-  for (int i = 0; i < d_ff / bc; ++i) {
-    const Interval iv = sa.schedule(s, d_model, bc, 0,
-                                    SaModule::kStaticWeight,
-                                    "H" + std::to_string(i));
-    h_done = iv.end;
-    sched.h.push_back(iv);
-  }
-  // Lines 18-20: G_i = P·W_2i + b_2i + X_i; P is the full s×d_ff matrix.
-  Cycle g_done = h_done;
-  for (int i = 0; i < d_model / bc; ++i) {
-    const Interval iv = sa.schedule(s, d_ff, bc, h_done,
-                                    SaModule::kStaticWeight,
-                                    "G" + std::to_string(i));
-    g_done = iv.end;
-    sched.g.push_back(iv);
-  }
-  sched.ln = ln.schedule(g_done, d_model, "LayerNorm");
-  return sched;
-}
 
 /// Busy cycles of a module that may never have been scheduled (e.g. Softmax
 /// in an FFN run). The const find() cannot create an empty ledger the way
@@ -205,22 +16,18 @@ Cycle busy_cycles_of(const Timeline& tl, const std::string& name) {
 }
 
 void finalize_report(RunReport& rep, const AcceleratorConfig& cfg,
-                     const SaModule& sa) {
+                     const ScheduledRun& run) {
   rep.clock_mhz = cfg.clock_mhz;
   rep.total_cycles = rep.timeline.end_time();
   rep.sa_busy = busy_cycles_of(rep.timeline, "SA");
   rep.softmax_busy = busy_cycles_of(rep.timeline, "Softmax");
   rep.layernorm_busy = busy_cycles_of(rep.timeline, "LayerNorm");
-  rep.sa_stream = sa.ideal_stream_cycles();
-  rep.exposed_weight_load = sa.exposed_load_cycles();
-  rep.accum_spill = sa.spill_cycles();
-}
-
-void record_softmax_slack(RunReport& rep, const MhaSchedule& sched) {
-  Cycle slack = std::numeric_limits<Cycle>::max();
-  for (const auto& hi : sched.heads)
-    slack = std::min(slack, hi.v1.end - hi.sm.end);
-  rep.softmax_slack_min = sched.heads.empty() ? 0 : slack;
+  rep.sa_stream = run.stats.sa_stream;
+  rep.exposed_weight_load = run.stats.sa_exposed_load;
+  rep.accum_spill = run.stats.sa_spill;
+  rep.softmax_slack_min =
+      run.stats.softmax_edges > 0 ? run.stats.softmax_slack_min : 0;
+  rep.softmax_stall = run.stats.softmax_stall;
   rep.softmax_hidden = rep.softmax_slack_min >= 0;
 }
 
@@ -247,15 +54,13 @@ Accelerator::MhaResult Accelerator::run_mha(const MhaQuantized& block,
 
   MhaResult res;
   RunReport& rep = res.report;
-  SaModule sa(cfg_, rep.timeline);
-  SoftmaxModule sm(cfg_, rep.timeline);
-  LayerNormModule ln(cfg_, rep.timeline);
-
-  const MhaSchedule sched =
-      schedule_mha(cfg_, sa, sm, ln, q.rows(), kv.rows(), block.d_model,
+  const ScheduledRun sched =
+      schedule_mha(cfg_, rep.timeline, q.rows(), kv.rows(), block.d_model,
                    block.num_heads);
 
-  // Functional pass, op for op in the scheduled order (Algorithm 1).
+  // Functional pass, op for op in the program order of Algorithm 1 (the
+  // schedule above may reorder timing-wise; data results are unaffected
+  // because reordered ops are data-independent by construction).
   std::vector<MatI8> p_blocks;
   p_blocks.reserve(block.heads.size());
   for (int h = 0; h < block.num_heads; ++h) {
@@ -284,8 +89,7 @@ Accelerator::MhaResult Accelerator::run_mha(const MhaQuantized& block,
   }
   res.out = block.norm(g);
 
-  record_softmax_slack(rep, sched);
-  finalize_report(rep, cfg_, sa);
+  finalize_report(rep, cfg_, sched);
   return res;
 }
 
@@ -297,11 +101,8 @@ Accelerator::FfnResult Accelerator::run_ffn(const FfnQuantized& block,
 
   FfnResult res;
   RunReport& rep = res.report;
-  SaModule sa(cfg_, rep.timeline);
-  LayerNormModule ln(cfg_, rep.timeline);
-  const FfnSchedule sched =
-      schedule_ffn(cfg_, sa, ln, x.rows(), block.d_model, block.d_ff);
-  (void)sched;
+  const ScheduledRun sched =
+      schedule_ffn(cfg_, rep.timeline, x.rows(), block.d_model, block.d_ff);
 
   const int bc = cfg_.sa_cols;
   const auto w1_blocks = split_cols(block.w1.w, bc);
@@ -328,7 +129,7 @@ Accelerator::FfnResult Accelerator::run_ffn(const FfnQuantized& block,
   }
   res.out = block.norm(g);
 
-  finalize_report(rep, cfg_, sa);
+  finalize_report(rep, cfg_, sched);
   return res;
 }
 
@@ -336,13 +137,9 @@ RunReport Accelerator::time_mha(int s_q, int s_kv, int d_model,
                                 int num_heads) const {
   TFACC_CHECK_ARG(d_model == num_heads * cfg_.sa_cols);
   RunReport rep;
-  SaModule sa(cfg_, rep.timeline);
-  SoftmaxModule sm(cfg_, rep.timeline);
-  LayerNormModule ln(cfg_, rep.timeline);
-  const MhaSchedule sched =
-      schedule_mha(cfg_, sa, sm, ln, s_q, s_kv, d_model, num_heads);
-  record_softmax_slack(rep, sched);
-  finalize_report(rep, cfg_, sa);
+  const ScheduledRun sched =
+      schedule_mha(cfg_, rep.timeline, s_q, s_kv, d_model, num_heads);
+  finalize_report(rep, cfg_, sched);
   return rep;
 }
 
@@ -353,14 +150,10 @@ RunReport Accelerator::time_mha_cached(int s_new, int s_total, int d_model,
   TFACC_CHECK_ARG(project_kv_rows >= 0);
   TFACC_CHECK_ARG(d_model == num_heads * cfg_.sa_cols);
   RunReport rep;
-  SaModule sa(cfg_, rep.timeline);
-  SoftmaxModule sm(cfg_, rep.timeline);
-  LayerNormModule ln(cfg_, rep.timeline);
-  const MhaCachedSchedule sched =
-      schedule_mha_cached(cfg_, sa, sm, ln, s_new, s_total, d_model,
+  const ScheduledRun sched =
+      schedule_mha_cached(cfg_, rep.timeline, s_new, s_total, d_model,
                           num_heads, project_kv_rows);
-  record_softmax_slack(rep, sched);
-  finalize_report(rep, cfg_, sa);
+  finalize_report(rep, cfg_, sched);
   return rep;
 }
 
@@ -378,11 +171,8 @@ Accelerator::MhaResult Accelerator::run_mha_cached(const MhaQuantized& block,
 
   MhaResult res;
   RunReport& rep = res.report;
-  SaModule sa(cfg_, rep.timeline);
-  SoftmaxModule sm(cfg_, rep.timeline);
-  LayerNormModule ln(cfg_, rep.timeline);
-  const MhaCachedSchedule sched =
-      schedule_mha_cached(cfg_, sa, sm, ln, q.rows(), cache.rows(),
+  const ScheduledRun sched =
+      schedule_mha_cached(cfg_, rep.timeline, q.rows(), cache.rows(),
                           block.d_model, block.num_heads, projected_rows);
 
   // Functional pass: identical arithmetic to the quantized model's cached
@@ -390,8 +180,7 @@ Accelerator::MhaResult Accelerator::run_mha_cached(const MhaQuantized& block,
   // the cache already holds them — mirroring the data memory on chip).
   res.out = block.forward_cached(q, cache, mask);
 
-  record_softmax_slack(rep, sched);
-  finalize_report(rep, cfg_, sa);
+  finalize_report(rep, cfg_, sched);
   return res;
 }
 
@@ -414,11 +203,8 @@ Accelerator::MhaResult Accelerator::run_mha_cached_batch(
 
   MhaResult res;
   RunReport& rep = res.report;
-  SaModule sa(cfg_, rep.timeline);
-  SoftmaxModule sm(cfg_, rep.timeline);
-  LayerNormModule ln(cfg_, rep.timeline);
-  const MhaCachedSchedule sched =
-      schedule_mha_cached_batch(cfg_, sa, sm, ln, totals, block.d_model,
+  const ScheduledRun sched =
+      schedule_mha_cached_batch(cfg_, rep.timeline, totals, block.d_model,
                                 block.num_heads, projected_rows);
 
   // Functional pass: identical arithmetic to the quantized model's packed
@@ -427,18 +213,16 @@ Accelerator::MhaResult Accelerator::run_mha_cached_batch(
   // on chip).
   res.out = block.forward_cached_batch(q, caches, masks);
 
-  record_softmax_slack(rep, sched);
-  finalize_report(rep, cfg_, sa);
+  finalize_report(rep, cfg_, sched);
   return res;
 }
 
 RunReport Accelerator::time_ffn(int s, int d_model, int d_ff) const {
   TFACC_CHECK_ARG(d_model % cfg_.sa_cols == 0 && d_ff % cfg_.sa_cols == 0);
   RunReport rep;
-  SaModule sa(cfg_, rep.timeline);
-  LayerNormModule ln(cfg_, rep.timeline);
-  schedule_ffn(cfg_, sa, ln, s, d_model, d_ff);
-  finalize_report(rep, cfg_, sa);
+  const ScheduledRun sched =
+      schedule_ffn(cfg_, rep.timeline, s, d_model, d_ff);
+  finalize_report(rep, cfg_, sched);
   return rep;
 }
 

@@ -26,9 +26,15 @@ struct RunReport {
   Cycle layernorm_busy = 0;
   Cycle exposed_weight_load = 0;
   Cycle accum_spill = 0;
-  /// min over heads of (V·W_V end − softmax end); >= 0 means the Softmax
-  /// module met the paper's "no later than V·W_V" condition on every head.
+  /// min over softmax→AV edges of (the AV's earliest start ignoring the
+  /// softmax) − (softmax result ready); >= 0 on every edge means no SA
+  /// cycle was lost waiting on the Softmax module — the paper's "hidden
+  /// behind V·W_V" condition, checked per edge so under interleaving a
+  /// later slot's generous slack cannot mask an earlier slot's stall.
   Cycle softmax_slack_min = 0;
+  /// Σ over softmax→AV edges of the SA cycles actually stalled (0 when
+  /// softmax_hidden).
+  Cycle softmax_stall = 0;
   bool softmax_hidden = true;
   double clock_mhz = 200.0;
   Timeline timeline;

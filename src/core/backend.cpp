@@ -4,18 +4,25 @@ namespace tfacc {
 
 namespace {
 
+void charge_modules(AcceleratorStats* stats, const RunReport& report) {
+  stats->sa_busy_cycles += report.sa_busy;
+  stats->softmax_busy_cycles += report.softmax_busy;
+  stats->layernorm_busy_cycles += report.layernorm_busy;
+  stats->softmax_stall_cycles += report.softmax_stall;
+}
+
 void charge_mha(AcceleratorStats* stats, const RunReport& report) {
   if (stats == nullptr) return;
   ++stats->mha_runs;
   stats->mha_cycles += report.total_cycles;
-  stats->sa_busy_cycles += report.sa_busy;
+  charge_modules(stats, report);
 }
 
 void charge_ffn(AcceleratorStats* stats, const RunReport& report) {
   if (stats == nullptr) return;
   ++stats->ffn_runs;
   stats->ffn_cycles += report.total_cycles;
-  stats->sa_busy_cycles += report.sa_busy;
+  charge_modules(stats, report);
 }
 
 }  // namespace

@@ -17,7 +17,12 @@ struct AcceleratorStats {
   long ffn_runs = 0;
   Cycle mha_cycles = 0;
   Cycle ffn_cycles = 0;
-  Cycle sa_busy_cycles = 0;  ///< SA busy cycles summed over all runs
+  Cycle sa_busy_cycles = 0;         ///< SA busy cycles summed over all runs
+  Cycle softmax_busy_cycles = 0;    ///< Softmax-unit busy cycles, all runs
+  Cycle layernorm_busy_cycles = 0;  ///< LayerNorm-unit busy cycles, all runs
+  /// SA cycles stalled waiting on softmax results (0 when every softmax→AV
+  /// edge was hidden behind other SA work).
+  Cycle softmax_stall_cycles = 0;
 
   Cycle total_cycles() const { return mha_cycles + ffn_cycles; }
   double microseconds(double clock_mhz) const {

@@ -50,6 +50,9 @@ struct BatchReport {
   long packed_steps = 0;                  ///< step-loop iterations, all cards
   long packed_rows = 0;                   ///< Σ hypothesis rows over steps
   Cycle sa_busy_cycles = 0;               ///< Σ SA busy cycles, all cards
+  Cycle softmax_busy_cycles = 0;          ///< Σ Softmax busy cycles, all cards
+  Cycle layernorm_busy_cycles = 0;        ///< Σ LayerNorm busy, all cards
+  Cycle softmax_stall_cycles = 0;         ///< Σ SA cycles stalled on softmax
 
   int sentences() const { return static_cast<int>(outputs.size()); }
   /// Simulated cycles of the busiest card: the farm finishes when it does.

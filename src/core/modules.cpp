@@ -10,88 +10,53 @@ namespace {
 Cycle ceil_div(Cycle a, Cycle b) { return (a + b - 1) / b; }
 }  // namespace
 
-SaModule::SaModule(const AcceleratorConfig& cfg, Timeline& timeline)
-    : cfg_(cfg), tl_(timeline.module("SA")) {
-  cfg_.validate();
-}
-
-Interval SaModule::schedule(int rows, int inner, int out_cols, Cycle a_ready,
-                            Cycle weight_ready, const std::string& label) {
+OpGraph::SaCost SaModule::op_cost(const AcceleratorConfig& cfg, int rows,
+                                  int inner, int out_cols) {
   TFACC_CHECK_ARG(rows > 0 && inner > 0 && out_cols > 0);
-  TFACC_CHECK_ARG(a_ready >= 0);
-  TFACC_CHECK_ARG(weight_ready >= 0 || weight_ready == kStaticWeight);
 
-  const int row_chunks = static_cast<int>(ceil_div(rows, cfg_.sa_rows));
-  const int col_chunks = static_cast<int>(ceil_div(out_cols, cfg_.sa_cols));
-  const int tiles_k = static_cast<int>(ceil_div(inner, cfg_.tile_k));
+  const int row_chunks = static_cast<int>(ceil_div(rows, cfg.sa_rows));
+  const int col_chunks = static_cast<int>(ceil_div(out_cols, cfg.sa_cols));
+  const int tiles_k = static_cast<int>(ceil_div(inner, cfg.tile_k));
 
-  // When does the first weight tile sit in the stationary buffer?
-  // Static weights prefetch under the previous op (double buffering); only
-  // the very first op of a run sees the initial load. Dynamic operands
-  // (K_iᵀ, V_i) cannot be loaded before they exist.
-  Cycle first_tile_ready = 0;
-  if (weight_ready == kStaticWeight) {
-    if (first_op_) first_tile_ready = cfg_.weight_load_cycles;
-  } else {
-    first_tile_ready = weight_ready + cfg_.weight_load_cycles;
-  }
-  first_op_ = false;
-
-  Cycle duration = 0;
-  Cycle stream_total = 0;
+  OpGraph::SaCost cost;
   for (int rc = 0; rc < row_chunks; ++rc) {
-    const int chunk_rows = std::min(cfg_.sa_rows, rows - rc * cfg_.sa_rows);
+    const int chunk_rows = std::min(cfg.sa_rows, rows - rc * cfg.sa_rows);
     for (int cc = 0; cc < col_chunks; ++cc) {
       for (int t = 0; t < tiles_k; ++t) {
-        const Cycle pass = chunk_rows + cfg_.tile_drain_cycles;
+        const Cycle pass = chunk_rows + cfg.tile_drain_cycles;
         const bool first_pass_of_op = (rc == 0 && cc == 0 && t == 0);
         // Subsequent tile loads are double-buffered: a pass cannot finish
         // before the next tile's load does, so short passes are padded.
         const Cycle padded =
             first_pass_of_op ? pass
-                             : std::max<Cycle>(pass, cfg_.weight_load_cycles);
-        duration += padded;
-        stream_total += chunk_rows;
+                             : std::max<Cycle>(pass, cfg.weight_load_cycles);
+        cost.duration += padded;
+        cost.stream += chunk_rows;
       }
       // Accumulation chains longer than the partial-sum buffer spill.
-      const Cycle passes = ceil_div(tiles_k, cfg_.accum_depth_tiles);
-      duration += (passes - 1) * cfg_.accum_spill_cycles;
-      spill_ += (passes - 1) * cfg_.accum_spill_cycles;
+      const Cycle passes = ceil_div(tiles_k, cfg.accum_depth_tiles);
+      cost.duration += (passes - 1) * cfg.accum_spill_cycles;
+      cost.spill += (passes - 1) * cfg.accum_spill_cycles;
     }
   }
-
-  // Exposed load = cycles the SA sits idle purely waiting for the
-  // stationary operand's first tile (measured against when it could
-  // otherwise have started).
-  const Cycle sa_free = tl_.free_at();
-  exposed_load_ +=
-      std::max<Cycle>(0, first_tile_ready - std::max(a_ready, sa_free));
-
-  const Cycle earliest = std::max(a_ready, first_tile_ready);
-  const Interval iv = tl_.reserve(earliest, duration, label);
-  ideal_stream_ += stream_total;
-  return iv;
+  return cost;
 }
 
-SoftmaxModule::SoftmaxModule(const AcceleratorConfig& cfg, Timeline& timeline)
-    : cfg_(cfg), tl_(timeline.module("Softmax")) {}
-
-Interval SoftmaxModule::schedule(Cycle scores_done, int cols,
-                                 const std::string& label) {
+Cycle SoftmaxModule::occupancy_cycles(const AcceleratorConfig& cfg, int cols) {
   TFACC_CHECK_ARG(cols > 0);
+  (void)cfg;
   // Stage 1 (max) tracked during score arrival; stages 2-4 stream the row
   // through EXP+SUM (cols cycles), LN, then EXP again (cols cycles).
-  const Cycle duration = 2 * static_cast<Cycle>(cols) +
-                         cfg_.softmax_pipeline_depth;
-  return tl_.reserve(scores_done, duration, label);
+  return 2 * static_cast<Cycle>(cols);
 }
 
-LayerNormModule::LayerNormModule(const AcceleratorConfig& cfg,
-                                 Timeline& timeline)
-    : cfg_(cfg), tl_(timeline.module("LayerNorm")) {}
+Cycle SoftmaxModule::result_latency(const AcceleratorConfig& cfg) {
+  return cfg.softmax_pipeline_depth;
+}
 
 Cycle LayerNormModule::tail_cycles(const AcceleratorConfig& cfg,
                                    LayerNormStrategy strategy, int d_model) {
+  TFACC_CHECK_ARG(d_model > 0);
   const Cycle d = d_model;
   switch (strategy) {
     case LayerNormStrategy::kStepOneAndTwo:
@@ -106,14 +71,6 @@ Cycle LayerNormModule::tail_cycles(const AcceleratorConfig& cfg,
   }
   TFACC_CHECK(false);
   return 0;
-}
-
-Interval LayerNormModule::schedule(Cycle g_done, int d_model,
-                                   const std::string& label) {
-  TFACC_CHECK_ARG(d_model > 0);
-  return tl_.reserve(g_done,
-                     tail_cycles(cfg_, cfg_.layernorm_strategy, d_model),
-                     label);
 }
 
 }  // namespace tfacc

@@ -1,94 +1,62 @@
 // Timing models of the three datapath modules of Fig. 5: the systolic array
 // (with bias adders and ReLU inline), the Softmax module and the LayerNorm
 // module. Functional results are computed by the controller through the
-// quantized primitives (src/quant, src/hwarith); these classes own the cycle
-// accounting on the shared Timeline.
+// quantized primitives (src/quant, src/hwarith); these classes are the cost
+// oracles the dependency-driven schedule builders (core/schedules.hpp) use
+// to size each op before the list scheduler (sim/op_graph.hpp) places it.
 #pragma once
 
-#include <string>
-
 #include "common/config.hpp"
-#include "sim/timeline.hpp"
+#include "sim/op_graph.hpp"
 
 namespace tfacc {
 
-/// Transaction-level systolic-array schedule.
+/// Transaction-level systolic-array op costing.
 ///
 /// An operation A(rows×inner)·B(inner×out_cols) is decomposed into
 /// ceil(rows/sa_rows) × ceil(out_cols/sa_cols) chunks of
 /// ceil(inner/tile_k) weight-tile passes each (Section III partitioning).
 /// Each pass streams the chunk's rows plus a drain bubble; weight-tile loads
-/// are double-buffered, so only the op's first tile load is exposed — and
-/// only when the stationary operand is produced at runtime (Q·Kᵀ, Attn·V).
-/// Ops whose accumulation chain exceeds the partial-sum buffer depth pay a
-/// spill (write-out + read-back of the partial block) per extra pass.
+/// are double-buffered, so non-first passes are padded to the load latency
+/// and only the op's first tile load can be exposed — and only when the
+/// stationary operand is produced at runtime (Q·Kᵀ, Attn·V) or the op is the
+/// run's very first (cold weight memory). Ops whose accumulation chain
+/// exceeds the partial-sum buffer depth pay a spill (write-out + read-back
+/// of the partial block) per extra pass. The exposure/first-op logic lives
+/// in the scheduler (sim/op_graph.cpp); this oracle prices the busy time.
 class SaModule {
  public:
-  /// Marker for stationary operands resident in the weight memory, whose
-  /// tile loads can be prefetched while the previous op streams.
-  static constexpr Cycle kStaticWeight = -1;
-
-  SaModule(const AcceleratorConfig& cfg, Timeline& timeline);
-
-  /// Schedule one GEMM op; returns its busy interval on the SA.
-  /// `a_ready` — cycle the streaming operand is available;
-  /// `weight_ready` — cycle the stationary operand is available, or
-  /// kStaticWeight for weights resident in the weight memory.
-  Interval schedule(int rows, int inner, int out_cols, Cycle a_ready,
-                    Cycle weight_ready, const std::string& label);
-
-  /// Pure streaming cycles (MAC-issuing) scheduled so far: the numerator of
-  /// the "SA never stops" utilization claim.
-  Cycle ideal_stream_cycles() const { return ideal_stream_; }
-  /// Exposed (non-overlapped) weight-load cycles accumulated so far.
-  Cycle exposed_load_cycles() const { return exposed_load_; }
-  /// Accumulator spill cycles accumulated so far.
-  Cycle spill_cycles() const { return spill_; }
-
- private:
-  const AcceleratorConfig& cfg_;
-  ModuleTimeline& tl_;
-  bool first_op_ = true;
-  Cycle ideal_stream_ = 0;
-  Cycle exposed_load_ = 0;
-  Cycle spill_ = 0;
+  /// Busy cycles, MAC-issuing cycles and spill cycles of one GEMM op.
+  static OpGraph::SaCost op_cost(const AcceleratorConfig& cfg, int rows,
+                                 int inner, int out_cols);
 };
 
 /// The four-stage Softmax module of Fig. 6. Stage 1 (running max) tracks the
 /// score columns as the SA drains them, so it costs nothing after the scores
 /// finish; stages 2-4 stream the row twice through the EXP/SUM/LN pipeline.
+/// The pipeline accepts a new independent row every `occupancy_cycles`
+/// (initiation interval); the fill/drain depth is paid once per row as
+/// result latency, so back-to-back softmaxes of different slots overlap —
+/// an isolated softmax still takes occupancy + latency end to end, exactly
+/// the pre-PR-4 figure.
 class SoftmaxModule {
  public:
-  SoftmaxModule(const AcceleratorConfig& cfg, Timeline& timeline);
-
-  /// Schedule softmax over an s×cols score matrix whose last column drains
-  /// at `scores_done`.
-  Interval schedule(Cycle scores_done, int cols, const std::string& label);
-
- private:
-  const AcceleratorConfig& cfg_;
-  ModuleTimeline& tl_;
+  /// Unit occupancy of softmax over `cols` score columns (two streaming
+  /// passes through the EXP/SUM/LN/EXP pipeline).
+  static Cycle occupancy_cycles(const AcceleratorConfig& cfg, int cols);
+  /// Cycles after the occupancy until the last probability drains out.
+  static Cycle result_latency(const AcceleratorConfig& cfg);
 };
 
 /// The LayerNorm module of Fig. 8 with the three latency strategies of
 /// Fig. 7. ΣG / ΣG² accumulators are fed while G streams in (strategy-
-/// dependent), so only the strategy's tail remains after `g_done`.
+/// dependent), so only the strategy's tail remains after G is done.
 class LayerNormModule {
  public:
-  LayerNormModule(const AcceleratorConfig& cfg, Timeline& timeline);
-
-  /// Schedule normalization of an s×d_model G whose last column is written
-  /// at `g_done`.
-  Interval schedule(Cycle g_done, int d_model, const std::string& label);
-
-  /// The post-G tail length for a given strategy and width (for the Fig. 7
-  /// ablation bench).
+  /// The post-G tail length for a given strategy and width (also used by
+  /// the Fig. 7 ablation bench).
   static Cycle tail_cycles(const AcceleratorConfig& cfg,
                            LayerNormStrategy strategy, int d_model);
-
- private:
-  const AcceleratorConfig& cfg_;
-  ModuleTimeline& tl_;
 };
 
 }  // namespace tfacc

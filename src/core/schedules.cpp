@@ -1,0 +1,198 @@
+#include "core/schedules.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+#include "core/modules.hpp"
+
+namespace tfacc {
+
+namespace {
+
+int add_gemm(OpGraph& g, const AcceleratorConfig& cfg, int rows, int inner,
+             int out_cols, std::vector<int> deps, int weight_dep,
+             std::string label, int softmax_dep = -1) {
+  return g.add_sa(SaModule::op_cost(cfg, rows, inner, out_cols),
+                  std::move(deps), weight_dep, std::move(label), softmax_dep);
+}
+
+int add_softmax(OpGraph& g, const AcceleratorConfig& cfg, int scores_dep,
+                int cols, std::string label) {
+  return g.add_softmax(SoftmaxModule::occupancy_cycles(cfg, cols),
+                       SoftmaxModule::result_latency(cfg), scores_dep,
+                       std::move(label));
+}
+
+/// Lines 9-12 of Algorithm 1, shared by every MHA flow: G_i = P·W_Gi + b +
+/// Q_i one 64-column block at a time (each needs the full P row, i.e. every
+/// head's AV output), then the LayerNorm tail.
+void add_output_blocks(OpGraph& g, const AcceleratorConfig& cfg, int rows,
+                       int d_model, const std::vector<int>& avs) {
+  std::vector<int> gs;
+  for (int i = 0; i < d_model / cfg.sa_cols; ++i)
+    gs.push_back(add_gemm(g, cfg, rows, d_model, cfg.sa_cols, avs,
+                          OpNode::kStaticWeight, "G" + std::to_string(i)));
+  g.add_layernorm(
+      LayerNormModule::tail_cycles(cfg, cfg.layernorm_strategy, d_model), gs,
+      "LayerNorm");
+}
+
+IssuePolicy cached_policy(const AcceleratorConfig& cfg) {
+  return cfg.interleave_decode ? IssuePolicy::kGreedy
+                               : IssuePolicy::kProgramOrder;
+}
+
+}  // namespace
+
+ScheduledRun schedule_mha(const AcceleratorConfig& cfg, Timeline& tl, int s_q,
+                          int s_kv, int d_model, int num_heads) {
+  cfg.validate();
+  const int hd = cfg.sa_cols;
+  ScheduledRun run;
+  OpGraph& g = run.graph;
+  std::vector<int> avs;
+  avs.reserve(static_cast<std::size_t>(num_heads));
+  for (int h = 0; h < num_heads; ++h) {
+    const std::string tag = "head" + std::to_string(h);
+    // Lines 3-4: Temp1 = Q·W_Qi + b, Temp2 = K·W_Ki + b.
+    const int q1 = add_gemm(g, cfg, s_q, d_model, hd, {},
+                            OpNode::kStaticWeight, tag + ".QWq");
+    const int k1 = add_gemm(g, cfg, s_kv, d_model, hd, {},
+                            OpNode::kStaticWeight, tag + ".KWk");
+    // Line 5: softmax input = Temp1 · Temp2ᵀ (K₁ᵀ is a runtime operand).
+    const int d = add_gemm(g, cfg, s_q, hd, s_kv, {q1}, k1, tag + ".QKt");
+    // Line 6: softmax runs in parallel with V·W_Vi (the overlap claim);
+    // the ablation knob serializes V·W_Vi behind it instead — a genuine
+    // softmax→SA edge, so tag it for stall/slack attribution.
+    const int sm = add_softmax(g, cfg, d, s_kv, tag + ".softmax");
+    const int v1 =
+        cfg.overlap_softmax
+            ? add_gemm(g, cfg, s_kv, d_model, hd, {}, OpNode::kStaticWeight,
+                       tag + ".VWv")
+            : add_gemm(g, cfg, s_kv, d_model, hd, {sm},
+                       OpNode::kStaticWeight, tag + ".VWv", sm);
+    // Line 7: P_i = softmax · Temp2 (V₁ is a runtime operand).
+    avs.push_back(
+        add_gemm(g, cfg, s_q, s_kv, hd, {sm}, v1, tag + ".AV", sm));
+  }
+  add_output_blocks(g, cfg, s_q, d_model, avs);
+  // Algorithm 1's controller is a fixed program: issue in its order so the
+  // Section V.B cycle validation against the paper — and the per-head
+  // softmax-hidden-behind-V·W_V property it demonstrates — stays exact.
+  run.stats = schedule_ops(g, cfg.weight_load_cycles,
+                           IssuePolicy::kProgramOrder, tl);
+  return run;
+}
+
+ScheduledRun schedule_mha_cached(const AcceleratorConfig& cfg, Timeline& tl,
+                                 int s_new, int s_total, int d_model,
+                                 int num_heads, int project_kv_rows) {
+  cfg.validate();
+  const int hd = cfg.sa_cols;
+  ScheduledRun run;
+  OpGraph& g = run.graph;
+  std::vector<int> avs;
+  avs.reserve(static_cast<std::size_t>(num_heads));
+  for (int h = 0; h < num_heads; ++h) {
+    const std::string tag = "head" + std::to_string(h);
+    // K/V project before Q (insertion order = greedy tie-break priority):
+    // their output tiles are the attention GEMMs' stationary operands, so
+    // starting them first lets the K₁ᵀ load run under the Q projection
+    // instead of stalling the first QKt.
+    int k_dep = OpNode::kStaticWeight;  // cached K₁ᵀ / V₁ are resident
+    int v_dep = OpNode::kStaticWeight;
+    if (project_kv_rows > 0) {
+      k_dep = add_gemm(g, cfg, project_kv_rows, d_model, hd, {},
+                       OpNode::kStaticWeight, tag + ".KWk");
+      v_dep = add_gemm(g, cfg, project_kv_rows, d_model, hd, {},
+                       OpNode::kStaticWeight, tag + ".VWv");
+    }
+    const int q1 = add_gemm(g, cfg, s_new, d_model, hd, {},
+                            OpNode::kStaticWeight, tag + ".QWq");
+    const int d =
+        add_gemm(g, cfg, s_new, hd, s_total, {q1}, k_dep, tag + ".QKt");
+    const int sm = add_softmax(g, cfg, d, s_total, tag + ".softmax");
+    avs.push_back(
+        add_gemm(g, cfg, s_new, s_total, hd, {sm}, v_dep, tag + ".AV", sm));
+  }
+  add_output_blocks(g, cfg, s_new, d_model, avs);
+  run.stats =
+      schedule_ops(g, cfg.weight_load_cycles, cached_policy(cfg), tl);
+  return run;
+}
+
+ScheduledRun schedule_mha_cached_batch(const AcceleratorConfig& cfg,
+                                       Timeline& tl,
+                                       const std::vector<int>& totals,
+                                       int d_model, int num_heads,
+                                       int project_kv_rows) {
+  cfg.validate();
+  const int hd = cfg.sa_cols;
+  const int n = static_cast<int>(totals.size());
+  TFACC_CHECK_ARG(n > 0);
+  ScheduledRun run;
+  OpGraph& g = run.graph;
+  std::vector<int> avs;
+  avs.reserve(static_cast<std::size_t>(num_heads) *
+              static_cast<std::size_t>(n));
+  for (int h = 0; h < num_heads; ++h) {
+    const std::string tag = "head" + std::to_string(h);
+    // Projections stream the stacked slot rows through a single weight-tile
+    // residency (the PR 3 full-tile restoration). K/V project before Q so
+    // the first slot's K₁ᵀ tile loads under the Q projection (see
+    // schedule_mha_cached) — the one-slot graph stays identical to it.
+    int k_dep = OpNode::kStaticWeight;  // cached K₁ᵀ / V₁ are resident
+    int v_dep = OpNode::kStaticWeight;
+    if (project_kv_rows > 0) {
+      k_dep = add_gemm(g, cfg, project_kv_rows, d_model, hd, {},
+                       OpNode::kStaticWeight, tag + ".KWk");
+      v_dep = add_gemm(g, cfg, project_kv_rows, d_model, hd, {},
+                       OpNode::kStaticWeight, tag + ".VWv");
+    }
+    const int q1 = add_gemm(g, cfg, n, d_model, hd, {},
+                            OpNode::kStaticWeight, tag + ".QWq");
+    // The ragged per-slot attention chains are mutually independent: under
+    // the greedy policy slot r+1's QKt streams while slot r's softmax runs.
+    for (int r = 0; r < n; ++r) {
+      const int s_total = totals[static_cast<std::size_t>(r)];
+      const std::string slot = tag + ".slot" + std::to_string(r);
+      const int d =
+          add_gemm(g, cfg, 1, hd, s_total, {q1}, k_dep, slot + ".QKt");
+      const int sm = add_softmax(g, cfg, d, s_total, slot + ".softmax");
+      avs.push_back(
+          add_gemm(g, cfg, 1, s_total, hd, {sm}, v_dep, slot + ".AV", sm));
+    }
+  }
+  add_output_blocks(g, cfg, n, d_model, avs);
+  run.stats =
+      schedule_ops(g, cfg.weight_load_cycles, cached_policy(cfg), tl);
+  return run;
+}
+
+ScheduledRun schedule_ffn(const AcceleratorConfig& cfg, Timeline& tl, int s,
+                          int d_model, int d_ff) {
+  cfg.validate();
+  const int bc = cfg.sa_cols;
+  ScheduledRun run;
+  OpGraph& g = run.graph;
+  // Lines 15-17: P_i = ReLU(X·W_1i + b_1i), 4h blocks.
+  std::vector<int> hs;
+  for (int i = 0; i < d_ff / bc; ++i)
+    hs.push_back(add_gemm(g, cfg, s, d_model, bc, {}, OpNode::kStaticWeight,
+                          "H" + std::to_string(i)));
+  // Lines 18-20: G_i = P·W_2i + b_2i + X_i; P is the full s×d_ff matrix.
+  std::vector<int> gs;
+  for (int i = 0; i < d_model / bc; ++i)
+    gs.push_back(add_gemm(g, cfg, s, d_ff, bc, hs, OpNode::kStaticWeight,
+                          "G" + std::to_string(i)));
+  g.add_layernorm(
+      LayerNormModule::tail_cycles(cfg, cfg.layernorm_strategy, d_model), gs,
+      "LayerNorm");
+  // All weights are resident and the H→G barrier is a real data dependency,
+  // so greedy issue reproduces program order exactly — one code path.
+  run.stats =
+      schedule_ops(g, cfg.weight_load_cycles, IssuePolicy::kGreedy, tl);
+  return run;
+}
+
+}  // namespace tfacc

@@ -1,0 +1,65 @@
+// The four ResBlock schedule builders, rebuilt (PR 4) as dependency graphs
+// placed by the list scheduler of sim/op_graph.hpp.
+//
+//  * schedule_mha          — Algorithm 1 lines 1-13, the paper's validated
+//                            single-sentence flow. Issued in program order:
+//                            this is the controller the paper describes and
+//                            the cycle counts Section V.B pins (21,188 at
+//                            the design point) depend on its exact order.
+//  * schedule_mha_cached   — KV-cached incremental decode (PR 2).
+//  * schedule_mha_cached_batch — packed continuous-batching decode (PR 3).
+//  * schedule_ffn          — Algorithm 1 lines 14-22.
+//
+// The cached flows issue greedily by default (AcceleratorConfig::
+// interleave_decode): while the softmax unit processes slot r of head h,
+// the SA streams slot r+1's QKt or the next head's projections, so softmax
+// latency becomes overlap instead of a per-slot bubble. With one slot the
+// batch flow degenerates to exactly the cached flow's graph — cycle counts
+// are identical by construction (pinned in tests/test_op_graph.cpp).
+//
+// Exposed publicly (rather than as accelerator.cpp internals) so tests can
+// audit schedule legality: audit_schedule() proves no resource double-books
+// and no op outruns its operands, for every flow and policy.
+#pragma once
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/op_graph.hpp"
+
+namespace tfacc {
+
+/// A built flow: the dependency graph and where every op landed.
+struct ScheduledRun {
+  OpGraph graph;
+  ScheduleStats stats;
+};
+
+/// Full MHA (Algorithm 1 lines 1-13): `s_q` query rows attend over `s_kv`
+/// key/value rows, `num_heads` heads of `cfg.sa_cols` dims each.
+ScheduledRun schedule_mha(const AcceleratorConfig& cfg, Timeline& tl, int s_q,
+                          int s_kv, int d_model, int num_heads);
+
+/// KV-cached MHA: `s_new` query rows are projected and attend over `s_total`
+/// cached keys/values; only `project_kv_rows` K/V rows are projected this
+/// call (0 = fully cached, the steady decode state).
+ScheduledRun schedule_mha_cached(const AcceleratorConfig& cfg, Timeline& tl,
+                                 int s_new, int s_total, int d_model,
+                                 int num_heads, int project_kv_rows);
+
+/// Packed KV-cached MHA: one query row per slot, slot r attending over
+/// totals[r] cached keys/values. Projections (QWq, and KWk/VWv for the
+/// project_kv_rows appended rows) stream the stacked rows through a single
+/// weight-tile residency; the ragged per-slot attention GEMMs keep their
+/// one-row shapes and interleave across slots and heads.
+ScheduledRun schedule_mha_cached_batch(const AcceleratorConfig& cfg,
+                                       Timeline& tl,
+                                       const std::vector<int>& totals,
+                                       int d_model, int num_heads,
+                                       int project_kv_rows);
+
+/// FFN (Algorithm 1 lines 14-22) over `s` rows.
+ScheduledRun schedule_ffn(const AcceleratorConfig& cfg, Timeline& tl, int s,
+                          int d_model, int d_ff);
+
+}  // namespace tfacc

@@ -64,10 +64,32 @@ double ScheduleReport::packed_rows_mean() const {
 }
 
 double ScheduleReport::sa_utilization() const {
+  const Cycle total = total_cycles();
+  return total == 0 ? 0.0 : static_cast<double>(sa_busy_cycles()) / total;
+}
+
+Cycle ScheduleReport::sa_busy_cycles() const {
   Cycle busy = 0;
   for (const AcceleratorStats& s : per_card) busy += s.sa_busy_cycles;
-  const Cycle total = total_cycles();
-  return total == 0 ? 0.0 : static_cast<double>(busy) / total;
+  return busy;
+}
+
+Cycle ScheduleReport::softmax_busy_cycles() const {
+  Cycle busy = 0;
+  for (const AcceleratorStats& s : per_card) busy += s.softmax_busy_cycles;
+  return busy;
+}
+
+Cycle ScheduleReport::layernorm_busy_cycles() const {
+  Cycle busy = 0;
+  for (const AcceleratorStats& s : per_card) busy += s.layernorm_busy_cycles;
+  return busy;
+}
+
+Cycle ScheduleReport::softmax_stall_cycles() const {
+  Cycle stall = 0;
+  for (const AcceleratorStats& s : per_card) stall += s.softmax_stall_cycles;
+  return stall;
 }
 
 // One card: a host model copy, the INT8 quantization of its blocks (keyed by

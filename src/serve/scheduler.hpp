@@ -84,10 +84,19 @@ struct ScheduleReport {
   long packed_steps() const;
   long packed_rows() const;
   /// Mean hypothesis rows per packed step — 1.0 is PR 2's one-row mode,
-  /// higher means the SA streams fuller tiles.
+  /// higher means the SA streams fuller tiles. 0.0 when no step executed.
   double packed_rows_mean() const;
-  /// SA-busy fraction of all simulated ResBlock cycles across the farm.
+  /// SA-busy fraction of all simulated ResBlock cycles across the farm
+  /// (0.0 when nothing ran — never a division by zero).
   double sa_utilization() const;
+  /// Per-module busy-cycle aggregates across every card (idle follows as
+  /// total_cycles() − busy). Feeds the benches' per-module breakdown.
+  Cycle sa_busy_cycles() const;
+  Cycle softmax_busy_cycles() const;
+  Cycle layernorm_busy_cycles() const;
+  /// Σ SA cycles the farm stalled waiting on softmax results — the bubble
+  /// the interleaved schedule is meant to shrink.
+  Cycle softmax_stall_cycles() const;
 };
 
 /// Continuous-batching decode farm. Construction pays the per-card setup

@@ -171,7 +171,10 @@ TEST(SoftmaxOverlap, HiddenAtPaperDesignPoint) {
   Accelerator acc;
   const RunReport rep = acc.time_mha(64, 64, 512, 8);
   EXPECT_TRUE(rep.softmax_hidden);
-  EXPECT_EQ(rep.softmax_slack_min, 436);  // V·W_V end − softmax end
+  // Per softmax→AV edge: (AV's earliest start ignoring softmax) − (softmax
+  // result) = V·W_V end + V₁ tile load − softmax end = 436 + 64.
+  EXPECT_EQ(rep.softmax_slack_min, 500);
+  EXPECT_EQ(rep.softmax_stall, 0);  // hidden means zero SA cycles stalled
 }
 
 TEST(SoftmaxOverlap, HiddenAcrossSequenceLengths) {

@@ -1,0 +1,282 @@
+// Tests for the dependency-driven schedules (PR 4): legality audits over all
+// four rebuilt flows (no resource double-booking, no op outrunning its
+// operands), the one-slot batch ≡ cached degenerate identity, the pipelined
+// softmax model, per-edge slack/stall semantics, and the interleaving win
+// over strict program order.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/schedules.hpp"
+
+namespace tfacc {
+namespace {
+
+AcceleratorConfig accel_config(bool interleave = true) {
+  AcceleratorConfig cfg;
+  cfg.interleave_decode = interleave;
+  return cfg;
+}
+
+Cycle run_cycles(const AcceleratorConfig& cfg,
+                 ScheduledRun (*build)(const AcceleratorConfig&, Timeline&,
+                                       const std::vector<int>&, int, int,
+                                       int),
+                 const std::vector<int>& totals, int d_model, int num_heads,
+                 int project) {
+  Timeline tl;
+  build(cfg, tl, totals, d_model, num_heads, project);
+  return tl.end_time();
+}
+
+void expect_legal(const ScheduledRun& run, const std::string& what) {
+  EXPECT_EQ(audit_schedule(run.graph, run.stats), "") << what;
+}
+
+// --- Legality audits over every rebuilt flow ---------------------------------
+
+TEST(ScheduleAudit, FullMhaFlowIsLegal) {
+  Timeline tl;
+  expect_legal(schedule_mha(accel_config(), tl, 64, 64, 512, 8),
+               "mha 64x64 h8");
+  Timeline cross;
+  expect_legal(schedule_mha(accel_config(), cross, 5, 24, 128, 2),
+               "mha cross 5x24 h2");
+  AcceleratorConfig serial = accel_config();
+  serial.overlap_softmax = false;
+  Timeline ts;
+  expect_legal(schedule_mha(serial, ts, 64, 64, 512, 8),
+               "mha without softmax overlap");
+}
+
+TEST(ScheduleAudit, CachedFlowIsLegalBothPoliciesAndProjections) {
+  for (const bool interleave : {true, false})
+    for (const int project : {0, 1, 64})
+      for (const int s_new : {1, 4}) {
+        Timeline tl;
+        expect_legal(schedule_mha_cached(accel_config(interleave), tl, s_new,
+                                         64, 512, 8, project),
+                     "cached s_new=" + std::to_string(s_new) + " project=" +
+                         std::to_string(project) +
+                         (interleave ? " greedy" : " program-order"));
+      }
+}
+
+// Slot shapes the serve scheduler produces: greedy decode packs distinct
+// sentences (ragged totals), beam search packs sibling hypotheses of the
+// same sentence (duplicate totals).
+std::vector<int> greedy_totals(int slots) {
+  std::vector<int> totals;
+  for (int r = 0; r < slots; ++r) totals.push_back(3 + (5 * r) % 11);
+  return totals;
+}
+
+std::vector<int> beam_totals(int slots) {
+  std::vector<int> totals;
+  for (int r = 0; r < slots; ++r) totals.push_back(4 + 3 * (r / 4));
+  return totals;
+}
+
+TEST(ScheduleAudit, BatchFlowIsLegalAcrossSlotShapesAndPolicies) {
+  for (const bool interleave : {true, false})
+    for (const int slots : {1, 8, 16})
+      for (const bool beam : {false, true}) {
+        const std::vector<int> totals =
+            beam ? beam_totals(slots) : greedy_totals(slots);
+        for (const int heads : {1, 8}) {
+          for (const int project : {0, slots}) {
+            Timeline tl;
+            expect_legal(
+                schedule_mha_cached_batch(accel_config(interleave), tl,
+                                          totals, heads * 64, heads, project),
+                std::string(beam ? "beam" : "greedy") + " slots=" +
+                    std::to_string(slots) + " heads=" +
+                    std::to_string(heads) + " project=" +
+                    std::to_string(project) +
+                    (interleave ? " interleaved" : " program-order"));
+          }
+        }
+      }
+}
+
+TEST(ScheduleAudit, FfnFlowIsLegal) {
+  Timeline tl;
+  expect_legal(schedule_ffn(accel_config(), tl, 64, 512, 2048), "ffn 64");
+  Timeline tiny;
+  expect_legal(schedule_ffn(accel_config(), tiny, 1, 64, 256), "ffn 1-row");
+}
+
+TEST(ScheduleAudit, CatchesATamperedSchedule) {
+  Timeline tl;
+  ScheduledRun run = schedule_ffn(accel_config(), tl, 8, 64, 256);
+  ASSERT_EQ(audit_schedule(run.graph, run.stats), "");
+  // Drag the last op to start before its deps finished: the audit must
+  // object (either a dep violation or a resource overlap).
+  Interval& last = run.stats.intervals.back();
+  const Cycle len = last.duration();
+  last.start = 0;
+  last.end = len;
+  run.stats.result_ready.back() = last.end;
+  EXPECT_NE(audit_schedule(run.graph, run.stats), "");
+}
+
+TEST(ScheduleAudit, CatchesAnIgnoredColdWeightLoad) {
+  Timeline tl;
+  ScheduledRun run = schedule_ffn(accel_config(), tl, 8, 64, 256);
+  ASSERT_EQ(audit_schedule(run.graph, run.stats), "");
+  // The first SA op has no deps and static weights; sliding it to cycle 0
+  // creates no dep violation or overlap, but skips the run's initial
+  // 64-cycle weight load — the audit must still object.
+  Interval& first = run.stats.intervals.front();
+  ASSERT_EQ(first.start, accel_config().weight_load_cycles);
+  const Cycle len = first.duration();
+  first.start = 0;
+  first.end = len;
+  run.stats.result_ready.front() = first.end;
+  EXPECT_NE(audit_schedule(run.graph, run.stats), "");
+}
+
+// --- Degenerate one-slot identity --------------------------------------------
+
+TEST(BatchDegenerate, OneSlotIsCycleIdenticalToCachedAcrossProjections) {
+  for (const int project : {0, 1})  // fully cached and appending this step
+    for (const int s_total : {1, 7, 64, 200}) {
+      for (const int heads : {1, 8}) {
+        Timeline batch_tl, cached_tl;
+        const ScheduledRun batch = schedule_mha_cached_batch(
+            accel_config(), batch_tl, {s_total}, heads * 64, heads, project);
+        const ScheduledRun cached = schedule_mha_cached(
+            accel_config(), cached_tl, 1, s_total, heads * 64, heads,
+            project);
+        EXPECT_EQ(batch_tl.end_time(), cached_tl.end_time())
+            << "s_total=" << s_total << " heads=" << heads
+            << " project=" << project;
+        // Not just the same total: every interval lands identically.
+        ASSERT_EQ(batch.stats.intervals.size(), cached.stats.intervals.size());
+        for (std::size_t i = 0; i < batch.stats.intervals.size(); ++i) {
+          EXPECT_EQ(batch.stats.intervals[i].start,
+                    cached.stats.intervals[i].start);
+          EXPECT_EQ(batch.stats.intervals[i].end,
+                    cached.stats.intervals[i].end);
+        }
+      }
+    }
+}
+
+// --- The interleaving win ----------------------------------------------------
+
+TEST(Interleaving, GreedyBeatsProgramOrderOnPackedSlots) {
+  for (const int slots : {8, 16}) {
+    const Cycle greedy =
+        run_cycles(accel_config(true), schedule_mha_cached_batch,
+                   greedy_totals(slots), 64, 1, slots);
+    const Cycle program =
+        run_cycles(accel_config(false), schedule_mha_cached_batch,
+                   greedy_totals(slots), 64, 1, slots);
+    EXPECT_LT(greedy, program) << slots << " slots";
+    // Program order pays ~one softmax latency per slot; interleaving must
+    // recover the bulk of those bubbles, not a token amount.
+    EXPECT_GT(program - greedy, slots * 10) << slots << " slots";
+  }
+}
+
+TEST(Interleaving, StallShrinksVersusProgramOrder) {
+  Timeline greedy_tl, program_tl;
+  const ScheduledRun greedy = schedule_mha_cached_batch(
+      accel_config(true), greedy_tl, greedy_totals(16), 64, 1, 16);
+  const ScheduledRun program = schedule_mha_cached_batch(
+      accel_config(false), program_tl, greedy_totals(16), 64, 1, 16);
+  EXPECT_LT(greedy.stats.softmax_stall, program.stats.softmax_stall);
+  // Per-edge accounting covers every softmax→AV edge in both policies.
+  EXPECT_EQ(greedy.stats.softmax_edges, 16);
+  EXPECT_EQ(program.stats.softmax_edges, 16);
+}
+
+TEST(Interleaving, SchedulesAreDeterministic) {
+  Timeline a_tl, b_tl;
+  const ScheduledRun a = schedule_mha_cached_batch(
+      accel_config(), a_tl, greedy_totals(16), 512, 8, 16);
+  const ScheduledRun b = schedule_mha_cached_batch(
+      accel_config(), b_tl, greedy_totals(16), 512, 8, 16);
+  ASSERT_EQ(a.stats.intervals.size(), b.stats.intervals.size());
+  for (std::size_t i = 0; i < a.stats.intervals.size(); ++i) {
+    EXPECT_EQ(a.stats.intervals[i].start, b.stats.intervals[i].start);
+    EXPECT_EQ(a.stats.intervals[i].label, b.stats.intervals[i].label);
+  }
+}
+
+// --- Scheduler kernel semantics ----------------------------------------------
+
+TEST(OpGraphScheduler, PipelinedSoftmaxOverlapsBackToBackRows) {
+  // Two independent score rows: the second softmax enters the pipeline as
+  // soon as the first's occupancy ends — the fill depth is paid once per
+  // row as result latency, not as unit occupancy.
+  AcceleratorConfig cfg = accel_config();
+  OpGraph g;
+  const OpGraph::SaCost cost{9, 1, 0};
+  const int d0 = g.add_sa(cost, {}, OpNode::kStaticWeight, "d0");
+  const int d1 = g.add_sa(cost, {}, OpNode::kStaticWeight, "d1");
+  const int sm0 = g.add_softmax(20, cfg.softmax_pipeline_depth, d0, "sm0");
+  const int sm1 = g.add_softmax(20, cfg.softmax_pipeline_depth, d1, "sm1");
+  Timeline tl;
+  const ScheduleStats st =
+      schedule_ops(g, cfg.weight_load_cycles, IssuePolicy::kGreedy, tl);
+  EXPECT_EQ(st.intervals[static_cast<std::size_t>(sm1)].start,
+            st.intervals[static_cast<std::size_t>(sm0)].end);
+  // Results still drain a full pipeline depth after occupancy.
+  EXPECT_EQ(st.result_ready[static_cast<std::size_t>(sm0)],
+            st.intervals[static_cast<std::size_t>(sm0)].end +
+                cfg.softmax_pipeline_depth);
+}
+
+TEST(OpGraphScheduler, IsolatedSoftmaxLatencyMatchesPrePipelineModel) {
+  // An isolated softmax still delays its consumer by occupancy + depth —
+  // the pre-PR-4 duration — so single-sentence flows time identically.
+  AcceleratorConfig cfg = accel_config();
+  OpGraph g;
+  const int d = g.add_sa({9, 1, 0}, {}, OpNode::kStaticWeight, "d");
+  const int sm = g.add_softmax(2 * 64, cfg.softmax_pipeline_depth, d, "sm");
+  const int av = g.add_sa({9, 1, 0}, {sm}, OpNode::kStaticWeight, "av", sm);
+  Timeline tl;
+  const ScheduleStats st =
+      schedule_ops(g, cfg.weight_load_cycles, IssuePolicy::kGreedy, tl);
+  EXPECT_EQ(st.intervals[static_cast<std::size_t>(av)].start,
+            st.intervals[static_cast<std::size_t>(sm)].end +
+                cfg.softmax_pipeline_depth);
+  // The SA idled the whole wait: charged as a per-edge stall, slack < 0.
+  EXPECT_GT(st.softmax_stall, 0);
+  EXPECT_LT(st.softmax_slack_min, 0);
+  EXPECT_EQ(st.softmax_edges, 1);
+}
+
+TEST(OpGraphScheduler, FirstSaOpPaysTheColdWeightLoad) {
+  OpGraph g;
+  g.add_sa({10, 10, 0}, {}, OpNode::kStaticWeight, "a");
+  g.add_sa({10, 10, 0}, {}, OpNode::kStaticWeight, "b");
+  Timeline tl;
+  const ScheduleStats st = schedule_ops(g, 64, IssuePolicy::kGreedy, tl);
+  EXPECT_EQ(st.intervals[0].start, 64);  // cold load exposed
+  EXPECT_EQ(st.intervals[1].start, 74);  // prefetched under op a
+  EXPECT_EQ(st.sa_exposed_load, 64);
+}
+
+TEST(OpGraphScheduler, DynamicWeightWaitsForProducerPlusLoad) {
+  OpGraph g;
+  const int k = g.add_sa({10, 10, 0}, {}, OpNode::kStaticWeight, "k");
+  const int d = g.add_sa({10, 10, 0}, {}, k, "d");
+  Timeline tl;
+  const ScheduleStats st = schedule_ops(g, 64, IssuePolicy::kGreedy, tl);
+  // k: cold load 64 + 10 busy; d: k's result + its own 64-cycle tile load.
+  EXPECT_EQ(st.intervals[static_cast<std::size_t>(d)].start,
+            st.intervals[static_cast<std::size_t>(k)].end + 64);
+}
+
+TEST(OpGraphScheduler, RejectsForwardDependencies) {
+  OpGraph g;
+  EXPECT_THROW(g.add_sa({1, 1, 0}, {0}, OpNode::kStaticWeight, "self"),
+               CheckError);
+  EXPECT_THROW(g.add_sa({1, 1, 0}, {}, 3, "future-weight"), CheckError);
+}
+
+}  // namespace
+}  // namespace tfacc
