@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
   std::vector<TokenSeq> baseline_outputs;
   double base_modeled = 0.0, best_modeled = 0.0;
   double base_util = 0.0, best_util = 0.0;
+  ScheduleReport fused16;  // the 16-slot point doubles as fused_step's side
   for (const int slots : {1, 2, 4, 8, 16}) {
     SchedulerConfig sc;
     sc.num_cards = 1;
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
     sc.slots_per_card = slots;
     Scheduler sched(weights, calib, sc);
     const ScheduleReport rep = sched.run(sources);
+    if (slots == 16) fused16 = rep;
     if (slots == 1) {
       baseline_outputs = rep.outputs;
       base_modeled = rep.modeled_sentences_per_second();
@@ -102,12 +104,74 @@ int main(int argc, char** argv) {
         static_cast<long long>(rep.sa_busy_cycles()),
         static_cast<long long>(rep.softmax_busy_cycles()),
         static_cast<long long>(rep.layernorm_busy_cycles()),
-        static_cast<long long>(rep.softmax_stall_cycles()));
+        static_cast<long long>(rep.softmax_stall_cycles()),
+        static_cast<long long>(rep.boundary_stall_cycles()));
     json.key("packed_rows_histogram")
         .value_array(rep.per_card_steps[0].rows_hist);
     json.end_object();
   }
   json.end_array();
+
+  // The PR 5 fused decode-step ledger vs the per-sublayer ledgers it
+  // replaces (ablation knob accel.fuse_decode_step). The fused side IS the
+  // sweep's 16-slot point (fuse_decode_step defaults to true), so only the
+  // unfused ablation needs a fresh run. Both sides' metrics are gated by
+  // perf_gate.py.
+  bench::title(
+      "Fused decode-step ledger vs per-sublayer runs (16 slots, 1 card)");
+  std::printf("%10s | %14s %14s %8s %14s\n", "step model", "makespan cyc",
+              "modeled sent/s", "SA util", "boundary stall");
+  bench::rule(70);
+  json.key("fused_step").begin_object();
+  json.key("slots").value(16);
+  SchedulerConfig unfused_cfg;
+  unfused_cfg.num_cards = 1;
+  unfused_cfg.max_len = max_len;
+  unfused_cfg.slots_per_card = 16;
+  unfused_cfg.accel.fuse_decode_step = false;
+  Scheduler unfused_sched(weights, calib, unfused_cfg);
+  const ScheduleReport unfused16 = unfused_sched.run(sources);
+  // fused16's outputs were already checked against the one-row outputs in
+  // the sweep; matching them here proves the ablation pair bit-identical.
+  const bool fused_identical = unfused16.outputs == fused16.outputs;
+  const ScheduleReport* const reps[] = {&unfused16, &fused16};
+  for (const ScheduleReport* rep : reps) {
+    const bool fused = rep == &fused16;
+    std::printf("%10s | %14lld %14.1f %7.1f%% %14lld\n",
+                fused ? "fused" : "per-run",
+                static_cast<long long>(rep->makespan_cycles()),
+                rep->modeled_sentences_per_second(),
+                100.0 * rep->sa_utilization(),
+                static_cast<long long>(rep->boundary_stall_cycles()));
+    json.key(fused ? "fused" : "unfused").begin_object();
+    json.key("fused_steps").value(rep->fused_steps());
+    json.key("makespan_cycles")
+        .value(static_cast<long long>(rep->makespan_cycles()));
+    json.key("modeled_sentences_per_second")
+        .value(rep->modeled_sentences_per_second());
+    json.key("sa_utilization").value(rep->sa_utilization());
+    bench::write_module_breakdown(
+        json, static_cast<long long>(rep->total_cycles()),
+        static_cast<long long>(rep->sa_busy_cycles()),
+        static_cast<long long>(rep->softmax_busy_cycles()),
+        static_cast<long long>(rep->layernorm_busy_cycles()),
+        static_cast<long long>(rep->softmax_stall_cycles()),
+        static_cast<long long>(rep->boundary_stall_cycles()));
+    json.end_object();
+  }
+  json.end_object();
+  const bool fused_wins =
+      fused_identical &&
+      fused16.sa_utilization() > unfused16.sa_utilization() &&
+      fused16.boundary_stall_cycles() < unfused16.boundary_stall_cycles();
+  std::printf(
+      "fused vs per-run: boundary stall %lld -> %lld cycles, SA utilization "
+      "%.1f%% -> %.1f%%, outputs %s (gate: %s)\n",
+      static_cast<long long>(unfused16.boundary_stall_cycles()),
+      static_cast<long long>(fused16.boundary_stall_cycles()),
+      100.0 * unfused16.sa_utilization(), 100.0 * fused16.sa_utilization(),
+      fused_identical ? "bit-identical" : "DIVERGED",
+      fused_wins ? "PASS" : "FAIL");
 
   bench::title("Beam search through the packed scheduler (beam 4)");
   SchedulerConfig beam_cfg;
@@ -135,17 +199,19 @@ int main(int argc, char** argv) {
       static_cast<long long>(beam_rep.sa_busy_cycles()),
       static_cast<long long>(beam_rep.softmax_busy_cycles()),
       static_cast<long long>(beam_rep.layernorm_busy_cycles()),
-      static_cast<long long>(beam_rep.softmax_stall_cycles()));
+      static_cast<long long>(beam_rep.softmax_stall_cycles()),
+      static_cast<long long>(beam_rep.boundary_stall_cycles()));
   json.end_object();
   json.end_object();
   json_file << '\n';
 
   const double speedup = base_modeled > 0 ? best_modeled / base_modeled : 0.0;
+  const bool packed_wins = best_modeled > base_modeled && best_util > base_util;
   std::printf(
       "\npacked (16 slots) vs one-row steps: %.2fx modeled sent/s, SA "
       "utilization %.1f%% -> %.1f%% (gate: faster AND fuller: %s)\n"
       "results written to BENCH_scheduler.json\n",
       speedup, 100.0 * base_util, 100.0 * best_util,
-      best_modeled > base_modeled && best_util > base_util ? "PASS" : "FAIL");
-  return best_modeled > base_modeled && best_util > base_util ? 0 : 1;
+      packed_wins ? "PASS" : "FAIL");
+  return packed_wins && fused_wins ? 0 : 1;
 }

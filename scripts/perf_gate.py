@@ -16,6 +16,12 @@ structurally matching position (sweep points, beam section, gates):
 
 Workload keys (sentences, max_len, slots, cards, ...) must match exactly:
 comparing different workloads is a configuration error, not a regression.
+
+The walk is driven by the baseline, so a gated metric present only in the
+CURRENT bench (a new sweep point, a new gated section) would otherwise be
+silently unguarded forever. Those paths are reported as UNBASELINED and
+fail the gate: shipping a new gated metric requires refreshing its baseline
+in the same change (see README "Refreshing the perf baselines").
 """
 
 import argparse
@@ -59,6 +65,18 @@ def walk(current, baseline, path, failures, checks):
                     f"(current {current!r}, baseline {baseline!r})")
 
 
+def collect_gated_paths(node, path, out):
+    """All paths in `node` whose leaf is a gated metric."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            collect_gated_paths(value, f"{path}.{key}", out)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            collect_gated_paths(value, f"{path}[{i}]", out)
+    elif path.rsplit(".", 1)[-1] in GATED_METRICS:
+        out.add(path)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current")
@@ -74,6 +92,19 @@ def main():
 
     failures, checks = [], []
     walk(current, baseline, "$", failures, checks)
+
+    # The baseline-driven walk never sees current-only paths: a gated metric
+    # the current bench emits without a baseline counterpart must fail, or
+    # new gates would ship unguarded.
+    current_gated, baseline_gated = set(), set()
+    collect_gated_paths(current, "$", current_gated)
+    collect_gated_paths(baseline, "$", baseline_gated)
+    unbaselined = sorted(current_gated - baseline_gated)
+    for path in unbaselined:
+        print(f"  UNBASELINED {path}: gated metric has no baseline — "
+              f"refresh {args.baseline} in this change")
+    failures.extend(f"{path}: gated metric missing from baseline"
+                    for path in unbaselined)
 
     regressions = 0
     for path, cur, base in checks:

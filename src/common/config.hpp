@@ -83,6 +83,14 @@ struct AcceleratorConfig {
   /// strict program-order issue (PR 3 style; exact PR 3 cycle counts can
   /// differ slightly because projections now issue K/V before Q).
   bool interleave_decode = true;
+  /// Fuse every packed decode step's sublayer schedules (self MHA, cross
+  /// MHA, FFN across all decoder blocks) into ONE cross-sublayer ledger:
+  /// sublayer N+1's initial weight-tile load prefetches under sublayer N's
+  /// compute and LayerNorm tail instead of restarting cold, so only the
+  /// step's first SA op pays the 64-cycle load. Timing only — functional
+  /// results are identical. false is the ablation knob: per-sublayer
+  /// ledgers, each starting cold (the PR 4 model).
+  bool fuse_decode_step = true;
   LayerNormStrategy layernorm_strategy = LayerNormStrategy::kStepOneAndTwo;
 
   void validate() const;

@@ -1,6 +1,7 @@
 #include "core/accelerator.hpp"
 
-#include "core/schedules.hpp"
+#include <algorithm>
+
 #include "tensor/ops.hpp"
 
 namespace tfacc {
@@ -16,19 +17,26 @@ Cycle busy_cycles_of(const Timeline& tl, const std::string& name) {
 }
 
 void finalize_report(RunReport& rep, const AcceleratorConfig& cfg,
-                     const ScheduledRun& run) {
+                     const ScheduleStats& stats) {
   rep.clock_mhz = cfg.clock_mhz;
   rep.total_cycles = rep.timeline.end_time();
   rep.sa_busy = busy_cycles_of(rep.timeline, "SA");
   rep.softmax_busy = busy_cycles_of(rep.timeline, "Softmax");
   rep.layernorm_busy = busy_cycles_of(rep.timeline, "LayerNorm");
-  rep.sa_stream = run.stats.sa_stream;
-  rep.exposed_weight_load = run.stats.sa_exposed_load;
-  rep.accum_spill = run.stats.sa_spill;
+  rep.sa_stream = stats.sa_stream;
+  rep.exposed_weight_load = stats.sa_exposed_load;
+  rep.accum_spill = stats.sa_spill;
   rep.softmax_slack_min =
-      run.stats.softmax_edges > 0 ? run.stats.softmax_slack_min : 0;
-  rep.softmax_stall = run.stats.softmax_stall;
+      stats.softmax_edges > 0 ? stats.softmax_slack_min : 0;
+  rep.softmax_stall = stats.softmax_stall;
   rep.softmax_hidden = rep.softmax_slack_min >= 0;
+  // Boundary cost of a single-sublayer run: the cold load before the first
+  // SA op and the LayerNorm tail after the last. A fused ledger overwrites
+  // this with schedule_fused's seam-aware accounting.
+  if (const ModuleTimeline* sa = rep.timeline.find("SA");
+      sa != nullptr && !sa->intervals().empty())
+    rep.boundary_stall = sa->intervals().front().start +
+                         std::max<Cycle>(0, rep.total_cycles - sa->end_time());
 }
 
 std::vector<std::int32_t> bias_slice(const std::vector<std::int32_t>& bias,
@@ -89,20 +97,15 @@ Accelerator::MhaResult Accelerator::run_mha(const MhaQuantized& block,
   }
   res.out = block.norm(g);
 
-  finalize_report(rep, cfg_, sched);
+  finalize_report(rep, cfg_, sched.stats);
   return res;
 }
 
-Accelerator::FfnResult Accelerator::run_ffn(const FfnQuantized& block,
-                                            const MatI8& x) const {
+MatI8 Accelerator::forward_ffn(const FfnQuantized& block,
+                               const MatI8& x) const {
   TFACC_CHECK_ARG(x.cols() == block.d_model);
   TFACC_CHECK_ARG(block.d_model % cfg_.sa_cols == 0 &&
                   block.d_ff % cfg_.sa_cols == 0);
-
-  FfnResult res;
-  RunReport& rep = res.report;
-  const ScheduledRun sched =
-      schedule_ffn(cfg_, rep.timeline, x.rows(), block.d_model, block.d_ff);
 
   const int bc = cfg_.sa_cols;
   const auto w1_blocks = split_cols(block.w1.w, bc);
@@ -127,9 +130,18 @@ Accelerator::FfnResult Accelerator::run_ffn(const FfnQuantized& block,
     const MatI16 res_blk = g_res.block(0, i * bc, x.rows(), bc);
     g.set_block(0, i * bc, saturating_add_i16(proj, res_blk));
   }
-  res.out = block.norm(g);
+  return block.norm(g);
+}
 
-  finalize_report(rep, cfg_, sched);
+Accelerator::FfnResult Accelerator::run_ffn(const FfnQuantized& block,
+                                            const MatI8& x) const {
+  FfnResult res;
+  res.out = forward_ffn(block, x);
+
+  RunReport& rep = res.report;
+  const ScheduledRun sched =
+      schedule_ffn(cfg_, rep.timeline, x.rows(), block.d_model, block.d_ff);
+  finalize_report(rep, cfg_, sched.stats);
   return res;
 }
 
@@ -139,7 +151,7 @@ RunReport Accelerator::time_mha(int s_q, int s_kv, int d_model,
   RunReport rep;
   const ScheduledRun sched =
       schedule_mha(cfg_, rep.timeline, s_q, s_kv, d_model, num_heads);
-  finalize_report(rep, cfg_, sched);
+  finalize_report(rep, cfg_, sched.stats);
   return rep;
 }
 
@@ -153,7 +165,7 @@ RunReport Accelerator::time_mha_cached(int s_new, int s_total, int d_model,
   const ScheduledRun sched =
       schedule_mha_cached(cfg_, rep.timeline, s_new, s_total, d_model,
                           num_heads, project_kv_rows);
-  finalize_report(rep, cfg_, sched);
+  finalize_report(rep, cfg_, sched.stats);
   return rep;
 }
 
@@ -180,11 +192,11 @@ Accelerator::MhaResult Accelerator::run_mha_cached(const MhaQuantized& block,
   // the cache already holds them — mirroring the data memory on chip).
   res.out = block.forward_cached(q, cache, mask);
 
-  finalize_report(rep, cfg_, sched);
+  finalize_report(rep, cfg_, sched.stats);
   return res;
 }
 
-Accelerator::MhaResult Accelerator::run_mha_cached_batch(
+MatI8 Accelerator::forward_mha_cached_batch(
     const MhaQuantized& block, const MatI8& q,
     const std::vector<const QuantKvCache*>& caches,
     const std::vector<const Mask*>& masks, int projected_rows) const {
@@ -195,25 +207,31 @@ Accelerator::MhaResult Accelerator::run_mha_cached_batch(
   TFACC_CHECK_ARG_MSG(block.head_dim == cfg_.sa_cols,
                       "head_dim " << block.head_dim << " != SA columns "
                                   << cfg_.sa_cols);
-  std::vector<int> totals(caches.size());
-  for (std::size_t r = 0; r < caches.size(); ++r) {
-    totals[r] = caches[r]->rows();
-    TFACC_CHECK_ARG(masks[r]->rows() == 1 && masks[r]->cols() == totals[r]);
-  }
-
-  MhaResult res;
-  RunReport& rep = res.report;
-  const ScheduledRun sched =
-      schedule_mha_cached_batch(cfg_, rep.timeline, totals, block.d_model,
-                                block.num_heads, projected_rows);
+  for (std::size_t r = 0; r < caches.size(); ++r)
+    TFACC_CHECK_ARG(masks[r]->rows() == 1 &&
+                    masks[r]->cols() == caches[r]->rows());
 
   // Functional pass: identical arithmetic to the quantized model's packed
   // cached path (the caller appended this step's K/V rows before invoking
   // us, so each slot's cache already holds them — mirroring the data memory
   // on chip).
-  res.out = block.forward_cached_batch(q, caches, masks);
+  return block.forward_cached_batch(q, caches, masks);
+}
 
-  finalize_report(rep, cfg_, sched);
+Accelerator::MhaResult Accelerator::run_mha_cached_batch(
+    const MhaQuantized& block, const MatI8& q,
+    const std::vector<const QuantKvCache*>& caches,
+    const std::vector<const Mask*>& masks, int projected_rows) const {
+  MhaResult res;
+  res.out = forward_mha_cached_batch(block, q, caches, masks, projected_rows);
+
+  std::vector<int> totals(caches.size());
+  for (std::size_t r = 0; r < caches.size(); ++r) totals[r] = caches[r]->rows();
+  RunReport& rep = res.report;
+  const ScheduledRun sched =
+      schedule_mha_cached_batch(cfg_, rep.timeline, totals, block.d_model,
+                                block.num_heads, projected_rows);
+  finalize_report(rep, cfg_, sched.stats);
   return res;
 }
 
@@ -222,22 +240,56 @@ RunReport Accelerator::time_ffn(int s, int d_model, int d_ff) const {
   RunReport rep;
   const ScheduledRun sched =
       schedule_ffn(cfg_, rep.timeline, s, d_model, d_ff);
-  finalize_report(rep, cfg_, sched);
+  finalize_report(rep, cfg_, sched.stats);
   return rep;
 }
 
 namespace {
 
-Accelerator::StreamReport to_stream(const RunReport& rep,
-                                    const AcceleratorConfig& cfg) {
+/// Issue policy of a fused ledger: a full-MHA sublayer pins Algorithm 1
+/// program order (the paper-validated controller); the cached decode flows
+/// follow the interleave_decode knob like their standalone builders.
+IssuePolicy fused_policy(const AcceleratorConfig& cfg,
+                         const std::vector<SublayerPlan>& subs) {
+  for (const SublayerPlan& sub : subs)
+    if (sub.kind == SublayerPlan::Kind::kMha)
+      return IssuePolicy::kProgramOrder;
+  return cached_policy(cfg);
+}
+
+}  // namespace
+
+RunReport Accelerator::time_fused(const std::vector<SublayerPlan>& subs,
+                                  bool chain) const {
+  RunReport rep;
+  const FusedRun fused = schedule_fused(cfg_, rep.timeline, subs, chain,
+                                        fused_policy(cfg_, subs));
+  finalize_report(rep, cfg_, fused.stats);
+  // Replace the edges-only estimate with the composer's seam-aware number
+  // (identical for a one-sublayer ledger).
+  rep.boundary_stall = fused.boundary_stall;
+  return rep;
+}
+
+namespace {
+
+/// Steady-state interval from a two-invocation fused ledger: the second run
+/// shares the first's hardware and weight-prefetch port but no data, so the
+/// ledger realizes exactly the overlap the hardware would — the old
+/// analytic `total − weight_load − layernorm_busy` model assumed one cold
+/// load and a fully exposed LayerNorm tail per run, which the op-graph
+/// scheduler no longer guarantees. Clamped to >= 1 cycle so degenerate
+/// shapes yield a finite rate instead of tripping a CHECK.
+Accelerator::StreamReport to_stream(const Accelerator& acc,
+                                    const AcceleratorConfig& cfg,
+                                    const SublayerPlan& sub) {
+  const RunReport one = acc.time_fused({sub}, /*chain=*/false);
+  const RunReport two = acc.time_fused({sub, sub}, /*chain=*/false);
   Accelerator::StreamReport sr;
-  sr.first_latency = rep.total_cycles;
-  // Steady state drops the cold weight load and hides the LayerNorm tail
-  // under the next run's SA work.
+  sr.first_latency = one.total_cycles;
   sr.steady_interval =
-      rep.total_cycles - cfg.weight_load_cycles - rep.layernorm_busy;
+      std::max<Cycle>(1, two.total_cycles - one.total_cycles);
   sr.clock_mhz = cfg.clock_mhz;
-  TFACC_CHECK(sr.steady_interval > 0);
   return sr;
 }
 
@@ -246,12 +298,15 @@ Accelerator::StreamReport to_stream(const RunReport& rep,
 Accelerator::StreamReport Accelerator::stream_mha(int s_q, int s_kv,
                                                   int d_model,
                                                   int num_heads) const {
-  return to_stream(time_mha(s_q, s_kv, d_model, num_heads), cfg_);
+  TFACC_CHECK_ARG(d_model == num_heads * cfg_.sa_cols);
+  return to_stream(*this, cfg_,
+                   SublayerPlan::mha("mha", s_q, s_kv, d_model, num_heads));
 }
 
 Accelerator::StreamReport Accelerator::stream_ffn(int s, int d_model,
                                                   int d_ff) const {
-  return to_stream(time_ffn(s, d_model, d_ff), cfg_);
+  TFACC_CHECK_ARG(d_model % cfg_.sa_cols == 0 && d_ff % cfg_.sa_cols == 0);
+  return to_stream(*this, cfg_, SublayerPlan::ffn("ffn", s, d_model, d_ff));
 }
 
 }  // namespace tfacc

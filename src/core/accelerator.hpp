@@ -12,6 +12,7 @@
 
 #include "common/config.hpp"
 #include "core/modules.hpp"
+#include "core/schedules.hpp"
 #include "quant/qresblock.hpp"
 #include "sim/timeline.hpp"
 
@@ -35,6 +36,12 @@ struct RunReport {
   /// Σ over softmax→AV edges of the SA cycles actually stalled (0 when
   /// softmax_hidden).
   Cycle softmax_stall = 0;
+  /// SA idle attributable to run/sublayer boundaries: the exposed cold
+  /// weight load before the run's first SA op, the SA gaps at sublayer
+  /// seams of a fused ledger, and the LayerNorm tail after the last SA op.
+  /// This is the idle the fused decode-step ledger (PR 5) attacks — per
+  /// PR 4 profiling it was ~77% of residual SA idle on the bench workload.
+  Cycle boundary_stall = 0;
   bool softmax_hidden = true;
   double clock_mhz = 200.0;
   Timeline timeline;
@@ -112,10 +119,38 @@ class Accelerator {
   RunReport time_mha_cached(int s_new, int s_total, int d_model,
                             int num_heads, int project_kv_rows) const;
 
+  /// Timing of one fused multi-sublayer ledger (PR 5): `subs` spliced into
+  /// a single OpGraph/Timeline by schedule_fused. `chain` threads the
+  /// residual stream (the packed decode step); false models independent
+  /// back-to-back invocations (workload streaming). Issues under the
+  /// cached-flow policy unless a full-MHA sublayer is present, which pins
+  /// Algorithm 1 program order. The report's boundary_stall carries the
+  /// per-seam accounting (cold load + LayerNorm tails + seam gaps).
+  RunReport time_fused(const std::vector<SublayerPlan>& subs,
+                       bool chain) const;
+
+  /// Functional halves of the cached-batch MHA and FFN runs (validation +
+  /// bit-exact INT8 arithmetic, no timeline). The fused decode-step path
+  /// computes each sublayer's data through these while deferring ALL timing
+  /// to one time_fused ledger per step; run_* compose them with their
+  /// per-run schedules, so both paths share one functional code path.
+  MatI8 forward_mha_cached_batch(const MhaQuantized& block, const MatI8& q,
+                                 const std::vector<const QuantKvCache*>& caches,
+                                 const std::vector<const Mask*>& masks,
+                                 int projected_rows) const;
+  MatI8 forward_ffn(const FfnQuantized& block, const MatI8& x) const;
+
   /// Steady-state throughput of back-to-back invocations of the same
   /// ResBlock (workload-level batching): weights stay resident, so only the
   /// very first run pays the initial tile load, and the LayerNorm tail of
   /// run i overlaps the SA work of run i+1 (they are different modules).
+  /// Since PR 5 the steady interval is DERIVED from a two-invocation fused
+  /// ledger (schedule_fused, chain = false) instead of the old analytic
+  /// `total − weight_load − layernorm_busy` subtraction, which assumed
+  /// exactly one cold load and a fully exposed LayerNorm tail per run — an
+  /// assumption the op-graph scheduler no longer guarantees (an interleaved
+  /// schedule may already overlap the tail, making the subtraction
+  /// optimistic, and on small shapes it could even go non-positive).
   struct StreamReport {
     Cycle first_latency = 0;     ///< latency of the first invocation
     Cycle steady_interval = 0;   ///< cycles between completions afterwards

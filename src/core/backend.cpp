@@ -1,5 +1,7 @@
 #include "core/backend.hpp"
 
+#include "common/check.hpp"
+
 namespace tfacc {
 
 namespace {
@@ -9,6 +11,7 @@ void charge_modules(AcceleratorStats* stats, const RunReport& report) {
   stats->softmax_busy_cycles += report.softmax_busy;
   stats->layernorm_busy_cycles += report.layernorm_busy;
   stats->softmax_stall_cycles += report.softmax_stall;
+  stats->boundary_stall_cycles += report.boundary_stall;
 }
 
 void charge_mha(AcceleratorStats* stats, const RunReport& report) {
@@ -27,9 +30,51 @@ void charge_ffn(AcceleratorStats* stats, const RunReport& report) {
 
 }  // namespace
 
+void DecodeStepFuser::begin_step() {
+  TFACC_CHECK_MSG(!active_, "decode step already open");
+  TFACC_CHECK(subs_.empty());
+  active_ = true;
+  mha_sublayers_ = 0;
+  ffn_sublayers_ = 0;
+}
+
+void DecodeStepFuser::record_mha_cached_batch(std::vector<int> totals,
+                                              int d_model, int num_heads,
+                                              int project_kv_rows) {
+  TFACC_CHECK_MSG(active_, "record outside begin_step()/end_step()");
+  ++mha_sublayers_;
+  subs_.push_back(SublayerPlan::mha_cached_batch(
+      "sub" + std::to_string(subs_.size()), std::move(totals), d_model,
+      num_heads, project_kv_rows));
+}
+
+void DecodeStepFuser::record_ffn(int rows, int d_model, int d_ff) {
+  TFACC_CHECK_MSG(active_, "record outside begin_step()/end_step()");
+  ++ffn_sublayers_;
+  subs_.push_back(SublayerPlan::ffn("sub" + std::to_string(subs_.size()),
+                                    rows, d_model, d_ff));
+}
+
+RunReport DecodeStepFuser::end_step() {
+  TFACC_CHECK_MSG(active_, "end_step without begin_step");
+  active_ = false;
+  if (subs_.empty()) return {};  // the step fell back to non-hook paths
+  RunReport report = acc_->time_fused(subs_, /*chain=*/true);
+  subs_.clear();
+  if (stats_ != nullptr) {
+    stats_->mha_runs += mha_sublayers_;
+    stats_->ffn_runs += ffn_sublayers_;
+    ++stats_->fused_steps;
+    stats_->fused_cycles += report.total_cycles;
+    charge_modules(stats_, report);
+  }
+  return report;
+}
+
 ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
                                     const Accelerator& acc,
-                                    AcceleratorStats* stats) {
+                                    AcceleratorStats* stats,
+                                    DecodeStepFuser* fuser) {
   // Start from the quantized backend: its K/V cache factories (INT8 rows at
   // the calibrated scales) are exactly what the accelerator consumes too.
   // Only the hooks that execute compute are rerouted through the simulator.
@@ -42,8 +87,15 @@ ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
     charge_mha(stats, result.report);
     return qm.dequantize_out(result.out);
   };
-  b.ffn = [&qt, &acc, stats](const MatF& x, const FfnWeights& w) {
+  b.ffn = [&qt, &acc, stats, fuser](const MatF& x, const FfnWeights& w) {
     const FfnQuantized& qf = qt.ffn_for(w);
+    if (fuser != nullptr && fuser->active()) {
+      // Fused decode step: bit-exact data now, timing deferred to the
+      // step's single cross-sublayer ledger (end_step()).
+      const MatI8 out = acc.forward_ffn(qf, qf.quantize_in(x));
+      fuser->record_ffn(x.rows(), qf.d_model, qf.d_ff);
+      return qf.dequantize_out(out);
+    }
     const auto result = acc.run_ffn(qf, qf.quantize_in(x));
     charge_ffn(stats, result.report);
     return qf.dequantize_out(result.out);
@@ -66,17 +118,27 @@ ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
   // quantization pass and one projection per weight matrix, so the SA
   // streams full tiles again; per-slot attention stays ragged inside
   // run_mha_cached_batch's schedule.
-  b.mha_cached_batch = [&qt, &acc, stats](const MatF& q,
-                                          const std::vector<MhaCache*>& caches,
-                                          const MhaWeights& w,
-                                          const std::vector<Mask>& masks,
-                                          bool append) {
+  b.mha_cached_batch = [&qt, &acc, stats, fuser](
+                           const MatF& q,
+                           const std::vector<MhaCache*>& caches,
+                           const MhaWeights& w,
+                           const std::vector<Mask>& masks, bool append) {
     const MhaQuantized& qm = qt.mha_for(w);
     const std::vector<QuantKvCache*> kv = quant_kv_caches(caches);
     if (append) qm.append_kv_batch(qm.quantize_kv(q), kv);
     const std::vector<const QuantKvCache*> ckv(kv.begin(), kv.end());
-    const auto result = acc.run_mha_cached_batch(
-        qm, qm.quantize_q(q), ckv, mask_ptrs(masks), append ? q.rows() : 0);
+    const int projected = append ? q.rows() : 0;
+    if (fuser != nullptr && fuser->active()) {
+      const MatI8 out = acc.forward_mha_cached_batch(
+          qm, qm.quantize_q(q), ckv, mask_ptrs(masks), projected);
+      std::vector<int> totals(ckv.size());
+      for (std::size_t r = 0; r < ckv.size(); ++r) totals[r] = ckv[r]->rows();
+      fuser->record_mha_cached_batch(std::move(totals), qm.d_model,
+                                     qm.num_heads, projected);
+      return qm.dequantize_out(out);
+    }
+    const auto result = acc.run_mha_cached_batch(qm, qm.quantize_q(q), ckv,
+                                                 mask_ptrs(masks), projected);
     charge_mha(stats, result.report);
     return qm.dequantize_out(result.out);
   };

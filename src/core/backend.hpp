@@ -13,18 +13,30 @@ namespace tfacc {
 
 /// Aggregated accelerator activity across an inference run.
 struct AcceleratorStats {
-  long mha_runs = 0;
-  long ffn_runs = 0;
+  long mha_runs = 0;  ///< MHA ResBlock invocations (fused sublayers included)
+  long ffn_runs = 0;  ///< FFN ResBlock invocations (fused sublayers included)
+  /// Cycles of per-sublayer ledgers. A sublayer timed inside a fused
+  /// decode-step ledger counts in fused_cycles instead, so the three cycle
+  /// buckets partition total_cycles().
   Cycle mha_cycles = 0;
   Cycle ffn_cycles = 0;
+  long fused_steps = 0;   ///< packed decode steps timed as ONE fused ledger
+  Cycle fused_cycles = 0; ///< cycles of those cross-sublayer step ledgers
   Cycle sa_busy_cycles = 0;         ///< SA busy cycles summed over all runs
   Cycle softmax_busy_cycles = 0;    ///< Softmax-unit busy cycles, all runs
   Cycle layernorm_busy_cycles = 0;  ///< LayerNorm-unit busy cycles, all runs
   /// SA cycles stalled waiting on softmax results (0 when every softmax→AV
   /// edge was hidden behind other SA work).
   Cycle softmax_stall_cycles = 0;
+  /// SA cycles idle at run/sublayer boundaries (cold weight loads, seam
+  /// gaps of fused ledgers, LayerNorm tails) — the idle the fused
+  /// decode-step ledger shrinks by prefetching the next sublayer's weight
+  /// tile under the previous sublayer's compute.
+  Cycle boundary_stall_cycles = 0;
 
-  Cycle total_cycles() const { return mha_cycles + ffn_cycles; }
+  Cycle total_cycles() const {
+    return mha_cycles + ffn_cycles + fused_cycles;
+  }
   double microseconds(double clock_mhz) const {
     return static_cast<double>(total_cycles()) / clock_mhz;
   }
@@ -37,11 +49,54 @@ struct AcceleratorStats {
   }
 };
 
+/// Collects the sublayer shapes of one packed decode step so the whole step
+/// is timed as ONE cross-sublayer fused ledger (Accelerator::time_fused)
+/// instead of ~3·L per-sublayer ledgers that each restart the weight memory
+/// cold. The serve step loop brackets each decode_step_batch call with
+/// begin_step()/end_step(); while a step is open, the accelerator backend's
+/// mha_cached_batch/ffn hooks compute their data functionally (bit-exact,
+/// unchanged) and record their shape here instead of scheduling their own
+/// timeline. end_step() schedules the composed ledger once and charges
+/// `stats` — so the per-card cycle ledger still advances exactly once per
+/// card-step, preserving the work-conservation invariant the admission gate
+/// relies on.
+class DecodeStepFuser {
+ public:
+  DecodeStepFuser(const Accelerator& acc, AcceleratorStats* stats)
+      : acc_(&acc), stats_(stats) {}
+
+  /// Open a step: subsequent hook calls record instead of scheduling.
+  void begin_step();
+  /// True between begin_step() and end_step().
+  bool active() const { return active_; }
+  /// Schedule the recorded sublayers as one fused ledger, charge the stats,
+  /// close the step, and return the step's report (empty when no sublayer
+  /// ran, e.g. a backend that fell back to serial decode).
+  RunReport end_step();
+
+  /// Hook-side recorders (no-ops unless a step is open — callers check
+  /// active() first).
+  void record_mha_cached_batch(std::vector<int> totals, int d_model,
+                               int num_heads, int project_kv_rows);
+  void record_ffn(int rows, int d_model, int d_ff);
+
+ private:
+  const Accelerator* acc_;
+  AcceleratorStats* stats_;
+  bool active_ = false;
+  long mha_sublayers_ = 0;
+  long ffn_sublayers_ = 0;
+  std::vector<SublayerPlan> subs_;
+};
+
 /// Backend that executes every ResBlock on `acc` using the quantized blocks
-/// in `qt`. `stats` (optional) accumulates cycles across calls. All referenced
-/// objects must outlive the backend.
+/// in `qt`. `stats` (optional) accumulates cycles across calls. `fuser`
+/// (optional) reroutes the decode-step hooks' timing into a fused
+/// cross-sublayer ledger whenever a step is open. All referenced objects
+/// must outlive the backend.
 ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
                                     const Accelerator& acc,
-                                    AcceleratorStats* stats = nullptr);
+                                    AcceleratorStats* stats = nullptr,
+                                    DecodeStepFuser* fuser = nullptr);
 
 }  // namespace tfacc

@@ -84,6 +84,8 @@ BatchReport BatchRunner::run(const std::vector<TokenSeq>& sources) {
     rep.softmax_busy_cycles += s.softmax_busy_cycles;
     rep.layernorm_busy_cycles += s.layernorm_busy_cycles;
     rep.softmax_stall_cycles += s.softmax_stall_cycles;
+    rep.boundary_stall_cycles += s.boundary_stall_cycles;
+    rep.fused_steps += s.fused_steps;
   }
   return rep;
 }

@@ -53,6 +53,10 @@ struct BatchReport {
   Cycle softmax_busy_cycles = 0;          ///< Σ Softmax busy cycles, all cards
   Cycle layernorm_busy_cycles = 0;        ///< Σ LayerNorm busy, all cards
   Cycle softmax_stall_cycles = 0;         ///< Σ SA cycles stalled on softmax
+  /// Σ SA cycles idle at run/sublayer boundaries (cold weight loads, fused
+  /// seam gaps, LayerNorm tails), all cards.
+  Cycle boundary_stall_cycles = 0;
+  long fused_steps = 0;                   ///< steps timed as one fused ledger
 
   int sentences() const { return static_cast<int>(outputs.size()); }
   /// Simulated cycles of the busiest card: the farm finishes when it does.

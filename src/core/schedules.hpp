@@ -35,6 +35,12 @@ struct ScheduledRun {
   ScheduleStats stats;
 };
 
+/// Issue policy of the KV-cached decode flows: greedy interleaving unless
+/// the interleave_decode ablation knob pins strict program order. Shared by
+/// the standalone cached builders, the fused decode-step composer, and
+/// Accelerator::time_fused, so the rule lives in exactly one place.
+IssuePolicy cached_policy(const AcceleratorConfig& cfg);
+
 /// Full MHA (Algorithm 1 lines 1-13): `s_q` query rows attend over `s_kv`
 /// key/value rows, `num_heads` heads of `cfg.sa_cols` dims each.
 ScheduledRun schedule_mha(const AcceleratorConfig& cfg, Timeline& tl, int s_q,
@@ -61,5 +67,76 @@ ScheduledRun schedule_mha_cached_batch(const AcceleratorConfig& cfg,
 /// FFN (Algorithm 1 lines 14-22) over `s` rows.
 ScheduledRun schedule_ffn(const AcceleratorConfig& cfg, Timeline& tl, int s,
                           int d_model, int d_ff);
+
+// --- Fused multi-sublayer ledgers (PR 5) -------------------------------------
+//
+// One ResBlock run per ledger leaves every sublayer boundary cold: each of
+// the ~124 per-step sublayer invocations pays the initial 64-cycle weight
+// tile load and leaves its LayerNorm tail fully exposed. The fused composer
+// splices consecutive sublayer graphs into ONE OpGraph/Timeline: sublayer
+// N+1's initial tile load becomes an explicit prefetch op on the WeightLoad
+// port, gated only on sublayer N's first SA op having consumed its own tile
+// (single residency), so the load runs under sublayer N's compute and its
+// softmax/LayerNorm tail instead of restarting cold.
+
+/// Shape of one sublayer inside a fused ledger.
+struct SublayerPlan {
+  enum class Kind { kMha, kMhaCachedBatch, kFfn };
+  Kind kind = Kind::kFfn;
+  std::string label;  ///< ledger label prefix, e.g. "dec0.self"
+
+  int d_model = 0;
+  int num_heads = 0;         ///< kMha / kMhaCachedBatch
+  int s_q = 0, s_kv = 0;     ///< kMha
+  std::vector<int> totals;   ///< kMhaCachedBatch: per-slot cached K/V rows
+  int project_kv_rows = 0;   ///< kMhaCachedBatch
+  int rows = 0, d_ff = 0;    ///< kFfn
+
+  static SublayerPlan mha(std::string label, int s_q, int s_kv, int d_model,
+                          int num_heads);
+  static SublayerPlan mha_cached_batch(std::string label,
+                                       std::vector<int> totals, int d_model,
+                                       int num_heads, int project_kv_rows);
+  static SublayerPlan ffn(std::string label, int rows, int d_model, int d_ff);
+};
+
+/// Where one sublayer's SA occupancy landed inside a fused ledger.
+struct FusedSegment {
+  std::string label;
+  Cycle sa_start = 0;    ///< first SA interval start of this sublayer
+  Cycle sa_end = 0;      ///< last SA interval end of this sublayer
+  /// SA idle between the previous sublayer's last SA cycle and this
+  /// sublayer's first (the chained LayerNorm tail, plus any exposed load);
+  /// for the first sublayer, the ledger's cold-load exposure.
+  Cycle seam_stall = 0;
+};
+
+/// A fused ledger: the spliced graph, its schedule, and the per-seam
+/// boundary accounting the per-sublayer RunReports could never see.
+struct FusedRun {
+  OpGraph graph;
+  ScheduleStats stats;
+  std::vector<FusedSegment> segments;  ///< one per sublayer, in plan order
+  /// Σ seam stalls + the final LayerNorm tail after the last SA op — the
+  /// SA idle attributable to sublayer boundaries.
+  Cycle boundary_stall = 0;
+};
+
+/// Splice `subs` into one ledger. `chain` threads the residual stream:
+/// sublayer N+1's input-consuming ops additionally depend on sublayer N's
+/// LayerNorm (the packed decode step); chain = false models independent
+/// back-to-back invocations (workload streaming) that share only the
+/// hardware and the weight-prefetch port. A one-sublayer fused ledger
+/// schedules its SA/Softmax/LayerNorm intervals identically to the
+/// standalone builder above (pinned in tests/test_fused_step.cpp).
+FusedRun schedule_fused(const AcceleratorConfig& cfg, Timeline& tl,
+                        const std::vector<SublayerPlan>& subs, bool chain,
+                        IssuePolicy policy);
+
+/// The packed decode step: every decoder sublayer of one step (self MHA,
+/// cross MHA, FFN, per block) chained through the residual stream, issued
+/// under the cached-flow policy (greedy unless interleave_decode = false).
+FusedRun schedule_decode_step(const AcceleratorConfig& cfg, Timeline& tl,
+                              const std::vector<SublayerPlan>& subs);
 
 }  // namespace tfacc

@@ -92,6 +92,18 @@ Cycle ScheduleReport::softmax_stall_cycles() const {
   return stall;
 }
 
+Cycle ScheduleReport::boundary_stall_cycles() const {
+  Cycle stall = 0;
+  for (const AcceleratorStats& s : per_card) stall += s.boundary_stall_cycles;
+  return stall;
+}
+
+long ScheduleReport::fused_steps() const {
+  long steps = 0;
+  for (const AcceleratorStats& s : per_card) steps += s.fused_steps;
+  return steps;
+}
+
 // One card: a host model copy, the INT8 quantization of its blocks (keyed by
 // weight addresses inside *this* model, hence per-card) and a cycle-level
 // simulator. The functional backends skip the parts they do not need.
@@ -251,7 +263,13 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
   Card& card = *cards_[c];
   AcceleratorStats& stats = rep.per_card[c];
   CardStepStats& step_stats = rep.per_card_steps[c];
+  const bool cached = cfg_.decode == DecodeMode::kKvCache;
 
+  // The fused decode-step ledger: one cross-sublayer schedule per card-step
+  // instead of ~3·L cold per-sublayer ledgers. Only the packed cached path
+  // fuses; the encoder pass at admission and the full-recompute mode keep
+  // their per-run ledgers (the fuser is simply never opened around them).
+  std::optional<DecodeStepFuser> fuser;
   switch (cfg_.backend) {
     case ServeBackend::kReference:
       card.model.set_backend(ResBlockBackend{});
@@ -260,11 +278,12 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
       card.model.set_backend(card.qt->backend());
       break;
     case ServeBackend::kAccelerator:
-      card.model.set_backend(
-          accelerator_backend(*card.qt, *card.acc, &stats));
+      if (cached && cfg_.accel.fuse_decode_step)
+        fuser.emplace(*card.acc, &stats);
+      card.model.set_backend(accelerator_backend(
+          *card.qt, *card.acc, &stats, fuser ? &*fuser : nullptr));
       break;
   }
-  const bool cached = cfg_.decode == DecodeMode::kKvCache;
   const int demand = cfg_.slot_demand();
 
   // One admitted sentence: its id, the encoder memory (needed per step in
@@ -351,7 +370,12 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
     // full recompute (the O(L³) comparison mode — nothing to pack there).
     std::vector<std::vector<float>> logits;
     if (cached) {
+      // One fused ledger per card-step: every sublayer the packed pass runs
+      // is recorded and scheduled as a single cross-sublayer graph, so the
+      // card's virtual clock still advances exactly once per step.
+      if (fuser) fuser->begin_step();
       logits = card.model.decode_step_batch(states, tokens);
+      if (fuser) (void)fuser->end_step();
     } else {
       logits.reserve(static_cast<std::size_t>(rows));
       for (std::size_t ai = 0; ai < active.size(); ++ai)

@@ -97,6 +97,13 @@ struct ScheduleReport {
   /// Σ SA cycles the farm stalled waiting on softmax results — the bubble
   /// the interleaved schedule is meant to shrink.
   Cycle softmax_stall_cycles() const;
+  /// Σ SA cycles idle at run/sublayer boundaries (cold weight loads, fused
+  /// seam gaps, LayerNorm tails) — the bubble the fused decode-step ledger
+  /// is meant to shrink.
+  Cycle boundary_stall_cycles() const;
+  /// Packed decode steps that were timed as one fused cross-sublayer ledger
+  /// (0 when fuse_decode_step is off or the backend is functional-only).
+  long fused_steps() const;
 };
 
 /// Continuous-batching decode farm. Construction pays the per-card setup

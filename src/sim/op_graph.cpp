@@ -12,6 +12,8 @@ const char* op_resource_name(OpResource r) {
       return "Softmax";
     case OpResource::kLayerNorm:
       return "LayerNorm";
+    case OpResource::kWeightLoad:
+      return "WeightLoad";
   }
   TFACC_CHECK(false);
   return "";
@@ -70,6 +72,16 @@ int OpGraph::add_layernorm(Cycle duration, std::vector<int> deps,
   return add(std::move(op));
 }
 
+int OpGraph::add_weight_load(Cycle duration, std::vector<int> deps,
+                             std::string label) {
+  OpNode op;
+  op.resource = OpResource::kWeightLoad;
+  op.label = std::move(label);
+  op.duration = duration;
+  op.deps = std::move(deps);
+  return add(std::move(op));
+}
+
 namespace {
 
 /// Issue-time constraints of one op: when its streaming operands are done
@@ -96,7 +108,7 @@ ScheduleStats schedule_ops(const OpGraph& g, Cycle weight_load_cycles,
 
   // Only touch ledgers for resources the graph actually uses (an FFN run
   // must not materialize an empty Softmax ledger).
-  ModuleTimeline* modules[3] = {nullptr, nullptr, nullptr};
+  ModuleTimeline* modules[4] = {nullptr, nullptr, nullptr, nullptr};
   for (const OpNode& op : ops) {
     const auto r = static_cast<std::size_t>(op.resource);
     if (modules[r] == nullptr)
@@ -119,11 +131,14 @@ ScheduleStats schedule_ops(const OpGraph& g, Cycle weight_load_cycles,
     const int wd = ops[static_cast<std::size_t>(i)].weight_dep;
     if (wd >= 0) count_dep(wd);
   }
-  std::vector<char> ready(static_cast<std::size_t>(n), 0);
+  // The ready set is kept as an explicit (unordered) list so each issue
+  // round scans only the ready ops, not all n — fused decode-step ledgers
+  // splice many sublayers into one graph, and an all-ops scan per round
+  // would grow quadratically with the sublayer count.
   std::vector<char> issued(static_cast<std::size_t>(n), 0);
+  std::vector<int> ready_list;
   for (int i = 0; i < n; ++i)
-    if (pending[static_cast<std::size_t>(i)] == 0)
-      ready[static_cast<std::size_t>(i)] = 1;
+    if (pending[static_cast<std::size_t>(i)] == 0) ready_list.push_back(i);
 
   bool first_sa_op = true;
   const auto readiness_of = [&](int id) {
@@ -146,32 +161,40 @@ ScheduleStats schedule_ops(const OpGraph& g, Cycle weight_load_cycles,
     return r;
   };
 
+  int program_next = 0;  // kProgramOrder: lowest unissued id, amortized O(n)
   for (int count = 0; count < n; ++count) {
     int pick = -1;
+    std::size_t pick_slot = 0;  // pick's position in ready_list, for erasure
     if (policy == IssuePolicy::kProgramOrder) {
       // Builders add ops dep-first, so the lowest unissued id is ready.
-      for (int i = 0; i < n; ++i)
-        if (!issued[static_cast<std::size_t>(i)]) {
-          pick = i;
+      while (issued[static_cast<std::size_t>(program_next)]) ++program_next;
+      pick = program_next;
+      bool is_ready = false;
+      for (std::size_t s = 0; s < ready_list.size(); ++s)
+        if (ready_list[s] == pick) {
+          is_ready = true;
+          pick_slot = s;
           break;
         }
-      TFACC_CHECK_MSG(ready[static_cast<std::size_t>(pick)],
+      TFACC_CHECK_MSG(is_ready,
                       "op " << ops[static_cast<std::size_t>(pick)].label
                             << " issued before its deps (builder order)");
     } else {
       // Greedy event-ordered issue: the ready op that can start earliest on
-      // its resource goes next; ties break toward insertion (program) order.
+      // its resource goes next; ties break toward insertion (program)
+      // order — the (start, id) lexicographic minimum, so the unordered
+      // ready list picks exactly what an ascending full scan would.
       Cycle pick_start = 0;
-      for (int i = 0; i < n; ++i) {
-        if (issued[static_cast<std::size_t>(i)] ||
-            !ready[static_cast<std::size_t>(i)])
-          continue;
+      for (std::size_t s = 0; s < ready_list.size(); ++s) {
+        const int i = ready_list[s];
         const Cycle start =
             std::max(readiness_of(i).earliest(),
                      module_of(ops[static_cast<std::size_t>(i)]).free_at());
-        if (pick < 0 || start < pick_start) {
+        if (pick < 0 || start < pick_start ||
+            (start == pick_start && i < pick)) {
           pick = i;
           pick_start = start;
+          pick_slot = s;
         }
       }
     }
@@ -210,10 +233,11 @@ ScheduleStats schedule_ops(const OpGraph& g, Cycle weight_load_cycles,
     st.result_ready[static_cast<std::size_t>(pick)] =
         iv.end + op.result_latency;
     issued[static_cast<std::size_t>(pick)] = 1;
-    ready[static_cast<std::size_t>(pick)] = 0;
+    ready_list[pick_slot] = ready_list.back();
+    ready_list.pop_back();
     for (const int dep : dependents[static_cast<std::size_t>(pick)])
       if (--pending[static_cast<std::size_t>(dep)] == 0)
-        ready[static_cast<std::size_t>(dep)] = 1;
+        ready_list.push_back(dep);
   }
   return st;
 }
@@ -257,7 +281,8 @@ std::string audit_schedule(const OpGraph& g, const ScheduleStats& st) {
 
   // No two intervals may overlap on the same resource.
   for (const OpResource res :
-       {OpResource::kSa, OpResource::kSoftmax, OpResource::kLayerNorm}) {
+       {OpResource::kSa, OpResource::kSoftmax, OpResource::kLayerNorm,
+        OpResource::kWeightLoad}) {
     std::vector<std::size_t> ids;
     for (std::size_t i = 0; i < n; ++i)
       if (ops[i].resource == res) ids.push_back(i);

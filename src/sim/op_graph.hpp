@@ -23,10 +23,13 @@
 
 namespace tfacc {
 
-/// Hardware resource an op occupies (one ModuleTimeline each).
-enum class OpResource { kSa, kSoftmax, kLayerNorm };
+/// Hardware resource an op occupies (one ModuleTimeline each). kWeightLoad
+/// is the weight-memory load port: fused multi-sublayer ledgers (PR 5)
+/// reserve the next sublayer's initial tile load on it, so the load runs
+/// under the previous sublayer's compute instead of stalling the SA cold.
+enum class OpResource { kSa, kSoftmax, kLayerNorm, kWeightLoad };
 
-/// Ledger name of a resource ("SA", "Softmax", "LayerNorm").
+/// Ledger name of a resource ("SA", "Softmax", "LayerNorm", "WeightLoad").
 const char* op_resource_name(OpResource r);
 
 /// How schedule_ops picks the next op to place.
@@ -87,6 +90,16 @@ class OpGraph {
 
   /// Add a LayerNorm tail gated on every producer of G.
   int add_layernorm(Cycle duration, std::vector<int> deps, std::string label);
+
+  /// Add a weight-tile prefetch on the load port: `duration` cycles (one
+  /// tile load), gated on `deps`. The tile buffer holds a single pending
+  /// tile, so a fused composer passes the previous sublayer's first SA op
+  /// as the dep — the buffer is free again only once that op has consumed
+  /// its tile (single residency). SA ops listing the prefetch among their
+  /// deps start no earlier than the load completes; because the load IS the
+  /// dep, no extra weight_load_cycles are added on the edge.
+  int add_weight_load(Cycle duration, std::vector<int> deps,
+                      std::string label);
 
   const std::vector<OpNode>& ops() const { return ops_; }
   int size() const { return static_cast<int>(ops_.size()); }

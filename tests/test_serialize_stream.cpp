@@ -94,6 +94,12 @@ TEST(Serialize, FileRoundTrip) {
 
 // --- Streaming throughput -------------------------------------------------------
 
+// Since PR 5 the steady interval is derived from a two-invocation fused
+// ledger (tests/test_fused_step.cpp pins that identity); at the paper's
+// design point the ledger realizes exactly the overlap the old analytic
+// model asserted — run 2 skips the cold load and hides run 1's LayerNorm
+// tail under its own SA work — so the subtraction holds as a *derived*
+// cross-check here rather than as the defining formula.
 TEST(Streaming, SteadyIntervalDropsColdLoadAndLnTail) {
   Accelerator acc;
   const RunReport one = acc.time_mha(64, 64, 512, 8);
