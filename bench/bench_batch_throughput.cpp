@@ -99,7 +99,8 @@ int main(int argc, char** argv) {
         static_cast<long long>(rep.softmax_busy_cycles),
         static_cast<long long>(rep.layernorm_busy_cycles),
         static_cast<long long>(rep.softmax_stall_cycles),
-        static_cast<long long>(rep.boundary_stall_cycles));
+        static_cast<long long>(rep.boundary_stall_cycles),
+        static_cast<long long>(rep.prefill_stall_cycles));
     json.end_object();
   }
   json.end_array();
@@ -158,7 +159,8 @@ int main(int argc, char** argv) {
         static_cast<long long>(rep.softmax_busy_cycles),
         static_cast<long long>(rep.layernorm_busy_cycles),
         static_cast<long long>(rep.softmax_stall_cycles),
-        static_cast<long long>(rep.boundary_stall_cycles));
+        static_cast<long long>(rep.boundary_stall_cycles),
+        static_cast<long long>(rep.prefill_stall_cycles));
     json.end_object();
   }
   json.end_array();

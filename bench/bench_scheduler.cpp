@@ -13,6 +13,8 @@
 // tracking.
 //
 //   $ ./build/bench_scheduler [sentences]
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -105,7 +107,8 @@ int main(int argc, char** argv) {
         static_cast<long long>(rep.softmax_busy_cycles()),
         static_cast<long long>(rep.layernorm_busy_cycles()),
         static_cast<long long>(rep.softmax_stall_cycles()),
-        static_cast<long long>(rep.boundary_stall_cycles()));
+        static_cast<long long>(rep.boundary_stall_cycles()),
+        static_cast<long long>(rep.prefill_stall_cycles()));
     json.key("packed_rows_histogram")
         .value_array(rep.per_card_steps[0].rows_hist);
     json.end_object();
@@ -156,7 +159,8 @@ int main(int argc, char** argv) {
         static_cast<long long>(rep->softmax_busy_cycles()),
         static_cast<long long>(rep->layernorm_busy_cycles()),
         static_cast<long long>(rep->softmax_stall_cycles()),
-        static_cast<long long>(rep->boundary_stall_cycles()));
+        static_cast<long long>(rep->boundary_stall_cycles()),
+        static_cast<long long>(rep->prefill_stall_cycles()));
     json.end_object();
   }
   json.end_object();
@@ -200,10 +204,123 @@ int main(int argc, char** argv) {
       static_cast<long long>(beam_rep.softmax_busy_cycles()),
       static_cast<long long>(beam_rep.layernorm_busy_cycles()),
       static_cast<long long>(beam_rep.softmax_stall_cycles()),
-      static_cast<long long>(beam_rep.boundary_stall_cycles()));
+      static_cast<long long>(beam_rep.boundary_stall_cycles()),
+      static_cast<long long>(beam_rep.prefill_stall_cycles()));
+  json.end_object();
+
+  // PR 6: chunked prefill packing under an admission burst. Three points,
+  // all 16 slots on 1 card: the packed step loop with every request present
+  // at t=0 (the hardest admission pattern — every slot wants its encoder
+  // pass at once), the same packed loop with staggered Poisson-ish arrivals
+  // (deterministic LCG gaps, mean `arrival_mean_gap_cycles`), and the eager
+  // ablation (pack_prefill=false, PR 5's admission model) under the burst.
+  // Gates: the packed burst keeps SA utilization above 63%, its makespan is
+  // insensitive to the admission pattern (<= 2% delta vs staggered), and
+  // outputs stay bit-identical across all three.
+  bench::title("Admission burst vs staggered arrivals (16 slots, 1 card)");
+  // Mean gap sized so the whole arrival window spans a handful of packed
+  // steps: the point is admission *pattern* sensitivity (burst vs trickle),
+  // not load sensitivity — a window comparable to the makespan would starve
+  // the slots and measure underfill, not admission handling.
+  const Cycle arrival_mean_gap = 100;
+  // The makespan gate is one-sided: the burst (the stressor the eager-encode
+  // model buckled under — every slot demanding its encoder pass at once)
+  // must cost at most 2% over the staggered trickle. The trickle itself runs
+  // a few percent longer from cold-start slot underfill (early steps pack
+  // fewer live rows), which hits the eager model identically and is not an
+  // admission-handling effect.
+  std::vector<Cycle> staggered_arrivals(sources.size());
+  std::uint64_t lcg = 12345;
+  Cycle arrival_t = 0;
+  for (std::size_t i = 0; i < staggered_arrivals.size(); ++i) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    arrival_t += static_cast<Cycle>((lcg >> 33) %
+                                    static_cast<std::uint64_t>(
+                                        2 * arrival_mean_gap));
+    staggered_arrivals[i] = arrival_t;
+  }
+  SchedulerConfig burst_cfg;
+  burst_cfg.num_cards = 1;
+  burst_cfg.max_len = max_len;
+  burst_cfg.slots_per_card = 16;
+  Scheduler packed_sched(weights, calib, burst_cfg);
+  // The packed burst point IS the sweep's 16-slot run (pack_prefill defaults
+  // to true and run(sources) means all-arrivals-0), so only the staggered
+  // and eager sides need fresh runs.
+  const ScheduleReport& packed_burst = fused16;
+  const ScheduleReport packed_staggered =
+      packed_sched.run(sources, staggered_arrivals);
+  SchedulerConfig eager_cfg = burst_cfg;
+  eager_cfg.accel.pack_prefill = false;
+  Scheduler eager_sched(weights, calib, eager_cfg);
+  const ScheduleReport eager_burst = eager_sched.run(sources);
+  const bool burst_identical = packed_staggered.outputs == fused16.outputs &&
+                               eager_burst.outputs == fused16.outputs;
+
+  std::printf("%16s | %14s %14s %8s %14s %8s\n", "arrivals", "makespan cyc",
+              "modeled sent/s", "SA util", "prefill stall", "chunks");
+  bench::rule(84);
+  json.key("admission_burst").begin_object();
+  json.key("slots").value(16);
+  json.key("cards").value(1);
+  json.key("prefill_chunk_rows").value(burst_cfg.accel.prefill_chunk_rows);
+  json.key("arrival_mean_gap_cycles")
+      .value(static_cast<long long>(arrival_mean_gap));
+  const struct {
+    const char* name;
+    const ScheduleReport* rep;
+    bool pack;
+  } burst_points[] = {{"burst", &packed_burst, true},
+                      {"staggered", &packed_staggered, true},
+                      {"eager_burst", &eager_burst, false}};
+  for (const auto& p : burst_points) {
+    std::printf("%16s | %14lld %14.1f %7.1f%% %14lld %8ld\n", p.name,
+                static_cast<long long>(p.rep->makespan_cycles()),
+                p.rep->modeled_sentences_per_second(),
+                100.0 * p.rep->sa_utilization(),
+                static_cast<long long>(p.rep->prefill_stall_cycles()),
+                p.rep->prefill_chunks());
+    json.key(p.name).begin_object();
+    json.key("pack_prefill").value(p.pack);
+    json.key("prefill_chunks").value(p.rep->prefill_chunks());
+    json.key("makespan_cycles")
+        .value(static_cast<long long>(p.rep->makespan_cycles()));
+    json.key("modeled_sentences_per_second")
+        .value(p.rep->modeled_sentences_per_second());
+    json.key("sa_utilization").value(p.rep->sa_utilization());
+    bench::write_module_breakdown(
+        json, static_cast<long long>(p.rep->total_cycles()),
+        static_cast<long long>(p.rep->sa_busy_cycles()),
+        static_cast<long long>(p.rep->softmax_busy_cycles()),
+        static_cast<long long>(p.rep->layernorm_busy_cycles()),
+        static_cast<long long>(p.rep->softmax_stall_cycles()),
+        static_cast<long long>(p.rep->boundary_stall_cycles()),
+        static_cast<long long>(p.rep->prefill_stall_cycles()));
+    json.end_object();
+  }
+  const double burst_util = packed_burst.sa_utilization();
+  const double burst_over_staggered =
+      packed_staggered.makespan_cycles() <= 0
+          ? 1.0
+          : std::max(0.0,
+                     static_cast<double>(packed_burst.makespan_cycles() -
+                                         packed_staggered.makespan_cycles()) /
+                         static_cast<double>(
+                             packed_staggered.makespan_cycles()));
+  json.key("burst_over_staggered_makespan").value(burst_over_staggered);
+  json.key("outputs_bit_identical").value(burst_identical);
   json.end_object();
   json.end_object();
   json_file << '\n';
+  const bool burst_wins =
+      burst_identical && burst_util > 0.63 && burst_over_staggered <= 0.02;
+  std::printf(
+      "burst point: SA utilization %.1f%% (> 63%% required), makespan excess "
+      "of burst over staggered %.2f%% (<= 2%% required), outputs %s "
+      "(gate: %s)\n",
+      100.0 * burst_util, 100.0 * burst_over_staggered,
+      burst_identical ? "bit-identical" : "DIVERGED",
+      burst_wins ? "PASS" : "FAIL");
 
   const double speedup = base_modeled > 0 ? best_modeled / base_modeled : 0.0;
   const bool packed_wins = best_modeled > base_modeled && best_util > base_util;
@@ -213,5 +330,5 @@ int main(int argc, char** argv) {
       "results written to BENCH_scheduler.json\n",
       speedup, 100.0 * base_util, 100.0 * best_util,
       packed_wins ? "PASS" : "FAIL");
-  return packed_wins && fused_wins ? 0 : 1;
+  return packed_wins && fused_wins && burst_wins ? 0 : 1;
 }

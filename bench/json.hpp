@@ -109,19 +109,24 @@ class JsonWriter {
 };
 
 /// Per-module busy/idle breakdown of a farm report (PR 4 BENCH schema,
-/// extended with the PR 5 boundary-stall attribution):
+/// extended with the PR 5 boundary-stall and PR 6 prefill-stall
+/// attributions):
 ///   "modules": {"sa"|"softmax"|"layernorm": {"busy_cycles", "idle_cycles"},
-///               "softmax_stall_cycles": ..., "boundary_stall_cycles": ...}
+///               "softmax_stall_cycles": ..., "boundary_stall_cycles": ...,
+///               "prefill_stall_cycles": ...}
 /// where idle = total simulated ResBlock cycles − module busy,
 /// softmax_stall_cycles counts SA cycles lost waiting on softmax results,
-/// and boundary_stall_cycles counts SA cycles lost at run/sublayer
-/// boundaries (cold weight-tile loads + LayerNorm tails + fused seam gaps)
-/// — the idle the fused decode-step ledger shrinks.
+/// boundary_stall_cycles counts SA cycles lost at run/sublayer boundaries
+/// (cold weight-tile loads + LayerNorm tails + fused seam gaps) — the idle
+/// the fused decode-step ledger shrinks — and prefill_stall_cycles counts
+/// cycles live decode rows waited on prefill (encoder) work sharing their
+/// card — the cost chunked prefill packing spreads and shrinks.
 inline void write_module_breakdown(JsonWriter& json, long long total_cycles,
                                    long long sa_busy, long long softmax_busy,
                                    long long layernorm_busy,
                                    long long softmax_stall,
-                                   long long boundary_stall) {
+                                   long long boundary_stall,
+                                   long long prefill_stall) {
   const auto module = [&](const char* name, long long busy) {
     json.key(name).begin_object();
     json.key("busy_cycles").value(busy);
@@ -134,6 +139,7 @@ inline void write_module_breakdown(JsonWriter& json, long long total_cycles,
   module("layernorm", layernorm_busy);
   json.key("softmax_stall_cycles").value(softmax_stall);
   json.key("boundary_stall_cycles").value(boundary_stall);
+  json.key("prefill_stall_cycles").value(prefill_stall);
   json.end_object();
 }
 

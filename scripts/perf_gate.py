@@ -30,7 +30,8 @@ import sys
 
 GATED_METRICS = {"sa_utilization", "modeled_sentences_per_second"}
 WORKLOAD_KEYS = {"sentences", "max_len", "slots", "slots_per_card", "cards",
-                 "beam_size", "bench"}
+                 "beam_size", "bench", "pack_prefill", "prefill_chunk_rows",
+                 "arrival_mean_gap_cycles"}
 
 
 def walk(current, baseline, path, failures, checks):

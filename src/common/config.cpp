@@ -50,6 +50,9 @@ void AcceleratorConfig::validate() const {
   TFACC_CHECK(accum_depth_tiles > 0 && accum_spill_cycles >= 0);
   TFACC_CHECK(softmax_pipeline_depth >= 0 && layernorm_lut_latency >= 0);
   TFACC_CHECK(clock_mhz > 0.0);
+  TFACC_CHECK_ARG_MSG(prefill_chunk_rows >= 1,
+                      "prefill_chunk_rows must be >= 1, got "
+                          << prefill_chunk_rows);
 }
 
 }  // namespace tfacc

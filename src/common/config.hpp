@@ -91,6 +91,21 @@ struct AcceleratorConfig {
   /// results are identical. false is the ablation knob: per-sublayer
   /// ledgers, each starting cold (the PR 4 model).
   bool fuse_decode_step = true;
+  /// Pack admitted sentences' encoder (prefill) passes into the per-card
+  /// serve step ledgers instead of running them eagerly at admission: the
+  /// scheduler splices each sentence's encoder sublayers — in
+  /// prefill_chunk_rows-row chunks, so one long sentence can never
+  /// monopolize a step — alongside the live packed decode rows, and a slot
+  /// becomes decode-ready only once its last chunk's graph nodes complete
+  /// in simulated time. Timing only — functional results are identical.
+  /// false is the ablation knob: eager encode() at admission (the PR 5
+  /// model), which stalls every live decode slot for the whole encoder
+  /// pass.
+  bool pack_prefill = true;
+  /// Max encoder query rows one prefill chunk contributes to a step; the
+  /// first chunk of each MHA sublayer additionally carries the sentence's
+  /// one-time K/V projection.
+  int prefill_chunk_rows = 16;
   LayerNormStrategy layernorm_strategy = LayerNormStrategy::kStepOneAndTwo;
 
   void validate() const;

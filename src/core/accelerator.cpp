@@ -51,24 +51,17 @@ Accelerator::Accelerator(AcceleratorConfig cfg) : cfg_(cfg) {
   cfg_.validate();
 }
 
-Accelerator::MhaResult Accelerator::run_mha(const MhaQuantized& block,
-                                            const MatI8& q, const MatI8& kv,
-                                            const Mask& mask) const {
+MatI8 Accelerator::forward_mha(const MhaQuantized& block, const MatI8& q,
+                               const MatI8& kv, const Mask& mask) const {
   TFACC_CHECK_ARG(q.cols() == block.d_model && kv.cols() == block.d_model);
   TFACC_CHECK_ARG(mask.rows() == q.rows() && mask.cols() == kv.rows());
   TFACC_CHECK_ARG_MSG(block.head_dim == cfg_.sa_cols,
                       "head_dim " << block.head_dim << " != SA columns "
                                   << cfg_.sa_cols);
 
-  MhaResult res;
-  RunReport& rep = res.report;
-  const ScheduledRun sched =
-      schedule_mha(cfg_, rep.timeline, q.rows(), kv.rows(), block.d_model,
-                   block.num_heads);
-
-  // Functional pass, op for op in the program order of Algorithm 1 (the
-  // schedule above may reorder timing-wise; data results are unaffected
-  // because reordered ops are data-independent by construction).
+  // Functional pass, op for op in the program order of Algorithm 1 (a
+  // schedule may reorder timing-wise; data results are unaffected because
+  // reordered ops are data-independent by construction).
   std::vector<MatI8> p_blocks;
   p_blocks.reserve(block.heads.size());
   for (int h = 0; h < block.num_heads; ++h) {
@@ -95,8 +88,19 @@ Accelerator::MhaResult Accelerator::run_mha(const MhaQuantized& block,
     const MatI16 res_blk = g_res.block(0, i * hd, q.rows(), hd);
     g.set_block(0, i * hd, saturating_add_i16(proj, res_blk));
   }
-  res.out = block.norm(g);
+  return block.norm(g);
+}
 
+Accelerator::MhaResult Accelerator::run_mha(const MhaQuantized& block,
+                                            const MatI8& q, const MatI8& kv,
+                                            const Mask& mask) const {
+  MhaResult res;
+  res.out = forward_mha(block, q, kv, mask);
+
+  RunReport& rep = res.report;
+  const ScheduledRun sched =
+      schedule_mha(cfg_, rep.timeline, q.rows(), kv.rows(), block.d_model,
+                   block.num_heads);
   finalize_report(rep, cfg_, sched.stats);
   return res;
 }
@@ -257,6 +261,18 @@ IssuePolicy fused_policy(const AcceleratorConfig& cfg,
   return cached_policy(cfg);
 }
 
+/// Lane variant: kMhaPrefill deliberately does NOT pin program order — the
+/// whole point of the mixed step is that encoder chunks interleave with the
+/// packed decode rows under the cached-flow policy.
+IssuePolicy fused_policy(const AcceleratorConfig& cfg,
+                         const std::vector<FusedLane>& lanes) {
+  for (const FusedLane& lane : lanes)
+    for (const SublayerPlan& sub : lane.subs)
+      if (sub.kind == SublayerPlan::Kind::kMha)
+        return IssuePolicy::kProgramOrder;
+  return cached_policy(cfg);
+}
+
 }  // namespace
 
 RunReport Accelerator::time_fused(const std::vector<SublayerPlan>& subs,
@@ -268,6 +284,16 @@ RunReport Accelerator::time_fused(const std::vector<SublayerPlan>& subs,
   // Replace the edges-only estimate with the composer's seam-aware number
   // (identical for a one-sublayer ledger).
   rep.boundary_stall = fused.boundary_stall;
+  return rep;
+}
+
+RunReport Accelerator::time_step(const std::vector<FusedLane>& lanes) const {
+  RunReport rep;
+  const FusedRun fused = schedule_fused_lanes(cfg_, rep.timeline, lanes,
+                                              fused_policy(cfg_, lanes));
+  finalize_report(rep, cfg_, fused.stats);
+  rep.boundary_stall = fused.boundary_stall;
+  rep.prefill_stall = fused.prefill_stall;
   return rep;
 }
 

@@ -42,6 +42,10 @@ struct RunReport {
   /// This is the idle the fused decode-step ledger (PR 5) attacks — per
   /// PR 4 profiling it was ~77% of residual SA idle on the bench workload.
   Cycle boundary_stall = 0;
+  /// Mixed prefill/decode step ledgers only (PR 6): extra makespan the
+  /// decode lanes suffered because prefill chunks shared the step (the
+  /// ledger's end time minus a decode-only rebuild's). 0 for pure ledgers.
+  Cycle prefill_stall = 0;
   bool softmax_hidden = true;
   double clock_mhz = 200.0;
   Timeline timeline;
@@ -129,6 +133,14 @@ class Accelerator {
   RunReport time_fused(const std::vector<SublayerPlan>& subs,
                        bool chain) const;
 
+  /// Timing of one mixed prefill/decode step ledger (PR 6): each lane
+  /// chains internally; lanes share the hardware and the global
+  /// weight-prefetch chain but no data. Policy selection matches
+  /// time_fused (a full-MHA sublayer in any lane pins program order —
+  /// prefill chunks do not). The report carries both boundary_stall and
+  /// the prefill-attributed stall of the mixed step.
+  RunReport time_step(const std::vector<FusedLane>& lanes) const;
+
   /// Functional halves of the cached-batch MHA and FFN runs (validation +
   /// bit-exact INT8 arithmetic, no timeline). The fused decode-step path
   /// computes each sublayer's data through these while deferring ALL timing
@@ -139,6 +151,11 @@ class Accelerator {
                                  const std::vector<const Mask*>& masks,
                                  int projected_rows) const;
   MatI8 forward_ffn(const FfnQuantized& block, const MatI8& x) const;
+  /// Functional half of run_mha (Algorithm 1 lines 1-13, bit-exact INT8).
+  /// The packed-prefill path computes the encoder pass through this at
+  /// admission while its chunked timing lands in later step ledgers.
+  MatI8 forward_mha(const MhaQuantized& block, const MatI8& q,
+                    const MatI8& kv, const Mask& mask) const;
 
   /// Steady-state throughput of back-to-back invocations of the same
   /// ResBlock (workload-level batching): weights stay resident, so only the

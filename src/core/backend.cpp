@@ -12,6 +12,7 @@ void charge_modules(AcceleratorStats* stats, const RunReport& report) {
   stats->layernorm_busy_cycles += report.layernorm_busy;
   stats->softmax_stall_cycles += report.softmax_stall;
   stats->boundary_stall_cycles += report.boundary_stall;
+  stats->prefill_stall_cycles += report.prefill_stall;
 }
 
 void charge_mha(AcceleratorStats* stats, const RunReport& report) {
@@ -32,10 +33,39 @@ void charge_ffn(AcceleratorStats* stats, const RunReport& report) {
 
 void DecodeStepFuser::begin_step() {
   TFACC_CHECK_MSG(!active_, "decode step already open");
-  TFACC_CHECK(subs_.empty());
+  TFACC_CHECK_MSG(!prefill_active_, "step opened inside prefill capture");
+  TFACC_CHECK(subs_.empty() && prefill_chunks_.empty());
   active_ = true;
   mha_sublayers_ = 0;
   ffn_sublayers_ = 0;
+}
+
+void DecodeStepFuser::begin_prefill() {
+  TFACC_CHECK_MSG(!prefill_active_, "prefill capture already open");
+  TFACC_CHECK_MSG(!active_, "prefill capture inside an open step");
+  TFACC_CHECK(prefill_plans_.empty());
+  prefill_active_ = true;
+}
+
+std::vector<SublayerPlan> DecodeStepFuser::end_prefill() {
+  TFACC_CHECK_MSG(prefill_active_, "end_prefill without begin_prefill");
+  prefill_active_ = false;
+  std::vector<SublayerPlan> plans = std::move(prefill_plans_);
+  prefill_plans_.clear();
+  return plans;
+}
+
+void DecodeStepFuser::record_mha_prefill(int s_q, int s_kv, int d_model,
+                                         int num_heads) {
+  TFACC_CHECK_MSG(prefill_active_, "record outside prefill capture");
+  prefill_plans_.push_back(SublayerPlan::mha_prefill(
+      "enc" + std::to_string(prefill_plans_.size()), s_q, s_kv, d_model,
+      num_heads, s_kv));
+}
+
+void DecodeStepFuser::add_prefill_chunk(SublayerPlan chunk) {
+  TFACC_CHECK_MSG(active_, "prefill chunk outside begin_step()/end_step()");
+  prefill_chunks_.push_back(std::move(chunk));
 }
 
 void DecodeStepFuser::record_mha_cached_batch(std::vector<int> totals,
@@ -49,7 +79,13 @@ void DecodeStepFuser::record_mha_cached_batch(std::vector<int> totals,
 }
 
 void DecodeStepFuser::record_ffn(int rows, int d_model, int d_ff) {
-  TFACC_CHECK_MSG(active_, "record outside begin_step()/end_step()");
+  TFACC_CHECK_MSG(active_ || prefill_active_,
+                  "record outside begin_step()/end_step()");
+  if (prefill_active_) {
+    prefill_plans_.push_back(SublayerPlan::ffn(
+        "enc" + std::to_string(prefill_plans_.size()), rows, d_model, d_ff));
+    return;
+  }
   ++ffn_sublayers_;
   subs_.push_back(SublayerPlan::ffn("sub" + std::to_string(subs_.size()),
                                     rows, d_model, d_ff));
@@ -58,13 +94,33 @@ void DecodeStepFuser::record_ffn(int rows, int d_model, int d_ff) {
 RunReport DecodeStepFuser::end_step() {
   TFACC_CHECK_MSG(active_, "end_step without begin_step");
   active_ = false;
-  if (subs_.empty()) return {};  // the step fell back to non-hook paths
-  RunReport report = acc_->time_fused(subs_, /*chain=*/true);
+  if (subs_.empty() && prefill_chunks_.empty())
+    return {};  // the step fell back to non-hook paths
+  // Each prefill chunk is its own (single-sublayer) lane; the packed decode
+  // pass is one chained lane appended last, so its initial weight tile
+  // prefetches under the prefill compute.
+  const bool has_decode = !subs_.empty();
+  long prefill_mha = 0;
+  long prefill_ffn = 0;
+  std::vector<FusedLane> lanes;
+  lanes.reserve(prefill_chunks_.size() + 1);
+  for (SublayerPlan& chunk : prefill_chunks_) {
+    if (chunk.kind == SublayerPlan::Kind::kMhaPrefill)
+      ++prefill_mha;
+    else
+      ++prefill_ffn;
+    lanes.push_back(FusedLane{{std::move(chunk)}, true});
+  }
+  prefill_chunks_.clear();
+  if (has_decode) lanes.push_back(FusedLane{std::move(subs_), false});
   subs_.clear();
+  RunReport report = acc_->time_step(lanes);
   if (stats_ != nullptr) {
-    stats_->mha_runs += mha_sublayers_;
-    stats_->ffn_runs += ffn_sublayers_;
-    ++stats_->fused_steps;
+    stats_->mha_runs += mha_sublayers_ + prefill_mha;
+    stats_->ffn_runs += ffn_sublayers_ + prefill_ffn;
+    // A prefill-only iteration is not a packed decode step; its cycles
+    // still land in fused_cycles (the step-ledger bucket).
+    if (has_decode) ++stats_->fused_steps;
     stats_->fused_cycles += report.total_cycles;
     charge_modules(stats_, report);
   }
@@ -79,9 +135,18 @@ ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
   // the calibrated scales) are exactly what the accelerator consumes too.
   // Only the hooks that execute compute are rerouted through the simulator.
   ResBlockBackend b = qt.backend();
-  b.mha = [&qt, &acc, stats](const MatF& q, const MatF& kv,
-                             const MhaWeights& w, const Mask& mask) {
+  b.mha = [&qt, &acc, stats, fuser](const MatF& q, const MatF& kv,
+                                    const MhaWeights& w, const Mask& mask) {
     const MhaQuantized& qm = qt.mha_for(w);
+    if (fuser != nullptr && fuser->prefill_active()) {
+      // Packed prefill (PR 6): bit-exact data now, timing deferred to the
+      // chunked prefill lanes of later step ledgers.
+      const MatI8 out =
+          acc.forward_mha(qm, qm.quantize_q(q), qm.quantize_kv(kv), mask);
+      fuser->record_mha_prefill(q.rows(), kv.rows(), qm.d_model,
+                                qm.num_heads);
+      return qm.dequantize_out(out);
+    }
     const auto result =
         acc.run_mha(qm, qm.quantize_q(q), qm.quantize_kv(kv), mask);
     charge_mha(stats, result.report);
@@ -89,7 +154,7 @@ ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
   };
   b.ffn = [&qt, &acc, stats, fuser](const MatF& x, const FfnWeights& w) {
     const FfnQuantized& qf = qt.ffn_for(w);
-    if (fuser != nullptr && fuser->active()) {
+    if (fuser != nullptr && (fuser->active() || fuser->prefill_active())) {
       // Fused decode step: bit-exact data now, timing deferred to the
       // step's single cross-sublayer ledger (end_step()).
       const MatI8 out = acc.forward_ffn(qf, qf.quantize_in(x));
@@ -143,6 +208,16 @@ ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
     return qm.dequantize_out(result.out);
   };
   return b;
+}
+
+void charge_prefill_chunk(AcceleratorStats* stats, const SublayerPlan& chunk,
+                          const RunReport& report) {
+  TFACC_CHECK_ARG(chunk.kind == SublayerPlan::Kind::kMhaPrefill ||
+                  chunk.kind == SublayerPlan::Kind::kFfn);
+  if (chunk.kind == SublayerPlan::Kind::kMhaPrefill)
+    charge_mha(stats, report);
+  else
+    charge_ffn(stats, report);
 }
 
 }  // namespace tfacc

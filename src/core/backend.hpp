@@ -33,6 +33,11 @@ struct AcceleratorStats {
   /// decode-step ledger shrinks by prefetching the next sublayer's weight
   /// tile under the previous sublayer's compute.
   Cycle boundary_stall_cycles = 0;
+  /// Cycles live decode rows waited on prefill (encoder) work sharing their
+  /// card: with pack_prefill, each mixed step ledger's makespan delta over
+  /// a decode-only rebuild; with eager encode, the whole encoder pass of
+  /// every admission that found live decode slots on the card.
+  Cycle prefill_stall_cycles = 0;
 
   Cycle total_cycles() const {
     return mha_cycles + ffn_cycles + fused_cycles;
@@ -80,13 +85,36 @@ class DecodeStepFuser {
                                int num_heads, int project_kv_rows);
   void record_ffn(int rows, int d_model, int d_ff);
 
+  // --- Prefill capture (PR 6) ----------------------------------------------
+  // pack_prefill admission brackets encode() with begin_prefill() /
+  // end_prefill(): the backend's encoder hooks (mha / ffn) compute
+  // functionally and record full-size sublayer plans here instead of
+  // charging per-run ledgers. The scheduler chunks the returned plans
+  // (chunk_prefill) and feeds them back one per step via
+  // add_prefill_chunk(); end_step() then times the chunks as prefill lanes
+  // of the step's mixed ledger.
+
+  /// Open prefill capture (outside any step).
+  void begin_prefill();
+  /// True between begin_prefill() and end_prefill().
+  bool prefill_active() const { return prefill_active_; }
+  /// Close capture and return the recorded full-size encoder plans.
+  std::vector<SublayerPlan> end_prefill();
+  /// Recorder for a full encoder MHA during capture.
+  void record_mha_prefill(int s_q, int s_kv, int d_model, int num_heads);
+  /// Splice one prefill chunk into the CURRENT step's ledger.
+  void add_prefill_chunk(SublayerPlan chunk);
+
  private:
   const Accelerator* acc_;
   AcceleratorStats* stats_;
   bool active_ = false;
+  bool prefill_active_ = false;
   long mha_sublayers_ = 0;
   long ffn_sublayers_ = 0;
   std::vector<SublayerPlan> subs_;
+  std::vector<SublayerPlan> prefill_plans_;   ///< capture: full-size plans
+  std::vector<SublayerPlan> prefill_chunks_;  ///< this step's spliced chunks
 };
 
 /// Backend that executes every ResBlock on `acc` using the quantized blocks
@@ -98,5 +126,10 @@ ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
                                     const Accelerator& acc,
                                     AcceleratorStats* stats = nullptr,
                                     DecodeStepFuser* fuser = nullptr);
+
+/// Charge one standalone prefill-chunk ledger (pack_prefill with
+/// fuse_decode_step off) to `stats`, bucketed by the chunk's kind.
+void charge_prefill_chunk(AcceleratorStats* stats, const SublayerPlan& chunk,
+                          const RunReport& report);
 
 }  // namespace tfacc

@@ -79,12 +79,14 @@ BatchReport BatchRunner::run(const std::vector<TokenSeq>& sources) {
   rep.clock_mhz = sched.clock_mhz;
   rep.packed_steps = sched.packed_steps();
   rep.packed_rows = sched.packed_rows();
+  rep.prefill_chunks = sched.prefill_chunks();
   for (const AcceleratorStats& s : rep.per_card) {
     rep.sa_busy_cycles += s.sa_busy_cycles;
     rep.softmax_busy_cycles += s.softmax_busy_cycles;
     rep.layernorm_busy_cycles += s.layernorm_busy_cycles;
     rep.softmax_stall_cycles += s.softmax_stall_cycles;
     rep.boundary_stall_cycles += s.boundary_stall_cycles;
+    rep.prefill_stall_cycles += s.prefill_stall_cycles;
     rep.fused_steps += s.fused_steps;
   }
   return rep;

@@ -56,7 +56,10 @@ struct BatchReport {
   /// Σ SA cycles idle at run/sublayer boundaries (cold weight loads, fused
   /// seam gaps, LayerNorm tails), all cards.
   Cycle boundary_stall_cycles = 0;
+  /// Σ cycles live decode rows waited on prefill (encoder) work, all cards.
+  Cycle prefill_stall_cycles = 0;
   long fused_steps = 0;                   ///< steps timed as one fused ledger
+  long prefill_chunks = 0;                ///< prefill chunks spliced, all cards
 
   int sentences() const { return static_cast<int>(outputs.size()); }
   /// Simulated cycles of the busiest card: the farm finishes when it does.

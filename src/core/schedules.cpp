@@ -137,6 +137,49 @@ AppendResult append_mha_cached_batch(OpGraph& g, const AcceleratorConfig& cfg,
   return res;
 }
 
+/// Encoder (prefill) MHA chunk: `s_q` of the sentence's rows attend over
+/// all `s_kv` source rows. Encoder attention is bidirectional, so the
+/// sentence's K/V projection is one-time work: it rides with the
+/// sublayer's first chunk (project_kv_rows = s_kv), while later chunks'
+/// K₁ᵀ/V₁ are already resident in the data memory from an earlier step's
+/// ledger. A full-size chunk (s_q = s_kv = project_kv_rows) appends
+/// exactly append_mha's graph, op for op.
+AppendResult append_mha_prefill(OpGraph& g, const AcceleratorConfig& cfg,
+                                int s_q, int s_kv, int d_model, int num_heads,
+                                int project_kv_rows,
+                                const std::vector<int>& entry_deps,
+                                const std::string& prefix) {
+  TFACC_CHECK_ARG(s_q > 0 && s_kv >= s_q);
+  TFACC_CHECK_ARG(project_kv_rows == 0 || project_kv_rows == s_kv);
+  const int hd = cfg.sa_cols;
+  AppendResult res;
+  std::vector<int> avs;
+  avs.reserve(static_cast<std::size_t>(num_heads));
+  for (int h = 0; h < num_heads; ++h) {
+    const std::string tag = prefix + "head" + std::to_string(h);
+    const int q1 = add_gemm(g, cfg, s_q, d_model, hd, entry_deps,
+                            OpNode::kStaticWeight, tag + ".QWq");
+    if (res.first_sa < 0) res.first_sa = q1;
+    int k_dep = OpNode::kStaticWeight;  // resident from an earlier chunk
+    if (project_kv_rows > 0)
+      k_dep = add_gemm(g, cfg, project_kv_rows, d_model, hd, entry_deps,
+                       OpNode::kStaticWeight, tag + ".KWk");
+    const int d = add_gemm(g, cfg, s_q, hd, s_kv, {q1}, k_dep, tag + ".QKt");
+    const int sm = add_softmax(g, cfg, d, s_kv, tag + ".softmax");
+    int v_dep = OpNode::kStaticWeight;
+    if (project_kv_rows > 0)
+      v_dep = cfg.overlap_softmax
+                  ? add_gemm(g, cfg, project_kv_rows, d_model, hd, entry_deps,
+                             OpNode::kStaticWeight, tag + ".VWv")
+                  : add_gemm(g, cfg, project_kv_rows, d_model, hd, {sm},
+                             OpNode::kStaticWeight, tag + ".VWv", sm);
+    avs.push_back(
+        add_gemm(g, cfg, s_q, s_kv, hd, {sm}, v_dep, tag + ".AV", sm));
+  }
+  res.ln = add_output_blocks(g, cfg, s_q, d_model, avs, prefix);
+  return res;
+}
+
 /// FFN (Algorithm 1 lines 14-22) over `s` rows.
 AppendResult append_ffn(OpGraph& g, const AcceleratorConfig& cfg, int s,
                         int d_model, int d_ff,
@@ -181,6 +224,10 @@ AppendResult append_sublayer(OpGraph& g, const AcceleratorConfig& cfg,
     case SublayerPlan::Kind::kFfn:
       return append_ffn(g, cfg, sub.rows, sub.d_model, sub.d_ff, entry_deps,
                         prefix);
+    case SublayerPlan::Kind::kMhaPrefill:
+      return append_mha_prefill(g, cfg, sub.s_q, sub.s_kv, sub.d_model,
+                                sub.num_heads, sub.project_kv_rows,
+                                entry_deps, prefix);
   }
   TFACC_CHECK(false);
   return {};
@@ -308,11 +355,60 @@ SublayerPlan SublayerPlan::ffn(std::string label, int rows, int d_model,
   return sub;
 }
 
-FusedRun schedule_fused(const AcceleratorConfig& cfg, Timeline& tl,
-                        const std::vector<SublayerPlan>& subs, bool chain,
-                        IssuePolicy policy) {
+SublayerPlan SublayerPlan::mha_prefill(std::string label, int s_q, int s_kv,
+                                       int d_model, int num_heads,
+                                       int project_kv_rows) {
+  SublayerPlan sub;
+  sub.kind = Kind::kMhaPrefill;
+  sub.label = std::move(label);
+  sub.s_q = s_q;
+  sub.s_kv = s_kv;
+  sub.d_model = d_model;
+  sub.num_heads = num_heads;
+  sub.project_kv_rows = project_kv_rows;
+  return sub;
+}
+
+std::vector<SublayerPlan> chunk_prefill(const std::vector<SublayerPlan>& subs,
+                                        int chunk_rows) {
+  TFACC_CHECK_ARG_MSG(chunk_rows >= 1,
+                      "chunk_rows must be >= 1, got " << chunk_rows);
+  std::vector<SublayerPlan> chunks;
+  for (const SublayerPlan& sub : subs) {
+    const bool mha = sub.kind == SublayerPlan::Kind::kMhaPrefill;
+    TFACC_CHECK_ARG_MSG(mha || sub.kind == SublayerPlan::Kind::kFfn,
+                        "chunk_prefill: sublayer " << sub.label
+                                                   << " is not an encoder plan");
+    const int total = mha ? sub.s_q : sub.rows;
+    TFACC_CHECK_ARG(total > 0);
+    // Sublayer-major order keeps the cross-step data flow legal: sublayer
+    // i+1's first chunk (which projects K/V from sublayer i's full output)
+    // only ever lands in a step after every chunk of sublayer i.
+    int done = 0;
+    for (int k = 0; done < total; ++k) {
+      const int n = std::min(chunk_rows, total - done);
+      SublayerPlan chunk = sub;
+      chunk.label = sub.label + ".c" + std::to_string(k);
+      if (mha) {
+        chunk.s_q = n;
+        chunk.project_kv_rows = done == 0 ? sub.project_kv_rows : 0;
+      } else {
+        chunk.rows = n;
+      }
+      chunks.push_back(std::move(chunk));
+      done += n;
+    }
+  }
+  return chunks;
+}
+
+FusedRun schedule_fused_lanes(const AcceleratorConfig& cfg, Timeline& tl,
+                              const std::vector<FusedLane>& lanes,
+                              IssuePolicy policy) {
   cfg.validate();
-  TFACC_CHECK_ARG_MSG(!subs.empty(), "fused ledger needs >= 1 sublayer");
+  TFACC_CHECK_ARG_MSG(!lanes.empty(), "fused ledger needs >= 1 lane");
+  for (const FusedLane& lane : lanes)
+    TFACC_CHECK_ARG_MSG(!lane.subs.empty(), "fused lane needs >= 1 sublayer");
   FusedRun fr;
   OpGraph& g = fr.graph;
 
@@ -321,35 +417,52 @@ FusedRun schedule_fused(const AcceleratorConfig& cfg, Timeline& tl,
     int end = 0;
   };
   std::vector<OpRange> ranges;
-  ranges.reserve(subs.size());
+  std::vector<const SublayerPlan*> plans;
+  std::vector<char> plan_prefill;
 
-  int prev_ln = -1;
+  // The prefetch chain is GLOBAL across lanes — the single-tile prefetch
+  // buffer is hardware, not lane state — so in a mixed step the decode
+  // lane's initial tile loads under the last prefill chunk's compute: the
+  // WeightLoad prefetch crosses the prefill/decode seam.
   int prev_first_sa = -1;
-  for (std::size_t i = 0; i < subs.size(); ++i) {
-    const SublayerPlan& sub = subs[i];
-    const std::string prefix =
-        (sub.label.empty() ? "sub" + std::to_string(i) : sub.label) + ".";
-    // The sublayer's initial weight tile: an explicit load on the prefetch
-    // port. The single-tile prefetch buffer frees once the previous
-    // sublayer's first SA op has consumed its own tile, so that op is the
-    // load's dep — every later sublayer's load runs under earlier compute
-    // and only the ledger's very first SA op ever starts cold.
-    std::vector<int> load_deps;
-    if (prev_first_sa >= 0) load_deps.push_back(prev_first_sa);
-    const int prefetch = g.add_weight_load(cfg.weight_load_cycles,
-                                           std::move(load_deps),
-                                           prefix + "prefetch");
-    std::vector<int> entry_deps{prefetch};
-    if (chain && prev_ln >= 0) entry_deps.push_back(prev_ln);
+  int idx = 0;
+  bool any_prefill = false;
+  bool any_decode = false;
+  for (const FusedLane& lane : lanes) {
+    if (lane.prefill)
+      any_prefill = true;
+    else
+      any_decode = true;
+    int prev_ln = -1;  // the residual stream chains within a lane only
+    for (const SublayerPlan& sub : lane.subs) {
+      const std::string prefix =
+          (sub.label.empty() ? "sub" + std::to_string(idx) : sub.label) + ".";
+      ++idx;
+      // The sublayer's initial weight tile: an explicit load on the
+      // prefetch port. The single-tile prefetch buffer frees once the
+      // previous sublayer's first SA op has consumed its own tile, so that
+      // op is the load's dep — every later sublayer's load runs under
+      // earlier compute and only the ledger's very first SA op starts cold.
+      std::vector<int> load_deps;
+      if (prev_first_sa >= 0) load_deps.push_back(prev_first_sa);
+      const int prefetch = g.add_weight_load(cfg.weight_load_cycles,
+                                             std::move(load_deps),
+                                             prefix + "prefetch");
+      std::vector<int> entry_deps{prefetch};
+      if (prev_ln >= 0) entry_deps.push_back(prev_ln);
 
-    OpRange range;
-    range.begin = g.size();
-    const AppendResult appended =
-        append_sublayer(g, cfg, sub, entry_deps, prefix);
-    range.end = g.size();
-    ranges.push_back(range);
-    prev_ln = appended.ln;
-    prev_first_sa = appended.first_sa;
+      OpRange range;
+      range.begin = g.size();
+      const AppendResult appended =
+          append_sublayer(g, cfg, sub, entry_deps, prefix);
+      range.end = g.size();
+      if (lane.prefill) g.mark_prefill(prefetch, range.end);
+      ranges.push_back(range);
+      plans.push_back(&sub);
+      plan_prefill.push_back(lane.prefill ? 1 : 0);
+      prev_ln = appended.ln;
+      prev_first_sa = appended.first_sa;
+    }
   }
 
   fr.stats = schedule_ops(g, cfg.weight_load_cycles, policy, tl);
@@ -359,9 +472,10 @@ FusedRun schedule_fused(const AcceleratorConfig& cfg, Timeline& tl,
   // through N's LayerNorm), so the gap between their SA occupancies is real
   // SA idle — the boundary cost this composer exists to shrink.
   Cycle covered_sa_end = 0;
-  for (std::size_t i = 0; i < subs.size(); ++i) {
+  for (std::size_t i = 0; i < plans.size(); ++i) {
     FusedSegment seg;
-    seg.label = subs[i].label;
+    seg.label = plans[i]->label;
+    seg.prefill = plan_prefill[i] != 0;
     bool any_sa = false;
     for (int op = ranges[i].begin; op < ranges[i].end; ++op) {
       if (g.ops()[static_cast<std::size_t>(op)].resource != OpResource::kSa)
@@ -381,7 +495,54 @@ FusedRun schedule_fused(const AcceleratorConfig& cfg, Timeline& tl,
   // The final LayerNorm tail: the ledger is not done until it drains, and
   // no SA work remains to hide it under.
   fr.boundary_stall += std::max<Cycle>(0, tl.end_time() - covered_sa_end);
+
+  // Prefill-attributed stall: how much longer the decode lanes took because
+  // prefill chunks shared the step, measured against the same ledger
+  // rebuilt without its prefill lanes (recursion is depth-1: the rebuilt
+  // ledger has no prefill lanes left).
+  if (any_prefill && any_decode) {
+    std::vector<FusedLane> decode_lanes;
+    for (const FusedLane& lane : lanes)
+      if (!lane.prefill) decode_lanes.push_back(lane);
+    Timeline scratch;
+    (void)schedule_fused_lanes(cfg, scratch, decode_lanes, policy);
+    fr.prefill_stall = std::max<Cycle>(0, tl.end_time() - scratch.end_time());
+  }
   return fr;
+}
+
+FusedRun schedule_fused(const AcceleratorConfig& cfg, Timeline& tl,
+                        const std::vector<SublayerPlan>& subs, bool chain,
+                        IssuePolicy policy) {
+  TFACC_CHECK_ARG_MSG(!subs.empty(), "fused ledger needs >= 1 sublayer");
+  // One chained lane, or one singleton lane per sublayer (unchained
+  // back-to-back invocations): either way the lane composer appends the
+  // exact graph the pre-lane composer built, so every existing cycle pin
+  // holds unchanged.
+  std::vector<FusedLane> lanes;
+  if (chain) {
+    lanes.push_back(FusedLane{subs, false});
+  } else {
+    lanes.reserve(subs.size());
+    for (const SublayerPlan& sub : subs)
+      lanes.push_back(FusedLane{{sub}, false});
+  }
+  return schedule_fused_lanes(cfg, tl, lanes, policy);
+}
+
+ScheduledRun schedule_prefill(const AcceleratorConfig& cfg, Timeline& tl,
+                              const SublayerPlan& chunk) {
+  cfg.validate();
+  TFACC_CHECK_ARG_MSG(chunk.kind == SublayerPlan::Kind::kMhaPrefill ||
+                          chunk.kind == SublayerPlan::Kind::kFfn,
+                      "schedule_prefill: " << chunk.label
+                                           << " is not an encoder chunk");
+  ScheduledRun run;
+  append_sublayer(run.graph, cfg, chunk, {},
+                  chunk.label.empty() ? "" : chunk.label + ".");
+  run.stats = schedule_ops(run.graph, cfg.weight_load_cycles,
+                           cached_policy(cfg), tl);
+  return run;
 }
 
 FusedRun schedule_decode_step(const AcceleratorConfig& cfg, Timeline& tl,

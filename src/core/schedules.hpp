@@ -80,16 +80,26 @@ ScheduledRun schedule_ffn(const AcceleratorConfig& cfg, Timeline& tl, int s,
 // softmax/LayerNorm tail instead of restarting cold.
 
 /// Shape of one sublayer inside a fused ledger.
+///
+/// kMhaPrefill is the encoder (prefill) MHA as a serve-side chunk (PR 6):
+/// `s_q` query rows of the sentence attend over all `s_kv` source rows.
+/// Encoder attention is bidirectional, so the sentence's K/V projection is
+/// one-time work — it rides with the sublayer's FIRST chunk
+/// (project_kv_rows = s_kv there, 0 on later chunks, whose K₁ᵀ/V₁ are
+/// already resident in the data memory from an earlier step's ledger).
+/// Unlike kMha it does NOT pin the whole ledger to Algorithm 1 program
+/// order: prefill chunks interleave with decode rows under the cached-flow
+/// policy. A single full-size chunk builds exactly schedule_mha's graph.
 struct SublayerPlan {
-  enum class Kind { kMha, kMhaCachedBatch, kFfn };
+  enum class Kind { kMha, kMhaCachedBatch, kFfn, kMhaPrefill };
   Kind kind = Kind::kFfn;
   std::string label;  ///< ledger label prefix, e.g. "dec0.self"
 
   int d_model = 0;
-  int num_heads = 0;         ///< kMha / kMhaCachedBatch
-  int s_q = 0, s_kv = 0;     ///< kMha
+  int num_heads = 0;         ///< kMha / kMhaCachedBatch / kMhaPrefill
+  int s_q = 0, s_kv = 0;     ///< kMha / kMhaPrefill
   std::vector<int> totals;   ///< kMhaCachedBatch: per-slot cached K/V rows
-  int project_kv_rows = 0;   ///< kMhaCachedBatch
+  int project_kv_rows = 0;   ///< kMhaCachedBatch / kMhaPrefill
   int rows = 0, d_ff = 0;    ///< kFfn
 
   static SublayerPlan mha(std::string label, int s_q, int s_kv, int d_model,
@@ -98,7 +108,18 @@ struct SublayerPlan {
                                        std::vector<int> totals, int d_model,
                                        int num_heads, int project_kv_rows);
   static SublayerPlan ffn(std::string label, int rows, int d_model, int d_ff);
+  static SublayerPlan mha_prefill(std::string label, int s_q, int s_kv,
+                                  int d_model, int num_heads,
+                                  int project_kv_rows);
 };
+
+/// Split a sentence's full-size encoder sublayer plans (kMhaPrefill / kFfn)
+/// into chunks of at most `chunk_rows` query rows each, preserving order.
+/// The first chunk of each MHA sublayer carries the plan's K/V projection;
+/// later chunks reuse the resident K₁ᵀ/V₁. A chunk size >= the sentence
+/// length leaves each plan whole (one chunk).
+std::vector<SublayerPlan> chunk_prefill(const std::vector<SublayerPlan>& subs,
+                                        int chunk_rows);
 
 /// Where one sublayer's SA occupancy landed inside a fused ledger.
 struct FusedSegment {
@@ -109,6 +130,7 @@ struct FusedSegment {
   /// sublayer's first (the chained LayerNorm tail, plus any exposed load);
   /// for the first sublayer, the ledger's cold-load exposure.
   Cycle seam_stall = 0;
+  bool prefill = false;  ///< sublayer belongs to a prefill lane
 };
 
 /// A fused ledger: the spliced graph, its schedule, and the per-seam
@@ -120,6 +142,23 @@ struct FusedRun {
   /// Σ seam stalls + the final LayerNorm tail after the last SA op — the
   /// SA idle attributable to sublayer boundaries.
   Cycle boundary_stall = 0;
+  /// Extra makespan the decode lanes suffered because prefill chunks shared
+  /// the step: this ledger's end time minus the end time of the same ledger
+  /// rebuilt without its prefill lanes (0 when the step is pure).
+  Cycle prefill_stall = 0;
+};
+
+/// One lane of a mixed step ledger: a run of sublayers chained through the
+/// residual stream (sublayer N+1's input-consuming ops depend on sublayer
+/// N's LayerNorm). Lanes are mutually data-independent — a prefill chunk
+/// and the packed decode pass share only the hardware and the
+/// weight-prefetch port — but the prefetch chain threads through ALL lanes
+/// in append order, so the decode lane's initial tile loads under the
+/// prefill compute (the WeightLoad prefetch across the prefill/decode
+/// seam).
+struct FusedLane {
+  std::vector<SublayerPlan> subs;
+  bool prefill = false;  ///< tag the lane's ops as prefill work
 };
 
 /// Splice `subs` into one ledger. `chain` threads the residual stream:
@@ -132,6 +171,22 @@ struct FusedRun {
 FusedRun schedule_fused(const AcceleratorConfig& cfg, Timeline& tl,
                         const std::vector<SublayerPlan>& subs, bool chain,
                         IssuePolicy policy);
+
+/// Splice `lanes` into one mixed step ledger (PR 6). Each lane chains
+/// internally; lanes share the hardware and one global prefetch chain but
+/// no data, so prefill chunks interleave freely with the packed decode
+/// rows. schedule_fused is the special case of one lane (chain = true) or
+/// one single-sublayer lane per plan (chain = false).
+FusedRun schedule_fused_lanes(const AcceleratorConfig& cfg, Timeline& tl,
+                              const std::vector<FusedLane>& lanes,
+                              IssuePolicy policy);
+
+/// Standalone ledger of one prefill chunk (pack_prefill with
+/// fuse_decode_step off): the chunk alone, issued under the cached-flow
+/// policy. A full-size kMhaPrefill chunk scheduled in program order builds
+/// exactly schedule_mha's graph (pinned in tests/test_prefill_pack.cpp).
+ScheduledRun schedule_prefill(const AcceleratorConfig& cfg, Timeline& tl,
+                              const SublayerPlan& chunk);
 
 /// The packed decode step: every decoder sublayer of one step (self MHA,
 /// cross MHA, FFN, per block) chained through the residual stream, issued

@@ -1,5 +1,8 @@
 #include "serve/request_queue.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/check.hpp"
 
 namespace tfacc {
@@ -21,37 +24,65 @@ void RequestQueue::push(TranslationRequest req) {
 void RequestQueue::close() { closed_.store(true, std::memory_order_release); }
 
 bool RequestQueue::try_pop(int shard, TranslationRequest& out) {
+  // "Everything has arrived": reduces to the original owner-front /
+  // thief-back pop (the back-most arrived entry IS the back).
+  return try_pop(shard, std::numeric_limits<Cycle>::max(), out) ==
+         PopOutcome::kPopped;
+}
+
+RequestQueue::PopOutcome RequestQueue::try_pop(int shard, Cycle now,
+                                               TranslationRequest& out,
+                                               Cycle* next_arrival) {
   TFACC_CHECK_ARG(shard >= 0 &&
                   shard < static_cast<int>(shards_.size()));
   {
     Shard& own = shards_[static_cast<std::size_t>(shard)];
     const std::lock_guard<std::mutex> lock(own.mu);
-    if (!own.q.empty()) {
+    if (!own.q.empty() && own.q.front().arrival <= now) {
       out = std::move(own.q.front());
       own.q.pop_front();
-      return true;
+      return PopOutcome::kPopped;
     }
   }
-  // Steal from the most loaded sibling. A victim may drain between the scan
-  // and the steal; rescan until a steal lands or everything is empty.
+  // Steal from the most loaded sibling that holds an arrived request. A
+  // victim may drain between the scan and the steal; rescan until a steal
+  // lands, nothing has arrived, or everything is empty.
   for (;;) {
     int victim = -1;
     std::size_t victim_load = 0;
+    bool any_request = false;
+    Cycle earliest = std::numeric_limits<Cycle>::max();
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      if (static_cast<int>(s) == shard) continue;
       const std::lock_guard<std::mutex> lock(shards_[s].mu);
-      if (shards_[s].q.size() > victim_load) {
-        victim_load = shards_[s].q.size();
+      const auto& q = shards_[s].q;
+      if (q.empty()) continue;
+      any_request = true;
+      for (const TranslationRequest& r : q)
+        earliest = std::min(earliest, r.arrival);
+      if (static_cast<int>(s) == shard) continue;
+      // Per-shard FIFO order is arrival-sorted (see header), so the front
+      // tells whether anything in the shard has arrived.
+      if (q.front().arrival <= now && q.size() > victim_load) {
+        victim_load = q.size();
         victim = static_cast<int>(s);
       }
     }
-    if (victim < 0) return false;
+    if (!any_request) return PopOutcome::kDrained;
+    if (victim < 0) {
+      if (next_arrival != nullptr) *next_arrival = earliest;
+      return PopOutcome::kPending;
+    }
     Shard& v = shards_[static_cast<std::size_t>(victim)];
     const std::lock_guard<std::mutex> lock(v.mu);
-    if (!v.q.empty()) {
-      out = std::move(v.q.back());
-      v.q.pop_back();
-      return true;
+    // Thief-back among eligibles: the back-most entry that has arrived
+    // (the plain back once every arrival has passed).
+    std::ptrdiff_t idx = -1;
+    for (std::size_t i = 0; i < v.q.size(); ++i)
+      if (v.q[i].arrival <= now) idx = static_cast<std::ptrdiff_t>(i);
+    if (idx >= 0) {
+      out = std::move(v.q[static_cast<std::size_t>(idx)]);
+      v.q.erase(v.q.begin() + idx);
+      return PopOutcome::kPopped;
     }
   }
 }

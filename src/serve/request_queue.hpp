@@ -19,14 +19,18 @@
 #include <vector>
 
 #include "reference/transformer.hpp"
+#include "sim/timeline.hpp"
 
 namespace tfacc {
 
 /// One translation request; `id` is echoed so responses can be matched up
-/// (Scheduler uses the source index).
+/// (Scheduler uses the source index). `arrival` is the simulated cycle the
+/// request enters the system (0 = a burst present before the run starts);
+/// the arrival-aware try_pop overload only hands out arrived requests.
 struct TranslationRequest {
   std::uint64_t id = 0;
   TokenSeq src;
+  Cycle arrival = 0;
 };
 
 class RequestQueue {
@@ -48,6 +52,23 @@ class RequestQueue {
   /// else steal from the back of the most loaded sibling. Returns false only
   /// when every shard is empty at the time of the scan.
   bool try_pop(int shard, TranslationRequest& out);
+
+  /// What the arrival-aware try_pop found.
+  enum class PopOutcome {
+    kPopped,   ///< `out` holds an arrived request
+    kPending,  ///< requests remain, but none has arrived by `now`
+    kDrained,  ///< every shard is empty
+  };
+
+  /// Arrival-aware pop at simulated time `now`: only requests with
+  /// arrival <= now are eligible. Own-shard front first, else steal the
+  /// back-most arrived entry of the most loaded sibling holding one. On
+  /// kPending the earliest pending arrival is written to *next_arrival
+  /// (when non-null) so an idle card can fast-forward its virtual clock.
+  /// Requests must be pushed in non-decreasing arrival order (per-shard
+  /// FIFO order then stays arrival-sorted; Scheduler::run enforces this).
+  PopOutcome try_pop(int shard, Cycle now, TranslationRequest& out,
+                     Cycle* next_arrival = nullptr);
 
   /// Requests currently enqueued across all shards (advisory under
   /// concurrency).

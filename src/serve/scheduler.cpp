@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "core/schedules.hpp"
 #include "reference/search.hpp"
 
 namespace tfacc {
@@ -102,6 +103,18 @@ long ScheduleReport::fused_steps() const {
   long steps = 0;
   for (const AcceleratorStats& s : per_card) steps += s.fused_steps;
   return steps;
+}
+
+Cycle ScheduleReport::prefill_stall_cycles() const {
+  Cycle stall = 0;
+  for (const AcceleratorStats& s : per_card) stall += s.prefill_stall_cycles;
+  return stall;
+}
+
+long ScheduleReport::prefill_chunks() const {
+  long n = 0;
+  for (const CardStepStats& s : per_card_steps) n += s.prefill_chunks;
+  return n;
 }
 
 // One card: a host model copy, the INT8 quantization of its blocks (keyed by
@@ -214,6 +227,24 @@ std::unique_ptr<SentenceSearch> make_search(const SchedulerConfig& cfg,
   return std::make_unique<BeamSearch>(cfg.max_len, beam, std::move(state));
 }
 
+// Full-size encoder sublayer plans for one `rows`-token sentence, synthesized
+// from the model shape. Used by the functional backends in pack_prefill mode,
+// where no hook captures the encoder pass: only the chunk COUNT matters there
+// (it drives the virtual-time admission proxy), but the shapes are kept
+// faithful so chunk_prefill splits exactly as on the accelerator.
+std::vector<SublayerPlan> encoder_plan(const ModelConfig& m, int rows) {
+  std::vector<SublayerPlan> subs;
+  subs.reserve(static_cast<std::size_t>(2 * m.num_encoder_layers));
+  for (int l = 0; l < m.num_encoder_layers; ++l) {
+    subs.push_back(SublayerPlan::mha_prefill("enc" + std::to_string(2 * l),
+                                             rows, rows, m.d_model,
+                                             m.num_heads, rows));
+    subs.push_back(SublayerPlan::ffn("enc" + std::to_string(2 * l + 1), rows,
+                                     m.d_model, m.d_ff));
+  }
+  return subs;
+}
+
 }  // namespace
 
 Scheduler::Scheduler(const TransformerWeights& weights,
@@ -235,6 +266,23 @@ Scheduler::Scheduler(const TransformerWeights& weights,
 Scheduler::~Scheduler() = default;
 
 ScheduleReport Scheduler::run(const std::vector<TokenSeq>& sources) {
+  return run(sources, {});
+}
+
+ScheduleReport Scheduler::run(const std::vector<TokenSeq>& sources,
+                              const std::vector<Cycle>& arrivals) {
+  TFACC_CHECK_ARG_MSG(arrivals.empty() || arrivals.size() == sources.size(),
+                      "arrivals must be empty or one per source, got "
+                          << arrivals.size() << " for " << sources.size()
+                          << " sources");
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    TFACC_CHECK_ARG_MSG(arrivals[i] >= 0,
+                        "arrivals must be >= 0, got " << arrivals[i]
+                            << " at index " << i);
+    TFACC_CHECK_ARG_MSG(i == 0 || arrivals[i - 1] <= arrivals[i],
+                        "arrivals must be non-decreasing, got "
+                            << arrivals[i] << " after " << arrivals[i - 1]);
+  }
   ScheduleReport rep;
   rep.clock_mhz = cfg_.accel.clock_mhz;
   rep.outputs.resize(sources.size());
@@ -244,8 +292,11 @@ ScheduleReport Scheduler::run(const std::vector<TokenSeq>& sources) {
     s.rows_hist.assign(static_cast<std::size_t>(cfg_.slots_per_card) + 1, 0);
 
   RequestQueue queue(cfg_.num_cards);
+  // Sorted-arrival pushes keep every shard's FIFO arrival-sorted, which the
+  // arrival-aware try_pop relies on (see request_queue.hpp).
   for (std::size_t i = 0; i < sources.size(); ++i)
-    queue.push(TranslationRequest{static_cast<std::uint64_t>(i), sources[i]});
+    queue.push(TranslationRequest{static_cast<std::uint64_t>(i), sources[i],
+                                  arrivals.empty() ? 0 : arrivals[i]});
   queue.close();
 
   AdmissionGate gate(cards_.size());
@@ -265,10 +316,16 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
   CardStepStats& step_stats = rep.per_card_steps[c];
   const bool cached = cfg_.decode == DecodeMode::kKvCache;
 
+  // pack_prefill defers each admission's encoder timing into the step loop
+  // as fixed-size chunks; without it (the PR 5 / ablation model) encode is
+  // charged eagerly at admission. Only the cached mode packs — the
+  // full-recompute comparison mode has no step ledger to splice into.
+  const bool pack = cached && cfg_.accel.pack_prefill;
+
   // The fused decode-step ledger: one cross-sublayer schedule per card-step
-  // instead of ~3·L cold per-sublayer ledgers. Only the packed cached path
-  // fuses; the encoder pass at admission and the full-recompute mode keep
-  // their per-run ledgers (the fuser is simply never opened around them).
+  // instead of ~3·L cold per-sublayer ledgers. The fuser also owns prefill
+  // capture, so it exists whenever packing OR fusing is on; begin_step()
+  // brackets are applied only when fusing (see `fuse` below).
   std::optional<DecodeStepFuser> fuser;
   switch (cfg_.backend) {
     case ServeBackend::kReference:
@@ -278,34 +335,46 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
       card.model.set_backend(card.qt->backend());
       break;
     case ServeBackend::kAccelerator:
-      if (cached && cfg_.accel.fuse_decode_step)
+      if (cached && (cfg_.accel.fuse_decode_step || cfg_.accel.pack_prefill))
         fuser.emplace(*card.acc, &stats);
       card.model.set_backend(accelerator_backend(
           *card.qt, *card.acc, &stats, fuser ? &*fuser : nullptr));
       break;
   }
+  const bool fuse = fuser.has_value() && cfg_.accel.fuse_decode_step;
   const int demand = cfg_.slot_demand();
 
   // One admitted sentence: its id, the encoder memory (needed per step in
-  // full-recompute mode, at admission only in cached mode) and its search
-  // state machine.
+  // full-recompute mode, at admission only in cached mode), its search state
+  // machine, and — under pack_prefill — the not-yet-timed prefill chunks.
+  // A sentence contributes decode rows only once every chunk has been
+  // spliced into a prior step ledger (decode-ready in simulated time).
   struct Active {
     std::uint64_t id = 0;
     MatF memory;
     int src_valid = 0;
     std::unique_ptr<SentenceSearch> search;
+    std::vector<SublayerPlan> chunks;
+    std::size_t next_chunk = 0;
+    bool prefill_done() const { return next_chunk >= chunks.size(); }
   };
   std::vector<Active> active;
   int reserved = 0;  // slots claimed by admitted sentences (demand each)
 
   // Virtual clock driving the admission order: simulated ResBlock cycles on
-  // the accelerator; a work proxy (rows stepped + sentences admitted) for
-  // the functional backends, which have no cycle model.
+  // the accelerator; a work proxy (rows stepped + sentences admitted +
+  // prefill chunks spliced) for the functional backends, which have no cycle
+  // model. `clock_floor` fast-forwards an idle card past an arrival gap so
+  // the admission order stays well-defined with staggered arrivals.
+  Cycle clock_floor = 0;
   const auto virtual_time = [&]() -> Cycle {
-    return cfg_.backend == ServeBackend::kAccelerator
-               ? stats.total_cycles()
-               : static_cast<Cycle>(step_stats.packed_rows +
-                                    step_stats.sentences);
+    const Cycle busy =
+        cfg_.backend == ServeBackend::kAccelerator
+            ? stats.total_cycles()
+            : static_cast<Cycle>(step_stats.packed_rows +
+                                 step_stats.sentences +
+                                 step_stats.prefill_chunks);
+    return std::max(clock_floor, busy);
   };
 
   bool queue_drained = false;
@@ -317,13 +386,53 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
     while (!queue_drained && reserved + demand <= cfg_.slots_per_card) {
       gate.wait_turn(c);
       TranslationRequest req;
-      if (!queue.try_pop(static_cast<int>(c), req)) {
+      Cycle next_arrival = 0;
+      const RequestQueue::PopOutcome outcome = queue.try_pop(
+          static_cast<int>(c), virtual_time(), req, &next_arrival);
+      if (outcome == RequestQueue::PopOutcome::kDrained) {
         queue_drained = true;  // closed before run(): empty is final
         break;
       }
+      if (outcome == RequestQueue::PopOutcome::kPending) {
+        // Work in flight: keep stepping, arrivals are re-checked next
+        // iteration. Otherwise idle the card forward to the next arrival so
+        // its clock (and the gate's notion of whose turn it is) advances.
+        if (!active.empty()) break;
+        clock_floor = std::max(clock_floor, next_arrival);
+        gate.publish(c, virtual_time());
+        continue;
+      }
       Active a;
       a.id = req.id;
-      a.memory = card.model.encode(req.src);
+      if (pack && fuser) {
+        // Accelerator packing: one bit-exact host-side encoder pass NOW
+        // (outputs can never depend on timing), its cycle cost captured as
+        // full-size sublayer plans and re-cut into chunks the step loop
+        // splices into upcoming mixed ledgers.
+        fuser->begin_prefill();
+        a.memory = card.model.encode(req.src);
+        a.chunks =
+            chunk_prefill(fuser->end_prefill(), cfg_.accel.prefill_chunk_rows);
+      } else if (pack && cfg_.backend != ServeBackend::kAccelerator) {
+        // Functional backends have no capture hooks for the encoder pass;
+        // synthesize the same chunk sequence from the model shape so the
+        // decode-ready delay and admission proxy behave identically.
+        a.memory = card.model.encode(req.src);
+        a.chunks = chunk_prefill(
+            encoder_plan(card.model.weights().config,
+                         static_cast<int>(req.src.size())),
+            cfg_.accel.prefill_chunk_rows);
+      } else {
+        // Eager encode (pack_prefill off): the whole encoder pass lands on
+        // the card's ledger at admission; when live decode rows share the
+        // card, every one of those cycles is decode time lost to prefill.
+        const Cycle before = stats.total_cycles();
+        a.memory = card.model.encode(req.src);
+        if (cfg_.backend == ServeBackend::kAccelerator && !active.empty())
+          stats.prefill_stall_cycles += stats.total_cycles() - before;
+      }
+      for (SublayerPlan& chunk : a.chunks)
+        chunk.label = "s" + std::to_string(req.id) + "." + chunk.label;
       a.src_valid = unpadded_length(req.src);
       a.search = make_search(
           cfg_, cached ? std::optional<DecodeState>(card.model.begin_decode(
@@ -336,12 +445,19 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
     }
     if (active.empty()) break;  // queue drained and nothing in flight
 
-    // Gather the next-token row of every live hypothesis on this card.
+    // Gather the next-token row of every decode-ready hypothesis on this
+    // card. Readiness is snapshotted BEFORE splicing: a sentence whose last
+    // prefill chunk rides THIS step's ledger becomes decode-ready next step
+    // (its encoder output exists, in simulated time, only once this step's
+    // graph nodes complete).
     std::vector<DecodeState*> states;
     std::vector<int> tokens;
-    std::vector<int> live_counts(active.size());
+    std::vector<char> ready(active.size(), 0);
+    std::vector<int> live_counts(active.size(), 0);
     int rows = 0;
     for (std::size_t ai = 0; ai < active.size(); ++ai) {
+      if (!active[ai].prefill_done()) continue;
+      ready[ai] = 1;
       const int k = active[ai].search->live();
       live_counts[ai] = k;
       rows += k;
@@ -352,14 +468,27 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
         }
       }
     }
+    // Splice ONE pending prefill chunk per not-yet-ready sentence into this
+    // step — the fixed-size interleaving that stops one long sentence from
+    // monopolizing a step while its siblings' beams starve.
+    std::vector<SublayerPlan> step_chunks;
+    for (Active& a : active) {
+      if (a.prefill_done()) continue;
+      step_chunks.push_back(a.chunks[a.next_chunk++]);
+      ++step_stats.prefill_chunks;
+    }
     // Full recompute issues one whole-prefix pass per hypothesis — nothing
     // is packed — so it is charged as `rows` one-row steps; only the cached
-    // mode's single stacked invocation counts as one multi-row step.
+    // mode's single stacked invocation counts as one multi-row step. A
+    // prefill-only iteration (every slot still encoding) packs no decode
+    // rows and is NOT a packed step.
     if (cached) {
-      ++step_stats.steps;
-      step_stats.packed_rows += rows;
-      ++step_stats.rows_hist[static_cast<std::size_t>(
-          std::min(rows, cfg_.slots_per_card))];
+      if (rows > 0) {
+        ++step_stats.steps;
+        step_stats.packed_rows += rows;
+        ++step_stats.rows_hist[static_cast<std::size_t>(
+            std::min(rows, cfg_.slots_per_card))];
+      }
     } else {
       step_stats.steps += rows;
       step_stats.packed_rows += rows;
@@ -370,12 +499,30 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
     // full recompute (the O(L³) comparison mode — nothing to pack there).
     std::vector<std::vector<float>> logits;
     if (cached) {
-      // One fused ledger per card-step: every sublayer the packed pass runs
-      // is recorded and scheduled as a single cross-sublayer graph, so the
-      // card's virtual clock still advances exactly once per step.
-      if (fuser) fuser->begin_step();
-      logits = card.model.decode_step_batch(states, tokens);
-      if (fuser) (void)fuser->end_step();
+      if (fuse) {
+        // One fused ledger per card-step: prefill chunks AND every sublayer
+        // the packed pass runs are scheduled as a single mixed
+        // cross-sublayer graph, so the card's virtual clock still advances
+        // exactly once per step.
+        fuser->begin_step();
+        for (SublayerPlan& chunk : step_chunks)
+          fuser->add_prefill_chunk(std::move(chunk));
+        if (rows > 0) logits = card.model.decode_step_batch(states, tokens);
+        (void)fuser->end_step();
+      } else {
+        // Unfused packing (ablation): each chunk is its own ledger ahead of
+        // the step's per-sublayer ledgers. With decode rows waiting, the
+        // whole chunk ledger is decode time lost to prefill.
+        if (cfg_.backend == ServeBackend::kAccelerator) {
+          for (const SublayerPlan& chunk : step_chunks) {
+            const RunReport r = card.acc->time_step(
+                {FusedLane{std::vector<SublayerPlan>{chunk}, true}});
+            charge_prefill_chunk(&stats, chunk, r);
+            if (rows > 0) stats.prefill_stall_cycles += r.total_cycles;
+          }
+        }
+        if (rows > 0) logits = card.model.decode_step_batch(states, tokens);
+      }
     } else {
       logits.reserve(static_cast<std::size_t>(rows));
       for (std::size_t ai = 0; ai < active.size(); ++ai)
@@ -385,9 +532,11 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
               active[ai].src_valid));
     }
 
-    // Scatter the logits rows back to each sentence's search machine.
+    // Scatter the logits rows back to each decode-ready sentence's search
+    // machine (not-yet-ready sentences contributed no rows).
     std::size_t off = 0;
     for (std::size_t ai = 0; ai < active.size(); ++ai) {
+      if (!ready[ai]) continue;
       const std::size_t k = static_cast<std::size_t>(live_counts[ai]);
       active[ai].search->advance(std::vector<std::vector<float>>(
           logits.begin() + static_cast<std::ptrdiff_t>(off),

@@ -59,9 +59,12 @@ struct SchedulerConfig {
 
 /// Step-loop activity of one card.
 struct CardStepStats {
-  long steps = 0;        ///< packed step-loop iterations
+  long steps = 0;        ///< packed step-loop iterations (>= 1 decode row)
   long packed_rows = 0;  ///< Σ hypothesis rows over all steps
   int sentences = 0;     ///< sentences this card decoded
+  /// Prefill (encoder) chunks this card spliced into its step ledgers
+  /// (0 with eager encode or full-recompute decode).
+  long prefill_chunks = 0;
   /// rows_hist[k] = steps that packed exactly k rows (k in [1, slots]).
   std::vector<long> rows_hist;
 };
@@ -104,6 +107,12 @@ struct ScheduleReport {
   /// Packed decode steps that were timed as one fused cross-sublayer ledger
   /// (0 when fuse_decode_step is off or the backend is functional-only).
   long fused_steps() const;
+  /// Σ cycles live decode rows waited on prefill (encoder) work across the
+  /// farm — mixed-step makespan deltas with pack_prefill, whole eager
+  /// encoder passes that found live decode slots without it.
+  Cycle prefill_stall_cycles() const;
+  /// Prefill chunks spliced into step ledgers across the farm.
+  long prefill_chunks() const;
 };
 
 /// Continuous-batching decode farm. Construction pays the per-card setup
@@ -126,6 +135,14 @@ class Scheduler {
   /// Translate every source. Outputs are bit-identical to serial decode of
   /// each source alone on the same backend, whatever the packing.
   ScheduleReport run(const std::vector<TokenSeq>& sources);
+
+  /// As above with per-request arrival times (simulated cycles, one per
+  /// source, non-decreasing): a card only admits requests that have arrived
+  /// by its virtual clock, idling forward to the next arrival when it has
+  /// nothing in flight. An empty vector means everything arrives at t=0
+  /// (the burst case — identical to run(sources)).
+  ScheduleReport run(const std::vector<TokenSeq>& sources,
+                     const std::vector<Cycle>& arrivals);
 
  private:
   struct Card;

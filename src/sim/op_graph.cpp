@@ -72,6 +72,12 @@ int OpGraph::add_layernorm(Cycle duration, std::vector<int> deps,
   return add(std::move(op));
 }
 
+void OpGraph::mark_prefill(int begin, int end) {
+  TFACC_CHECK_ARG(begin >= 0 && begin <= end && end <= size());
+  for (int i = begin; i < end; ++i)
+    ops_[static_cast<std::size_t>(i)].prefill = true;
+}
+
 int OpGraph::add_weight_load(Cycle duration, std::vector<int> deps,
                              std::string label) {
   OpNode op;
@@ -226,6 +232,7 @@ ScheduleStats schedule_ops(const OpGraph& g, Cycle weight_load_cycles,
       }
       st.sa_stream += op.stream_cycles;
       st.sa_spill += op.spill_cycles;
+      if (op.prefill) st.prefill_sa_busy += op.duration;
       first_sa_op = false;
     }
     const Interval iv = m.reserve(r.earliest(), op.duration, op.label);

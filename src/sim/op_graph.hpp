@@ -61,6 +61,11 @@ struct OpNode {
   /// The dep (if any) that is a softmax feeding this SA op — tracked so the
   /// scheduler can attribute SA stall cycles to softmax per edge.
   int softmax_dep = -1;
+  /// True for ops belonging to a prefill (encoder chunk) lane of a mixed
+  /// prefill/decode step ledger (PR 6). Purely an attribution tag: the
+  /// scheduler and audit treat prefill ops like any other, but the fused
+  /// composer uses it to split SA busy cycles between the lanes.
+  bool prefill = false;
 
   static constexpr int kStaticWeight = -1;
 };
@@ -101,6 +106,9 @@ class OpGraph {
   int add_weight_load(Cycle duration, std::vector<int> deps,
                       std::string label);
 
+  /// Tag ops [begin, end) as prefill-lane members (see OpNode::prefill).
+  void mark_prefill(int begin, int end);
+
   const std::vector<OpNode>& ops() const { return ops_; }
   int size() const { return static_cast<int>(ops_.size()); }
 
@@ -118,6 +126,7 @@ struct ScheduleStats {
   Cycle sa_stream = 0;                ///< Σ MAC-issuing cycles
   Cycle sa_spill = 0;                 ///< Σ accumulator spill cycles
   Cycle sa_exposed_load = 0;          ///< SA idle purely on weight-tile loads
+  Cycle prefill_sa_busy = 0;          ///< Σ SA busy cycles of prefill ops
   /// min over softmax→SA edges of (the consumer's earliest start ignoring
   /// the softmax) − (softmax result time). >= 0 on every edge means no SA
   /// cycle was lost to softmax latency — the paper's overlap claim, checked

@@ -1,0 +1,402 @@
+// Chunked prefill packing suite (PR 6): admission no longer times the
+// encoder pass eagerly — it is cut into fixed-size row chunks the serve step
+// loop splices into the same per-card ledgers as the packed decode rows.
+// Pinned here:
+//  * chunk_prefill coverage math (row partition, one-time K/V projection on
+//    the first MHA chunk, chunk_rows=1 and chunk-larger-than-sentence edges),
+//  * legality (audit_schedule) of standalone chunk ledgers and mixed
+//    prefill/decode lane ledgers across shapes × issue policies,
+//  * the full-size-chunk ≡ schedule_mha degenerate pin,
+//  * bit-identity of packed vs eager-encode Scheduler outputs on all three
+//    backends (greedy and beam, burst and staggered arrivals),
+//  * determinism of the simulated-time admission order under bursts
+//    (per-card cycle ledgers reproduce exactly),
+//  * the prefill-stall attribution (eager admission charges it, packing
+//    shrinks it) and the prefill-only-queue guard (steps with zero decode
+//    rows run prefill lanes without counting as packed steps),
+//  * config validation of the new knobs and of Scheduler::run arrivals.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/backend.hpp"
+#include "core/schedules.hpp"
+#include "reference/weights.hpp"
+#include "serve/scheduler.hpp"
+
+namespace tfacc {
+namespace {
+
+// Hardware-compatible model (head_dim 64 = SA columns) shared by the
+// quantized and accelerator backends; a narrower multi-head variant for the
+// FP32 reference backend.
+ModelConfig hw_config() {
+  ModelConfig cfg;
+  cfg.name = "prefill-hw";
+  cfg.d_model = 64;
+  cfg.d_ff = 256;
+  cfg.num_heads = 1;
+  cfg.head_dim = 64;
+  cfg.num_encoder_layers = 2;
+  cfg.num_decoder_layers = 1;
+  return cfg;
+}
+
+ModelConfig micro_config() {
+  ModelConfig cfg;
+  cfg.name = "prefill-micro";
+  cfg.d_model = 32;
+  cfg.d_ff = 128;
+  cfg.num_heads = 2;
+  cfg.head_dim = 16;
+  cfg.num_encoder_layers = 2;
+  cfg.num_decoder_layers = 2;
+  return cfg;
+}
+
+// Ragged source lengths so prefill chunk counts differ per sentence and
+// sentences finish at different steps (slot churn under admission).
+std::vector<TokenSeq> ragged_sources() {
+  return {{3, 4, 5, 6},
+          {7},
+          {10, 3, 11, 4, 12, 5, 13},
+          {5, 5, 6},
+          {3, 4, 5, 6},
+          {8, 9, kPadId, kPadId},
+          {6, 7, 8, 9, 10, 11},
+          {4}};
+}
+
+std::vector<TokenSeq> calib_sources() { return {{3, 4, 5}, {6, 7}}; }
+
+SchedulerConfig serve_config(ServeBackend backend, int cards, int slots,
+                             bool pack, int chunk_rows = 16) {
+  SchedulerConfig cfg;
+  cfg.backend = backend;
+  cfg.num_cards = cards;
+  cfg.slots_per_card = slots;
+  cfg.max_len = 12;
+  cfg.accel.pack_prefill = pack;
+  cfg.accel.prefill_chunk_rows = chunk_rows;
+  return cfg;
+}
+
+AcceleratorConfig accel_config(bool interleave = true) {
+  AcceleratorConfig cfg;
+  cfg.interleave_decode = interleave;
+  return cfg;
+}
+
+// A sentence's full-size encoder plans: MHA + FFN per encoder layer.
+std::vector<SublayerPlan> encoder_plans(int rows, int d_model, int num_heads,
+                                        int d_ff, int layers) {
+  std::vector<SublayerPlan> subs;
+  for (int l = 0; l < layers; ++l) {
+    subs.push_back(SublayerPlan::mha_prefill("enc" + std::to_string(2 * l),
+                                             rows, rows, d_model, num_heads,
+                                             rows));
+    subs.push_back(SublayerPlan::ffn("enc" + std::to_string(2 * l + 1), rows,
+                                     d_model, d_ff));
+  }
+  return subs;
+}
+
+// --- chunk_prefill coverage math ---------------------------------------------
+
+TEST(ChunkPrefill, PartitionsRowsAndProjectsKvOnce) {
+  for (const int rows : {1, 5, 16, 17, 33})
+    for (const int chunk_rows : {1, 4, 16, 64}) {
+      const auto chunks =
+          chunk_prefill(encoder_plans(rows, 512, 8, 2048, 2), chunk_rows);
+      int mha_rows = 0, ffn_rows = 0, projections = 0;
+      for (const SublayerPlan& c : chunks) {
+        if (c.kind == SublayerPlan::Kind::kMhaPrefill) {
+          EXPECT_LE(c.s_q, chunk_rows);
+          EXPECT_EQ(c.s_kv, rows);  // every chunk attends over ALL rows
+          mha_rows += c.s_q;
+          if (c.project_kv_rows > 0) {
+            EXPECT_EQ(c.project_kv_rows, rows);  // one-time, whole sentence
+            ++projections;
+          }
+        } else {
+          ASSERT_EQ(c.kind, SublayerPlan::Kind::kFfn);
+          EXPECT_LE(c.rows, chunk_rows);
+          ffn_rows += c.rows;
+        }
+      }
+      EXPECT_EQ(mha_rows, 2 * rows) << rows << "/" << chunk_rows;
+      EXPECT_EQ(ffn_rows, 2 * rows);
+      EXPECT_EQ(projections, 2);  // exactly the first chunk of each MHA
+    }
+}
+
+TEST(ChunkPrefill, ChunkLargerThanSentenceLeavesPlansWhole) {
+  const auto plans = encoder_plans(7, 64, 1, 256, 1);
+  const auto chunks = chunk_prefill(plans, 64);
+  ASSERT_EQ(chunks.size(), plans.size());
+  EXPECT_EQ(chunks[0].s_q, 7);
+  EXPECT_EQ(chunks[0].project_kv_rows, 7);
+  EXPECT_EQ(chunks[1].rows, 7);
+}
+
+TEST(ChunkPrefill, SingleRowChunksMaximizeInterleaving) {
+  const auto chunks = chunk_prefill(encoder_plans(5, 64, 1, 256, 1), 1);
+  ASSERT_EQ(chunks.size(), 10u);  // 5 MHA rows + 5 FFN rows
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(chunks[i].kind, SublayerPlan::Kind::kMhaPrefill);
+  EXPECT_EQ(chunks[0].project_kv_rows, 5);
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_EQ(chunks[i].project_kv_rows, 0);
+}
+
+TEST(ChunkPrefill, RejectsBadArguments) {
+  const auto plans = encoder_plans(4, 64, 1, 256, 1);
+  EXPECT_THROW(chunk_prefill(plans, 0), CheckError);
+  // Decode-step kinds are not prefill work.
+  EXPECT_THROW(
+      chunk_prefill({SublayerPlan::mha_cached_batch("x", {3}, 64, 1, 1)}, 4),
+      CheckError);
+}
+
+TEST(PrefillConfig, RejectsNonPositiveChunkRows) {
+  AcceleratorConfig cfg;
+  cfg.prefill_chunk_rows = 0;
+  EXPECT_THROW(cfg.validate(), CheckError);
+  cfg.prefill_chunk_rows = -3;
+  EXPECT_THROW(cfg.validate(), CheckError);
+}
+
+// --- Legality of chunk and mixed-lane ledgers --------------------------------
+
+TEST(PrefillAudit, StandaloneChunkLedgersAreLegalAcrossShapesAndPolicies) {
+  for (const bool interleave : {true, false})
+    for (const int rows : {1, 7, 16, 33})
+      for (const int chunk_rows : {1, 5, 16, 64})
+        for (const int heads : {1, 8}) {
+          const auto chunks = chunk_prefill(
+              encoder_plans(rows, heads * 64, heads, 4 * heads * 64, 1),
+              chunk_rows);
+          for (const SublayerPlan& chunk : chunks) {
+            Timeline tl;
+            const ScheduledRun run =
+                schedule_prefill(accel_config(interleave), tl, chunk);
+            EXPECT_EQ(audit_schedule(run.graph, run.stats), "")
+                << "rows=" << rows << " chunk_rows=" << chunk_rows
+                << " heads=" << heads
+                << (interleave ? " greedy" : " program-order");
+          }
+        }
+}
+
+TEST(PrefillAudit, MixedPrefillDecodeLanesAreLegalAcrossShapesAndPolicies) {
+  for (const bool interleave : {true, false})
+    for (const int slots : {1, 8, 16})
+      for (const int chunk_rows : {1, 6, 16}) {
+        // One chunk lane per admitted sentence + the chained decode lane,
+        // exactly the shape DecodeStepFuser::end_step composes.
+        std::vector<FusedLane> lanes;
+        const auto chunks =
+            chunk_prefill(encoder_plans(13, 64, 1, 256, 1), chunk_rows);
+        for (std::size_t i = 0; i < 2 && i < chunks.size(); ++i)
+          lanes.push_back(FusedLane{{chunks[i]}, true});
+        std::vector<int> totals;
+        for (int r = 0; r < slots; ++r) totals.push_back(3 + (5 * r) % 11);
+        lanes.push_back(FusedLane{
+            {SublayerPlan::mha_cached_batch("dec.self", totals, 64, 1, slots),
+             SublayerPlan::mha_cached_batch("dec.cross", totals, 64, 1, 0),
+             SublayerPlan::ffn("dec.ffn", slots, 64, 256)},
+            false});
+        Timeline tl;
+        const FusedRun fused =
+            schedule_fused_lanes(accel_config(interleave), tl, lanes,
+                                 interleave ? IssuePolicy::kGreedy
+                                            : IssuePolicy::kProgramOrder);
+        EXPECT_EQ(audit_schedule(fused.graph, fused.stats), "")
+            << "slots=" << slots << " chunk_rows=" << chunk_rows
+            << (interleave ? " greedy" : " program-order");
+        // Prefill lanes' sublayers are tagged; the decode lane's are not.
+        for (std::size_t s = 0; s < fused.segments.size(); ++s)
+          EXPECT_EQ(fused.segments[s].prefill,
+                    s + 3 < fused.segments.size());
+        EXPECT_GE(fused.prefill_stall, 0);
+        EXPECT_GT(fused.stats.prefill_sa_busy, 0);
+      }
+}
+
+TEST(PrefillAudit, FullSizeChunkMatchesScheduleMhaIntervals) {
+  // A full-size kMhaPrefill chunk issued in program order builds exactly
+  // Algorithm 1's encoder MHA graph: same ops, same placement.
+  AcceleratorConfig cfg = accel_config(false);
+  for (const int rows : {7, 16}) {
+    Timeline tl_chunk, tl_mha;
+    const ScheduledRun chunk = schedule_prefill(
+        cfg, tl_chunk, SublayerPlan::mha_prefill("m", rows, rows, 512, 8,
+                                                 rows));
+    const ScheduledRun mha = schedule_mha(cfg, tl_mha, rows, rows, 512, 8);
+    ASSERT_EQ(chunk.graph.size(), mha.graph.size()) << rows;
+    ASSERT_EQ(chunk.stats.intervals.size(), mha.stats.intervals.size());
+    for (std::size_t i = 0; i < mha.stats.intervals.size(); ++i) {
+      EXPECT_EQ(chunk.stats.intervals[i].start, mha.stats.intervals[i].start)
+          << "op " << i << " rows=" << rows;
+      EXPECT_EQ(chunk.stats.intervals[i].end, mha.stats.intervals[i].end);
+    }
+  }
+}
+
+// --- Serve-level bit-identity and determinism --------------------------------
+
+std::vector<Cycle> staggered_arrivals(std::size_t n, Cycle gap) {
+  std::vector<Cycle> arrivals(n);
+  for (std::size_t i = 0; i < n; ++i)
+    arrivals[i] = static_cast<Cycle>(i) * gap;
+  return arrivals;
+}
+
+TEST(PrefillPackServe, PackedBitIdenticalToEagerOnAllBackends) {
+  for (const ServeBackend backend :
+       {ServeBackend::kReference, ServeBackend::kQuantized,
+        ServeBackend::kAccelerator}) {
+    Rng rng(171);
+    const TransformerWeights weights = TransformerWeights::random(
+        backend == ServeBackend::kReference ? micro_config() : hw_config(),
+        20, rng);
+    const auto calib = backend == ServeBackend::kReference
+                           ? std::vector<TokenSeq>{}
+                           : calib_sources();
+    std::vector<TokenSeq> eager_outputs;
+    for (const bool pack : {false, true})
+      for (const int chunk_rows : {1, 4, 64}) {
+        Scheduler sched(weights, calib,
+                        serve_config(backend, 2, 4, pack, chunk_rows));
+        const ScheduleReport rep = sched.run(ragged_sources());
+        if (eager_outputs.empty())
+          eager_outputs = rep.outputs;
+        else
+          EXPECT_EQ(rep.outputs, eager_outputs)
+              << "backend=" << static_cast<int>(backend) << " pack=" << pack
+              << " chunk_rows=" << chunk_rows;
+        if (pack)
+          EXPECT_GT(rep.prefill_chunks(), 0);
+        else
+          EXPECT_EQ(rep.prefill_chunks(), 0);
+      }
+  }
+}
+
+TEST(PrefillPackServe, BeamAndStaggeredArrivalsKeepOutputs) {
+  Rng rng(172);
+  const TransformerWeights weights =
+      TransformerWeights::random(hw_config(), 20, rng);
+  SchedulerConfig cfg = serve_config(ServeBackend::kAccelerator, 2, 8, true);
+  cfg.beam_size = 2;
+  Scheduler sched(weights, calib_sources(), cfg);
+  const ScheduleReport burst = sched.run(ragged_sources());
+  const ScheduleReport staggered = sched.run(
+      ragged_sources(), staggered_arrivals(ragged_sources().size(), 700));
+  EXPECT_EQ(burst.outputs, staggered.outputs);
+
+  SchedulerConfig eager_cfg = cfg;
+  eager_cfg.accel.pack_prefill = false;
+  Scheduler eager(weights, calib_sources(), eager_cfg);
+  EXPECT_EQ(eager.run(ragged_sources()).outputs, burst.outputs);
+}
+
+TEST(PrefillPackServe, BurstAdmissionOrderIsDeterministic) {
+  // Repeated multi-card runs must reproduce outputs AND every per-card
+  // cycle ledger exactly: admission follows simulated time, not host
+  // thread scheduling — with or without staggered arrivals.
+  Rng rng(173);
+  const TransformerWeights weights =
+      TransformerWeights::random(hw_config(), 20, rng);
+  Scheduler sched(weights, calib_sources(),
+                  serve_config(ServeBackend::kAccelerator, 4, 4, true, 4));
+  const auto arrivals = staggered_arrivals(ragged_sources().size(), 300);
+  for (const bool stagger : {false, true}) {
+    const ScheduleReport first = stagger
+                                     ? sched.run(ragged_sources(), arrivals)
+                                     : sched.run(ragged_sources());
+    for (int trial = 0; trial < 2; ++trial) {
+      const ScheduleReport rep =
+          stagger ? sched.run(ragged_sources(), arrivals)
+                  : sched.run(ragged_sources());
+      EXPECT_EQ(rep.outputs, first.outputs);
+      ASSERT_EQ(rep.per_card.size(), first.per_card.size());
+      for (std::size_t c = 0; c < rep.per_card.size(); ++c) {
+        EXPECT_EQ(rep.per_card[c].total_cycles(),
+                  first.per_card[c].total_cycles())
+            << "card " << c << " stagger=" << stagger;
+        EXPECT_EQ(rep.per_card[c].sa_busy_cycles,
+                  first.per_card[c].sa_busy_cycles);
+        EXPECT_EQ(rep.per_card[c].prefill_stall_cycles,
+                  first.per_card[c].prefill_stall_cycles);
+        EXPECT_EQ(rep.per_card_steps[c].prefill_chunks,
+                  first.per_card_steps[c].prefill_chunks);
+      }
+    }
+  }
+}
+
+TEST(PrefillPackServe, PrefillOnlyQueueRunsChunksWithoutPackedSteps) {
+  // Single sentence, chunk_rows=1: the queue holds only a not-yet-prefilled
+  // sentence for the first several iterations — they must run prefill-only
+  // ledgers, not count as packed steps, and still decode correctly.
+  Rng rng(174);
+  const TransformerWeights weights =
+      TransformerWeights::random(hw_config(), 20, rng);
+  Scheduler packed(weights, calib_sources(),
+                   serve_config(ServeBackend::kAccelerator, 1, 4, true, 1));
+  const std::vector<TokenSeq> one = {{10, 3, 11, 4, 12, 5, 13}};
+  const ScheduleReport rep = packed.run(one);
+
+  Scheduler eager(weights, calib_sources(),
+                  serve_config(ServeBackend::kAccelerator, 1, 4, false));
+  const ScheduleReport eager_rep = eager.run(one);
+  EXPECT_EQ(rep.outputs, eager_rep.outputs);
+  // 7 source rows, 2 encoder layers, 1-row chunks: 28 prefill-only
+  // iterations before the first decode row.
+  EXPECT_EQ(rep.prefill_chunks(), 28);
+  EXPECT_EQ(rep.packed_steps(), eager_rep.packed_steps());
+  EXPECT_DOUBLE_EQ(rep.packed_rows_mean(), 1.0);  // greedy, one sentence
+  // Same total work, differently bucketed: the packed run charges encoder
+  // cycles through step ledgers, the eager run through per-run ledgers.
+  EXPECT_EQ(rep.sentences(), eager_rep.sentences());
+}
+
+TEST(PrefillPackServe, EagerAdmissionChargesPrefillStallAndPackingShrinksIt) {
+  Rng rng(175);
+  const TransformerWeights weights =
+      TransformerWeights::random(hw_config(), 20, rng);
+  // 2 slots on one card: admissions after the first land while a live
+  // sentence is mid-decode, so the eager encoder pass stalls it.
+  Scheduler eager(weights, calib_sources(),
+                  serve_config(ServeBackend::kAccelerator, 1, 2, false));
+  const ScheduleReport eager_rep = eager.run(ragged_sources());
+  EXPECT_GT(eager_rep.prefill_stall_cycles(), 0);
+
+  Scheduler packed(weights, calib_sources(),
+                   serve_config(ServeBackend::kAccelerator, 1, 2, true));
+  const ScheduleReport packed_rep = packed.run(ragged_sources());
+  EXPECT_EQ(packed_rep.outputs, eager_rep.outputs);
+  EXPECT_LT(packed_rep.prefill_stall_cycles(),
+            eager_rep.prefill_stall_cycles());
+  // Packing splices the same encoder work through the step ledgers instead
+  // of standalone runs, so the farm finishes no later.
+  EXPECT_LE(packed_rep.makespan_cycles(), eager_rep.makespan_cycles());
+}
+
+TEST(PrefillPackServe, RunRejectsBadArrivals) {
+  Rng rng(176);
+  const TransformerWeights weights =
+      TransformerWeights::random(hw_config(), 20, rng);
+  Scheduler sched(weights, calib_sources(),
+                  serve_config(ServeBackend::kAccelerator, 1, 2, true));
+  const std::vector<TokenSeq> sources = {{3, 4}, {5, 6}};
+  EXPECT_THROW(sched.run(sources, {0}), CheckError);          // size mismatch
+  EXPECT_THROW(sched.run(sources, {-1, 0}), CheckError);      // negative
+  EXPECT_THROW(sched.run(sources, {100, 50}), CheckError);    // decreasing
+  EXPECT_EQ(sched.run(sources, {50, 100}).outputs,
+            sched.run(sources).outputs);
+}
+
+}  // namespace
+}  // namespace tfacc
