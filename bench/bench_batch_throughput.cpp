@@ -77,6 +77,8 @@ int main(int argc, char** argv) {
     BatchConfig bc;
     bc.num_cards = cards;
     bc.max_len = max_len;
+    // Bench-gated ledgers run under the typed verifier (PR 7).
+    bc.accel.verify_schedules = true;
     BatchRunner runner(weights, calib, bc);
     const BatchReport rep = runner.run(sources);
     const double modeled = rep.modeled_sentences_per_second();
@@ -127,6 +129,7 @@ int main(int argc, char** argv) {
     bc.num_cards = 1;
     bc.max_len = max_len;
     bc.slots_per_card = slots;
+    bc.accel.verify_schedules = true;
     BatchRunner runner(weights, calib, bc);
     const BatchReport rep = runner.run(sources);
     if (slots == 1) {
@@ -185,6 +188,7 @@ int main(int argc, char** argv) {
     bc.num_cards = 1;
     bc.max_len = max_len;
     bc.decode = mode;
+    bc.accel.verify_schedules = true;
     BatchRunner runner(weights, calib, bc);
     const BatchReport rep = runner.run(sources);
     const int i = mode == DecodeMode::kKvCache ? 0 : 1;

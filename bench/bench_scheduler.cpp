@@ -72,6 +72,10 @@ int main(int argc, char** argv) {
     sc.num_cards = 1;
     sc.max_len = max_len;
     sc.slots_per_card = slots;
+    // Every bench-gated ledger runs under the typed verifier (PR 7): any
+    // illegal or non-reproducible schedule aborts the bench before it can
+    // publish numbers.
+    sc.accel.verify_schedules = true;
     Scheduler sched(weights, calib, sc);
     const ScheduleReport rep = sched.run(sources);
     if (slots == 16) fused16 = rep;
@@ -132,6 +136,7 @@ int main(int argc, char** argv) {
   unfused_cfg.max_len = max_len;
   unfused_cfg.slots_per_card = 16;
   unfused_cfg.accel.fuse_decode_step = false;
+  unfused_cfg.accel.verify_schedules = true;
   Scheduler unfused_sched(weights, calib, unfused_cfg);
   const ScheduleReport unfused16 = unfused_sched.run(sources);
   // fused16's outputs were already checked against the one-row outputs in
@@ -243,6 +248,7 @@ int main(int argc, char** argv) {
   burst_cfg.num_cards = 1;
   burst_cfg.max_len = max_len;
   burst_cfg.slots_per_card = 16;
+  burst_cfg.accel.verify_schedules = true;
   Scheduler packed_sched(weights, calib, burst_cfg);
   // The packed burst point IS the sweep's 16-slot run (pack_prefill defaults
   // to true and run(sources) means all-arrivals-0), so only the staggered

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Determinism invariant lint (PR 7).
+
+Three repo-specific rules that clang-tidy cannot express, enforced over
+src/ and tools/ (tests may do what they like):
+
+1. pointer-keyed-iteration — every ``std::unordered_map`` with a pointer
+   key must be declared with a ``// lint: lookup-only`` comment, and no
+   range-for may iterate a lookup-only map: pointer-keyed hash iteration
+   order depends on allocator placement, so anything it feeds (reports,
+   ledgers, build sequences) silently loses reproducibility.
+
+2. nondeterminism-source — ``rand()`` / ``srand()`` / ``time()`` /
+   ``std::random_device`` / ``system_clock`` appear nowhere outside
+   ``src/common/random.hpp``. All randomness flows through the seeded
+   ``Rng`` wrapper so every run is replayable.
+
+3. hot-path-alloc — a function whose definition is preceded by a
+   ``// hot-path: allocation-free`` marker must not allocate (new/malloc,
+   container growth, string building) anywhere in its body.
+
+Per-line exemption: append ``// lint: allow(<rule>)`` with the rule name
+above (e.g. ``// lint: allow(hot-path-alloc)`` on a one-time warm-up
+resize).
+
+Exit 0 when clean; exit 1 with file:line diagnostics otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SCAN_DIRS = ("src", "tools")
+RANDOM_HOME = REPO / "src" / "common" / "random.hpp"
+
+ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)")
+LOOKUP_ONLY_RE = re.compile(r"//\s*lint:\s*lookup-only")
+
+# A pointer-keyed unordered_map declaration; the declaration statement may
+# wrap, so match against the joined file with the variable name at the end.
+PTR_MAP_DECL_RE = re.compile(
+    r"std::unordered_map<\s*(?:const\s+)?\w[\w:]*\s*\*[^;]*?>\s*\n?\s*"
+    r"(\w+)\s*;([^\n]*)"
+)
+
+NONDET_RE = re.compile(
+    r"\b(?:std::)?rand\s*\(|\bsrand\s*\(|\bstd::random_device\b"
+    r"|\bsystem_clock\b|(?<![_\w])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+)
+
+ALLOC_RE = re.compile(
+    r"\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|\.resize\s*\("
+    r"|\.reserve\s*\(|\.push_back\s*\(|\.emplace_back\s*\(|\.emplace\s*\("
+    r"|\.insert\s*\(|\.append\s*\(|\bstd::vector<|\bstd::string\s+\w"
+    r"|\bto_string\s*\("
+)
+
+HOT_PATH_RE = re.compile(r"//\s*hot-path:\s*allocation-free")
+
+
+def allowed(line: str, rule: str) -> bool:
+    m = ALLOW_RE.search(line)
+    return m is not None and m.group(1) == rule
+
+
+def lint_pointer_maps(path: pathlib.Path, text: str, lines: list[str],
+                      errors: list[str]) -> None:
+    lookup_only: set[str] = set()
+    for m in PTR_MAP_DECL_RE.finditer(text):
+        name, trailer = m.group(1), m.group(2)
+        line_no = text.count("\n", 0, m.start()) + 1
+        decl = m.group(0)
+        if LOOKUP_ONLY_RE.search(decl) or LOOKUP_ONLY_RE.search(trailer):
+            lookup_only.add(name)
+        else:
+            errors.append(
+                f"{path}:{line_no}: pointer-keyed-iteration: pointer-keyed "
+                f"unordered_map '{name}' lacks a '// lint: lookup-only' "
+                f"declaration comment (hash order = allocator order)")
+    if not lookup_only:
+        return
+    # Any range-for over a lookup-only map (bare name or member access).
+    names = "|".join(sorted(lookup_only))
+    iter_re = re.compile(rf"for\s*\(.*:\s*[\w.\->]*\b(?:{names})\b\s*\)")
+    for i, line in enumerate(lines, start=1):
+        if iter_re.search(line) and not allowed(line, "pointer-keyed-iteration"):
+            errors.append(
+                f"{path}:{i}: pointer-keyed-iteration: range-for over a "
+                f"lookup-only pointer-keyed map — iterate an "
+                f"insertion-ordered mirror (e.g. CaptureStore::mha_order) "
+                f"instead")
+
+
+def lint_nondeterminism(path: pathlib.Path, lines: list[str],
+                        errors: list[str]) -> None:
+    if path == RANDOM_HOME:
+        return
+    for i, line in enumerate(lines, start=1):
+        code = line.split("//", 1)[0]
+        if NONDET_RE.search(code) and not allowed(line, "nondeterminism-source"):
+            errors.append(
+                f"{path}:{i}: nondeterminism-source: platform randomness/"
+                f"clock outside src/common/random.hpp — draw from the "
+                f"seeded Rng instead")
+
+
+def lint_hot_paths(path: pathlib.Path, lines: list[str],
+                   errors: list[str]) -> None:
+    i = 0
+    while i < len(lines):
+        if not HOT_PATH_RE.search(lines[i]):
+            i += 1
+            continue
+        # The marked function's body: from its first '{' to brace balance 0.
+        depth = 0
+        entered = False
+        j = i + 1
+        while j < len(lines):
+            code = lines[j].split("//", 1)[0]
+            if entered and ALLOC_RE.search(code) and not allowed(
+                    lines[j], "hot-path-alloc"):
+                errors.append(
+                    f"{path}:{j + 1}: hot-path-alloc: allocation inside a "
+                    f"'// hot-path: allocation-free' function")
+            depth += code.count("{") - code.count("}")
+            if "{" in code:
+                entered = True
+            if entered and depth <= 0:
+                break
+            j += 1
+        i = j + 1
+
+
+def main() -> int:
+    errors: list[str] = []
+    files = sorted(
+        p for d in SCAN_DIRS for p in (REPO / d).rglob("*")
+        if p.suffix in (".cpp", ".hpp", ".h", ".cc"))
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        lint_pointer_maps(path, text, lines, errors)
+        lint_nondeterminism(path, lines, errors)
+        lint_hot_paths(path, lines, errors)
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"lint_invariants: {len(files)} files scanned, "
+          f"{len(errors)} violation(s)")
+    return 0 if not errors else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -106,6 +106,12 @@ struct AcceleratorConfig {
   /// first chunk of each MHA sublayer additionally carries the sentence's
   /// one-time K/V projection.
   int prefill_chunk_rows = 16;
+  /// Run the typed schedule verifier (analysis/verifier.hpp) over EVERY
+  /// ledger the accelerator builds, throwing CheckError with the full
+  /// diagnostic list on any violation. Off by default (verification is
+  /// O(ops log ops) per ledger); the CI benches, tools/schedule_lint, and
+  /// the paranoid tests turn it on.
+  bool verify_schedules = false;
   LayerNormStrategy layernorm_strategy = LayerNormStrategy::kStepOneAndTwo;
 
   void validate() const;

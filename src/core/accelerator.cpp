@@ -2,11 +2,36 @@
 
 #include <algorithm>
 
+#include "analysis/verifier.hpp"
 #include "tensor/ops.hpp"
 
 namespace tfacc {
 
 namespace {
+
+/// Paranoid mode (cfg.verify_schedules): run the typed verifier over the
+/// ledger just built and throw with the full diagnostic list on violation.
+/// `policy` is the issue policy the builder actually used, so the verifier
+/// knows whether the program-order pin applies.
+void maybe_verify(const AcceleratorConfig& cfg, const char* what,
+                  const ScheduledRun& run, IssuePolicy policy) {
+  if (!cfg.verify_schedules) return;
+  VerifyOptions opts;
+  opts.program_order = policy == IssuePolicy::kProgramOrder;
+  const VerifyResult res = verify_schedule(run.graph, run.stats, opts);
+  TFACC_CHECK_MSG(res.ok(), what << " schedule failed verification:\n"
+                                 << res.to_string());
+}
+
+void maybe_verify_fused(const AcceleratorConfig& cfg, const char* what,
+                        const FusedRun& run, IssuePolicy policy) {
+  if (!cfg.verify_schedules) return;
+  VerifyOptions opts;
+  opts.program_order = policy == IssuePolicy::kProgramOrder;
+  const VerifyResult res = verify_fused(run, opts);
+  TFACC_CHECK_MSG(res.ok(), what << " ledger failed verification:\n"
+                                 << res.to_string());
+}
 
 /// Busy cycles of a module that may never have been scheduled (e.g. Softmax
 /// in an FFN run). The const find() cannot create an empty ledger the way
@@ -101,6 +126,7 @@ Accelerator::MhaResult Accelerator::run_mha(const MhaQuantized& block,
   const ScheduledRun sched =
       schedule_mha(cfg_, rep.timeline, q.rows(), kv.rows(), block.d_model,
                    block.num_heads);
+  maybe_verify(cfg_, "run_mha", sched, IssuePolicy::kProgramOrder);
   finalize_report(rep, cfg_, sched.stats);
   return res;
 }
@@ -145,6 +171,7 @@ Accelerator::FfnResult Accelerator::run_ffn(const FfnQuantized& block,
   RunReport& rep = res.report;
   const ScheduledRun sched =
       schedule_ffn(cfg_, rep.timeline, x.rows(), block.d_model, block.d_ff);
+  maybe_verify(cfg_, "run_ffn", sched, IssuePolicy::kGreedy);
   finalize_report(rep, cfg_, sched.stats);
   return res;
 }
@@ -155,6 +182,7 @@ RunReport Accelerator::time_mha(int s_q, int s_kv, int d_model,
   RunReport rep;
   const ScheduledRun sched =
       schedule_mha(cfg_, rep.timeline, s_q, s_kv, d_model, num_heads);
+  maybe_verify(cfg_, "time_mha", sched, IssuePolicy::kProgramOrder);
   finalize_report(rep, cfg_, sched.stats);
   return rep;
 }
@@ -169,6 +197,7 @@ RunReport Accelerator::time_mha_cached(int s_new, int s_total, int d_model,
   const ScheduledRun sched =
       schedule_mha_cached(cfg_, rep.timeline, s_new, s_total, d_model,
                           num_heads, project_kv_rows);
+  maybe_verify(cfg_, "time_mha_cached", sched, cached_policy(cfg_));
   finalize_report(rep, cfg_, sched.stats);
   return rep;
 }
@@ -190,6 +219,7 @@ Accelerator::MhaResult Accelerator::run_mha_cached(const MhaQuantized& block,
   const ScheduledRun sched =
       schedule_mha_cached(cfg_, rep.timeline, q.rows(), cache.rows(),
                           block.d_model, block.num_heads, projected_rows);
+  maybe_verify(cfg_, "run_mha_cached", sched, cached_policy(cfg_));
 
   // Functional pass: identical arithmetic to the quantized model's cached
   // path (the caller appended this step's K/V rows before invoking us, so
@@ -235,6 +265,7 @@ Accelerator::MhaResult Accelerator::run_mha_cached_batch(
   const ScheduledRun sched =
       schedule_mha_cached_batch(cfg_, rep.timeline, totals, block.d_model,
                                 block.num_heads, projected_rows);
+  maybe_verify(cfg_, "run_mha_cached_batch", sched, cached_policy(cfg_));
   finalize_report(rep, cfg_, sched.stats);
   return res;
 }
@@ -244,6 +275,7 @@ RunReport Accelerator::time_ffn(int s, int d_model, int d_ff) const {
   RunReport rep;
   const ScheduledRun sched =
       schedule_ffn(cfg_, rep.timeline, s, d_model, d_ff);
+  maybe_verify(cfg_, "time_ffn", sched, IssuePolicy::kGreedy);
   finalize_report(rep, cfg_, sched.stats);
   return rep;
 }
@@ -280,6 +312,7 @@ RunReport Accelerator::time_fused(const std::vector<SublayerPlan>& subs,
   RunReport rep;
   const FusedRun fused = schedule_fused(cfg_, rep.timeline, subs, chain,
                                         fused_policy(cfg_, subs));
+  maybe_verify_fused(cfg_, "time_fused", fused, fused_policy(cfg_, subs));
   finalize_report(rep, cfg_, fused.stats);
   // Replace the edges-only estimate with the composer's seam-aware number
   // (identical for a one-sublayer ledger).
@@ -291,6 +324,7 @@ RunReport Accelerator::time_step(const std::vector<FusedLane>& lanes) const {
   RunReport rep;
   const FusedRun fused = schedule_fused_lanes(cfg_, rep.timeline, lanes,
                                               fused_policy(cfg_, lanes));
+  maybe_verify_fused(cfg_, "time_step", fused, fused_policy(cfg_, lanes));
   finalize_report(rep, cfg_, fused.stats);
   rep.boundary_stall = fused.boundary_stall;
   rep.prefill_stall = fused.prefill_stall;

@@ -419,6 +419,7 @@ FusedRun schedule_fused_lanes(const AcceleratorConfig& cfg, Timeline& tl,
   std::vector<OpRange> ranges;
   std::vector<const SublayerPlan*> plans;
   std::vector<char> plan_prefill;
+  std::vector<int> plan_lane;
 
   // The prefetch chain is GLOBAL across lanes — the single-tile prefetch
   // buffer is hardware, not lane state — so in a mixed step the decode
@@ -426,9 +427,11 @@ FusedRun schedule_fused_lanes(const AcceleratorConfig& cfg, Timeline& tl,
   // WeightLoad prefetch crosses the prefill/decode seam.
   int prev_first_sa = -1;
   int idx = 0;
+  int lane_idx = -1;
   bool any_prefill = false;
   bool any_decode = false;
   for (const FusedLane& lane : lanes) {
+    ++lane_idx;
     if (lane.prefill)
       any_prefill = true;
     else
@@ -460,6 +463,7 @@ FusedRun schedule_fused_lanes(const AcceleratorConfig& cfg, Timeline& tl,
       ranges.push_back(range);
       plans.push_back(&sub);
       plan_prefill.push_back(lane.prefill ? 1 : 0);
+      plan_lane.push_back(lane_idx);
       prev_ln = appended.ln;
       prev_first_sa = appended.first_sa;
     }
@@ -476,6 +480,7 @@ FusedRun schedule_fused_lanes(const AcceleratorConfig& cfg, Timeline& tl,
     FusedSegment seg;
     seg.label = plans[i]->label;
     seg.prefill = plan_prefill[i] != 0;
+    seg.lane = plan_lane[i];
     bool any_sa = false;
     for (int op = ranges[i].begin; op < ranges[i].end; ++op) {
       if (g.ops()[static_cast<std::size_t>(op)].resource != OpResource::kSa)

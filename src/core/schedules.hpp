@@ -131,6 +131,11 @@ struct FusedSegment {
   /// for the first sublayer, the ledger's cold-load exposure.
   Cycle seam_stall = 0;
   bool prefill = false;  ///< sublayer belongs to a prefill lane
+  /// Index of the lane this sublayer came from (append order). The verifier
+  /// (analysis/verifier.hpp) uses it to enforce the lane rules: chained
+  /// sublayers of ONE lane never interleave their SA occupancies, while
+  /// cross-lane interleaving is legal by construction.
+  int lane = 0;
 };
 
 /// A fused ledger: the spliced graph, its schedule, and the per-seam

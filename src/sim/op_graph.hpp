@@ -141,11 +141,11 @@ struct ScheduleStats {
 ScheduleStats schedule_ops(const OpGraph& g, Cycle weight_load_cycles,
                            IssuePolicy policy, Timeline& tl);
 
-/// Legality audit: every op scheduled exactly once with its declared
-/// duration, no two intervals overlapping on the same resource, and every
-/// op starting no earlier than each dep's result time (stationary operands
-/// additionally waiting out their tile load). Returns "" when legal, else a
-/// description of the first violation.
+/// Legality audit — COMPAT SHIM over the typed schedule verifier
+/// (analysis/verifier.hpp) since PR 7. Returns "" when legal, else the
+/// first diagnostic's formatted message. New code should call
+/// verify_schedule() directly and consume the typed Diagnostics (stable
+/// code, offending op ids, resource, cycle interval).
 std::string audit_schedule(const OpGraph& g, const ScheduleStats& st);
 
 }  // namespace tfacc

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "analysis/verifier.hpp"
 #include "core/backend.hpp"
 #include "nlp/synthetic.hpp"
 #include "reference/weights.hpp"
@@ -62,9 +63,13 @@ TEST(FusedAudit, DecodeStepLedgerIsLegalAcrossShapesAndPolicies) {
               accel_config(interleave), tl,
               decode_step_plan(greedy_totals(slots), heads * 64, heads,
                                4 * heads * 64, blocks));
-          EXPECT_EQ(audit_schedule(fused.graph, fused.stats), "")
+          VerifyOptions opts;
+          opts.program_order = !interleave;
+          const VerifyResult res = verify_fused(fused, opts);
+          EXPECT_TRUE(res.ok())
               << "slots=" << slots << " heads=" << heads << " blocks="
-              << blocks << (interleave ? " greedy" : " program-order");
+              << blocks << (interleave ? " greedy" : " program-order")
+              << "\n" << res.to_string();
           ASSERT_EQ(fused.segments.size(),
                     static_cast<std::size_t>(3 * blocks));
         }
@@ -80,7 +85,10 @@ TEST(FusedAudit, UnchainedStreamLedgerIsLegal) {
     const FusedRun fused =
         schedule_fused(accel_config(), tl, subs, /*chain=*/false,
                        IssuePolicy::kProgramOrder);
-    EXPECT_EQ(audit_schedule(fused.graph, fused.stats), "");
+    VerifyOptions opts;
+    opts.program_order = true;
+    const VerifyResult res = verify_fused(fused, opts);
+    EXPECT_TRUE(res.ok()) << res.to_string();
   }
 }
 
@@ -100,13 +108,17 @@ void expect_one_sublayer_pin(const SublayerPlan& sub,
                              const ScheduledRun& standalone,
                              const Timeline& standalone_tl, bool interleave) {
   Timeline tl;
+  const IssuePolicy policy = sub.kind == SublayerPlan::Kind::kMha
+                                 ? IssuePolicy::kProgramOrder
+                                 : (interleave ? IssuePolicy::kGreedy
+                                               : IssuePolicy::kProgramOrder);
   const FusedRun fused =
       schedule_fused(accel_config(interleave), tl, {sub}, /*chain=*/true,
-                     sub.kind == SublayerPlan::Kind::kMha
-                         ? IssuePolicy::kProgramOrder
-                         : (interleave ? IssuePolicy::kGreedy
-                                       : IssuePolicy::kProgramOrder));
-  EXPECT_EQ(audit_schedule(fused.graph, fused.stats), "");
+                     policy);
+  VerifyOptions opts;
+  opts.program_order = policy == IssuePolicy::kProgramOrder;
+  const VerifyResult res = verify_fused(fused, opts);
+  EXPECT_TRUE(res.ok()) << res.to_string();
   EXPECT_EQ(tl.end_time(), standalone_tl.end_time());
   ASSERT_EQ(fused.graph.size(), standalone.graph.size() + 1);
   EXPECT_EQ(fused.graph.ops()[0].resource, OpResource::kWeightLoad);

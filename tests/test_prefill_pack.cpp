@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "analysis/verifier.hpp"
 #include "common/check.hpp"
 #include "core/backend.hpp"
 #include "core/schedules.hpp"
@@ -180,10 +181,14 @@ TEST(PrefillAudit, StandaloneChunkLedgersAreLegalAcrossShapesAndPolicies) {
             Timeline tl;
             const ScheduledRun run =
                 schedule_prefill(accel_config(interleave), tl, chunk);
-            EXPECT_EQ(audit_schedule(run.graph, run.stats), "")
+            VerifyOptions opts;
+            opts.program_order = !interleave;
+            const VerifyResult res = verify_schedule(run.graph, run.stats, opts);
+            EXPECT_TRUE(res.ok())
                 << "rows=" << rows << " chunk_rows=" << chunk_rows
                 << " heads=" << heads
-                << (interleave ? " greedy" : " program-order");
+                << (interleave ? " greedy" : " program-order") << "\n"
+                << res.to_string();
           }
         }
 }
@@ -211,9 +216,13 @@ TEST(PrefillAudit, MixedPrefillDecodeLanesAreLegalAcrossShapesAndPolicies) {
             schedule_fused_lanes(accel_config(interleave), tl, lanes,
                                  interleave ? IssuePolicy::kGreedy
                                             : IssuePolicy::kProgramOrder);
-        EXPECT_EQ(audit_schedule(fused.graph, fused.stats), "")
+        VerifyOptions opts;
+        opts.program_order = !interleave;
+        const VerifyResult res = verify_fused(fused, opts);
+        EXPECT_TRUE(res.ok())
             << "slots=" << slots << " chunk_rows=" << chunk_rows
-            << (interleave ? " greedy" : " program-order");
+            << (interleave ? " greedy" : " program-order") << "\n"
+            << res.to_string();
         // Prefill lanes' sublayers are tagged; the decode lane's are not.
         for (std::size_t s = 0; s < fused.segments.size(); ++s)
           EXPECT_EQ(fused.segments[s].prefill,
