@@ -15,6 +15,7 @@
 #include "perf/gpu_model.hpp"
 #include "reference/transformer.hpp"
 #include "table.hpp"
+#include "tensor/kernels.hpp"
 
 namespace {
 
@@ -148,5 +149,29 @@ int main() {
       "accelerator model is weight-load bound at small row counts, while\n"
       "the host FP32 stack pays the full O(L^3) arithmetic.\n",
       speedup_at_32, speedup_at_32 >= 3.0 ? "PASS" : "FAIL");
+
+  // PR 8: the same KV-cached decode under each GEMM kernel kind. FP32 stays
+  // bit-identical across kinds (the SIMD f32 kernel keeps the scalar
+  // per-element accumulation order, vectorizing across output columns), so
+  // this isolates the kernel dispatch on the measured token loop.
+  bench::title("Measured decode tokens/sec per kernel variant (KV cache, "
+               "32 tokens, FP32 reference stack)");
+  std::printf("%10s | %12s %12s | %9s\n", "kernel", "wall s", "tok/s",
+              "vs scalar");
+  bench::rule(56);
+  double kernel_scalar_s = 0.0;
+  for (const kernels::Kind kind :
+       {kernels::Kind::kScalar, kernels::Kind::kBlocked,
+        kernels::Kind::kSimd}) {
+    kernels::set_kind(kind);
+    const double secs =
+        decode_wall_seconds(model, memory, src_valid, 32, DecodeMode::kKvCache);
+    if (kind == kernels::Kind::kScalar) kernel_scalar_s = secs;
+    std::printf("%10s | %12.3f %12.0f | %8.2fx\n", kernels::kind_name(kind),
+                secs, 32.0 / secs, kernel_scalar_s > 0 ? kernel_scalar_s / secs
+                                                       : 1.0);
+  }
+  kernels::refresh_from_env();  // restore the environment's selection
+
   return speedup_at_32 >= 3.0 ? 0 : 1;
 }

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "tensor/kernels.hpp"
+
 namespace tfacc::bench {
 
 class JsonWriter {
@@ -107,6 +109,19 @@ class JsonWriter {
   std::vector<bool> first_;
   bool pending_key_ = false;
 };
+
+/// Host kernel-capability stanza (PR 8): which GEMM microkernel dispatch the
+/// bench ran with and what the host CPU supports. perf_gate.py reads
+/// "kernel_capability" to skip wall-clock gates when the current host cannot
+/// reproduce the baseline's kernel class (e.g. a NEON box diffing an AVX2
+/// baseline) — simulated-cycle metrics stay gated regardless.
+inline void write_host_info(JsonWriter& json) {
+  json.key("host").begin_object();
+  json.key("kernel").value(kernels::kind_name(kernels::selected()));
+  json.key("kernel_capability").value(kernels::capability());
+  json.key("simd_available").value(kernels::simd_available());
+  json.end_object();
+}
 
 /// Per-module busy/idle breakdown of a farm report (PR 4 BENCH schema,
 /// extended with the PR 5 boundary-stall and PR 6 prefill-stall

@@ -17,7 +17,10 @@ src/ and tools/ (tests may do what they like):
 
 3. hot-path-alloc — a function whose definition is preceded by a
    ``// hot-path: allocation-free`` marker must not allocate (new/malloc,
-   container growth, string building) anywhere in its body.
+   container growth, string building) anywhere in its body. A
+   ``// hot-path: allocation-free region`` marker extends the rule to every
+   line until the matching ``// hot-path: region end`` (PR 8: the GEMM /
+   requantize kernel block in src/tensor/kernels.cpp).
 
 Per-line exemption: append ``// lint: allow(<rule>)`` with the rule name
 above (e.g. ``// lint: allow(hot-path-alloc)`` on a one-time warm-up
@@ -59,6 +62,8 @@ ALLOC_RE = re.compile(
 )
 
 HOT_PATH_RE = re.compile(r"//\s*hot-path:\s*allocation-free")
+HOT_REGION_RE = re.compile(r"//\s*hot-path:\s*allocation-free\s+region")
+HOT_REGION_END_RE = re.compile(r"//\s*hot-path:\s*region\s+end")
 
 
 def allowed(line: str, rule: str) -> bool:
@@ -113,6 +118,24 @@ def lint_hot_paths(path: pathlib.Path, lines: list[str],
     while i < len(lines):
         if not HOT_PATH_RE.search(lines[i]):
             i += 1
+            continue
+        if HOT_REGION_RE.search(lines[i]):
+            # Region form: every line until '// hot-path: region end' is hot.
+            j = i + 1
+            while j < len(lines) and not HOT_REGION_END_RE.search(lines[j]):
+                code = lines[j].split("//", 1)[0]
+                if ALLOC_RE.search(code) and not allowed(
+                        lines[j], "hot-path-alloc"):
+                    errors.append(
+                        f"{path}:{j + 1}: hot-path-alloc: allocation inside "
+                        f"a '// hot-path: allocation-free region'")
+                j += 1
+            if j >= len(lines):
+                errors.append(
+                    f"{path}:{i + 1}: hot-path-alloc: unterminated "
+                    f"'// hot-path: allocation-free region' (no "
+                    f"'// hot-path: region end')")
+            i = j + 1
             continue
         # The marked function's body: from its first '{' to brace balance 0.
         depth = 0

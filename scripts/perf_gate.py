@@ -13,9 +13,19 @@ structurally matching position (sweep points, beam section, gates):
 
   * sa_utilization               — must not drop below baseline * (1 - tol)
   * modeled_sentences_per_second — must not drop below baseline * (1 - tol)
+  * wallclock_speedup_vs_scalar  — measured SIMD/scalar serve-loop ratio
+  * gemm_ns_scalar_over_simd     — measured scalar/SIMD GEMM-kernel ratio
 
-Workload keys (sentences, max_len, slots, cards, ...) must match exactly:
-comparing different workloads is a configuration error, not a regression.
+The wall-clock metrics are dimensionless ratios (host-speed free), but they
+do depend on the host's SIMD class. When both files carry a "host" stanza
+(bench/json.hpp write_host_info) and the kernel capabilities differ — e.g. a
+NEON box diffing an AVX2 baseline — the wall-clock gates are SKIPPED;
+simulated-cycle metrics stay gated regardless. Gate wall-clock files with a
+loose --tolerance (CI uses 0.25): they are measured, not integer-replayed.
+
+Workload keys (sentences, max_len, slots, cards, kernel, ...) must match
+exactly: comparing different workloads is a configuration error, not a
+regression.
 
 The walk is driven by the baseline, so a gated metric present only in the
 CURRENT bench (a new sweep point, a new gated section) would otherwise be
@@ -28,13 +38,24 @@ import argparse
 import json
 import sys
 
-GATED_METRICS = {"sa_utilization", "modeled_sentences_per_second"}
+# Wall-clock gates: dimensionless measured ratios, skipped on a host whose
+# kernel capability differs from the baseline's.
+WALLCLOCK_METRICS = {"wallclock_speedup_vs_scalar", "gemm_ns_scalar_over_simd"}
+GATED_METRICS = {"sa_utilization",
+                 "modeled_sentences_per_second"} | WALLCLOCK_METRICS
 WORKLOAD_KEYS = {"sentences", "max_len", "slots", "slots_per_card", "cards",
                  "beam_size", "bench", "pack_prefill", "prefill_chunk_rows",
-                 "arrival_mean_gap_cycles"}
+                 "arrival_mean_gap_cycles", "kernel", "d_model"}
 
 
-def walk(current, baseline, path, failures, checks):
+def capability(doc):
+    """The host stanza's kernel capability, or None on pre-PR-8 files."""
+    host = doc.get("host") if isinstance(doc, dict) else None
+    return host.get("kernel_capability") if isinstance(host, dict) else None
+
+
+def walk(current, baseline, path, failures, checks, skip_wallclock,
+         skips):
     if isinstance(baseline, dict):
         if not isinstance(current, dict):
             failures.append(f"{path}: baseline is an object, current is not")
@@ -43,16 +64,26 @@ def walk(current, baseline, path, failures, checks):
             if key not in current:
                 failures.append(f"{path}.{key}: missing from current bench")
                 continue
-            walk(current[key], base_value, f"{path}.{key}", failures, checks)
+            walk(current[key], base_value, f"{path}.{key}", failures, checks,
+                 skip_wallclock, skips)
     elif isinstance(baseline, list):
         if not isinstance(current, list) or len(current) != len(baseline):
             failures.append(f"{path}: sweep shape differs from baseline")
             return
         for i, base_value in enumerate(baseline):
-            walk(current[i], base_value, f"{path}[{i}]", failures, checks)
+            walk(current[i], base_value, f"{path}[{i}]", failures, checks,
+                 skip_wallclock, skips)
     else:
         leaf = path.rsplit(".", 1)[-1]
-        if leaf in WORKLOAD_KEYS and current != baseline:
+        if leaf in WALLCLOCK_METRICS and skip_wallclock:
+            skips.append(path)
+            print(f"     SKIPPED  {path}: host kernel capability differs "
+                  f"from baseline — wall-clock gate not comparable")
+        elif leaf in WORKLOAD_KEYS and path.endswith(f".host.{leaf}"):
+            # The host stanza describes the machine, not the workload: the
+            # "kernel" key there legitimately differs across hosts.
+            pass
+        elif leaf in WORKLOAD_KEYS and current != baseline:
             failures.append(
                 f"{path}: workload mismatch (current {current!r} vs "
                 f"baseline {baseline!r}) — rerun the bench with the "
@@ -91,8 +122,12 @@ def main():
     with open(args.baseline) as f:
         baseline = json.load(f)
 
-    failures, checks = [], []
-    walk(current, baseline, "$", failures, checks)
+    cap_current, cap_baseline = capability(current), capability(baseline)
+    skip_wallclock = (cap_current is not None and cap_baseline is not None
+                      and cap_current != cap_baseline)
+
+    failures, checks, skips = [], [], []
+    walk(current, baseline, "$", failures, checks, skip_wallclock, skips)
 
     # The baseline-driven walk never sees current-only paths: a gated metric
     # the current bench emits without a baseline counterpart must fail, or
@@ -100,7 +135,10 @@ def main():
     current_gated, baseline_gated = set(), set()
     collect_gated_paths(current, "$", current_gated)
     collect_gated_paths(baseline, "$", baseline_gated)
-    unbaselined = sorted(current_gated - baseline_gated)
+    unbaselined = sorted(
+        path for path in current_gated - baseline_gated
+        if not (skip_wallclock
+                and path.rsplit(".", 1)[-1] in WALLCLOCK_METRICS))
     for path in unbaselined:
         print(f"  UNBASELINED {path}: gated metric has no baseline — "
               f"refresh {args.baseline} in this change")
@@ -122,6 +160,10 @@ def main():
         print(f"  STRUCTURE   {failure}")
 
     if not checks and not failures:
+        if skips:
+            print(f"perf gate: PASS ({len(skips)} wall-clock metric(s) "
+                  f"skipped on capability mismatch, nothing else gated)")
+            return 0
         print("perf gate: no gated metrics found — check the file pair")
         return 1
     if regressions or failures:

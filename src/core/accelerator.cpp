@@ -64,12 +64,6 @@ void finalize_report(RunReport& rep, const AcceleratorConfig& cfg,
                          std::max<Cycle>(0, rep.total_cycles - sa->end_time());
 }
 
-std::vector<std::int32_t> bias_slice(const std::vector<std::int32_t>& bias,
-                                     int offset, int len) {
-  return std::vector<std::int32_t>(bias.begin() + offset,
-                                   bias.begin() + offset + len);
-}
-
 }  // namespace
 
 Accelerator::Accelerator(AcceleratorConfig cfg) : cfg_(cfg) {
@@ -87,8 +81,8 @@ MatI8 Accelerator::forward_mha(const MhaQuantized& block, const MatI8& q,
   // Functional pass, op for op in the program order of Algorithm 1 (a
   // schedule may reorder timing-wise; data results are unaffected because
   // reordered ops are data-independent by construction).
-  std::vector<MatI8> p_blocks;
-  p_blocks.reserve(block.heads.size());
+  const int hd = block.head_dim;
+  MatI8 p(q.rows(), block.d_model);
   for (int h = 0; h < block.num_heads; ++h) {
     const auto& head = block.heads[static_cast<std::size_t>(h)];
     const MatI8 q1 = head.wq.forward(q);
@@ -97,23 +91,16 @@ MatI8 Accelerator::forward_mha(const MhaQuantized& block, const MatI8& q,
     const MatI8 probs = block.softmax(scores, mask, h);
     const MatI8 v1 = head.wv.forward(kv);
     const MatI32 a_acc = gemm_i8(probs, v1);
-    p_blocks.push_back(requantize_i8(a_acc, head.av_requant));
+    p.set_block(0, h * hd, requantize_i8(a_acc, head.av_requant));
   }
-  const MatI8 p = hconcat(p_blocks);
 
-  const int hd = block.head_dim;
+  // Full-width packed W_G projection. The requantizer and residual adders
+  // are column-independent, so this is bit-identical to the per-head_dim
+  // column-block loop the controller executes (and that the seed modeled).
+  const MatI32 g_acc = block.wg.accumulate(p);
+  const MatI16 g_proj = requantize_i16(g_acc, block.wg_to_g);
   const MatI16 g_res = requantize_i8_to_i16(q, block.residual_to_g);
-  const auto wg_blocks = split_cols(block.wg.w, hd);
-  MatI16 g(q.rows(), block.d_model);
-  for (int i = 0; i < block.d_model / hd; ++i) {
-    const MatI32 acc = add_bias_i32(
-        gemm_i8(p, wg_blocks[static_cast<std::size_t>(i)]),
-        bias_slice(block.wg.bias, i * hd, hd));
-    const MatI16 proj = requantize_i16(acc, block.wg_to_g);
-    const MatI16 res_blk = g_res.block(0, i * hd, q.rows(), hd);
-    g.set_block(0, i * hd, saturating_add_i16(proj, res_blk));
-  }
-  return block.norm(g);
+  return block.norm(saturating_add_i16(g_proj, g_res));
 }
 
 Accelerator::MhaResult Accelerator::run_mha(const MhaQuantized& block,
@@ -137,30 +124,15 @@ MatI8 Accelerator::forward_ffn(const FfnQuantized& block,
   TFACC_CHECK_ARG(block.d_model % cfg_.sa_cols == 0 &&
                   block.d_ff % cfg_.sa_cols == 0);
 
-  const int bc = cfg_.sa_cols;
-  const auto w1_blocks = split_cols(block.w1.w, bc);
-  std::vector<MatI8> h_blocks;
-  h_blocks.reserve(w1_blocks.size());
-  for (int i = 0; i < block.d_ff / bc; ++i) {
-    const MatI32 acc = add_bias_i32(
-        gemm_i8(x, w1_blocks[static_cast<std::size_t>(i)]),
-        bias_slice(block.w1.bias, i * bc, bc));
-    h_blocks.push_back(block.w1.requantize(relu_i32(acc), i * bc));
-  }
-  const MatI8 hidden = hconcat(h_blocks);
-
-  const auto w2_blocks = split_cols(block.w2.w, bc);
+  // One full-width packed GEMM per layer (W₁ then W₂). The per-SA-column
+  // requantizers (including per-column granularity) are column-independent,
+  // so the output is bit-identical to the per-64-column block loop the
+  // controller executes (and that the seed modeled).
+  const MatI8 hidden = block.w1.forward_relu(x);
+  const MatI32 g_acc = block.w2.accumulate(hidden);
+  const MatI16 g_proj = requantize_i16(g_acc, block.w2_to_g);
   const MatI16 g_res = requantize_i8_to_i16(x, block.residual_to_g);
-  MatI16 g(x.rows(), block.d_model);
-  for (int i = 0; i < block.d_model / bc; ++i) {
-    const MatI32 acc = add_bias_i32(
-        gemm_i8(hidden, w2_blocks[static_cast<std::size_t>(i)]),
-        bias_slice(block.w2.bias, i * bc, bc));
-    const MatI16 proj = requantize_i16(acc, block.w2_to_g);
-    const MatI16 res_blk = g_res.block(0, i * bc, x.rows(), bc);
-    g.set_block(0, i * bc, saturating_add_i16(proj, res_blk));
-  }
-  return block.norm(g);
+  return block.norm(saturating_add_i16(g_proj, g_res));
 }
 
 Accelerator::FfnResult Accelerator::run_ffn(const FfnQuantized& block,

@@ -34,7 +34,7 @@ void charge_ffn(AcceleratorStats* stats, const RunReport& report) {
 void DecodeStepFuser::begin_step() {
   TFACC_CHECK_MSG(!active_, "decode step already open");
   TFACC_CHECK_MSG(!prefill_active_, "step opened inside prefill capture");
-  TFACC_CHECK(subs_.empty() && prefill_chunks_.empty());
+  TFACC_CHECK(n_subs_ == 0 && prefill_chunks_.empty());
   active_ = true;
   mha_sublayers_ = 0;
   ffn_sublayers_ = 0;
@@ -68,14 +68,28 @@ void DecodeStepFuser::add_prefill_chunk(SublayerPlan chunk) {
   prefill_chunks_.push_back(std::move(chunk));
 }
 
-void DecodeStepFuser::record_mha_cached_batch(std::vector<int> totals,
+SublayerPlan& DecodeStepFuser::next_sub() {
+  if (n_subs_ == subs_.size()) subs_.emplace_back();
+  SublayerPlan& p = subs_[n_subs_];
+  // "subN" stays within the small-string buffer — no heap traffic.
+  p.label = "sub";
+  p.label += std::to_string(n_subs_);
+  ++n_subs_;
+  return p;
+}
+
+void DecodeStepFuser::record_mha_cached_batch(const std::vector<int>& totals,
                                               int d_model, int num_heads,
                                               int project_kv_rows) {
   TFACC_CHECK_MSG(active_, "record outside begin_step()/end_step()");
   ++mha_sublayers_;
-  subs_.push_back(SublayerPlan::mha_cached_batch(
-      "sub" + std::to_string(subs_.size()), std::move(totals), d_model,
-      num_heads, project_kv_rows));
+  SublayerPlan& p = next_sub();
+  p.kind = SublayerPlan::Kind::kMhaCachedBatch;
+  p.totals.assign(totals.begin(), totals.end());
+  p.d_model = d_model;
+  p.num_heads = num_heads;
+  p.project_kv_rows = project_kv_rows;
+  p.s_q = p.s_kv = p.rows = p.d_ff = 0;
 }
 
 void DecodeStepFuser::record_ffn(int rows, int d_model, int d_ff) {
@@ -87,19 +101,24 @@ void DecodeStepFuser::record_ffn(int rows, int d_model, int d_ff) {
     return;
   }
   ++ffn_sublayers_;
-  subs_.push_back(SublayerPlan::ffn("sub" + std::to_string(subs_.size()),
-                                    rows, d_model, d_ff));
+  SublayerPlan& p = next_sub();
+  p.kind = SublayerPlan::Kind::kFfn;
+  p.totals.clear();
+  p.rows = rows;
+  p.d_model = d_model;
+  p.d_ff = d_ff;
+  p.num_heads = p.s_q = p.s_kv = p.project_kv_rows = 0;
 }
 
 RunReport DecodeStepFuser::end_step() {
   TFACC_CHECK_MSG(active_, "end_step without begin_step");
   active_ = false;
-  if (subs_.empty() && prefill_chunks_.empty())
+  if (n_subs_ == 0 && prefill_chunks_.empty())
     return {};  // the step fell back to non-hook paths
   // Each prefill chunk is its own (single-sublayer) lane; the packed decode
   // pass is one chained lane appended last, so its initial weight tile
   // prefetches under the prefill compute.
-  const bool has_decode = !subs_.empty();
+  const bool has_decode = n_subs_ > 0;
   long prefill_mha = 0;
   long prefill_ffn = 0;
   std::vector<FusedLane> lanes;
@@ -112,8 +131,14 @@ RunReport DecodeStepFuser::end_step() {
     lanes.push_back(FusedLane{{std::move(chunk)}, true});
   }
   prefill_chunks_.clear();
-  if (has_decode) lanes.push_back(FusedLane{std::move(subs_), false});
-  subs_.clear();
+  // Copy (not move) the live plans out so subs_ keeps its recycled slots'
+  // buffers — end_step runs outside the allocation-free step window.
+  if (has_decode)
+    lanes.push_back(FusedLane{
+        {subs_.begin(),
+         subs_.begin() + static_cast<std::ptrdiff_t>(n_subs_)},
+        false});
+  n_subs_ = 0;
   RunReport report = acc_->time_step(lanes);
   if (stats_ != nullptr) {
     stats_->mha_runs += mha_sublayers_ + prefill_mha;
@@ -189,21 +214,24 @@ ResBlockBackend accelerator_backend(const QuantizedTransformer& qt,
                            const MhaWeights& w,
                            const std::vector<Mask>& masks, bool append) {
     const MhaQuantized& qm = qt.mha_for(w);
-    const std::vector<QuantKvCache*> kv = quant_kv_caches(caches);
-    if (append) qm.append_kv_batch(qm.quantize_kv(q), kv);
-    const std::vector<const QuantKvCache*> ckv(kv.begin(), kv.end());
+    // Thread-local marshalling scratch: zero heap allocations once warm.
+    BatchHookScratch& s = batch_hook_scratch();
+    quant_kv_caches_into(caches, s);
+    mask_ptrs_into(masks, s);
+    if (append) qm.append_kv_batch(qm.quantize_kv(q), s.kv);
     const int projected = append ? q.rows() : 0;
     if (fuser != nullptr && fuser->active()) {
-      const MatI8 out = acc.forward_mha_cached_batch(
-          qm, qm.quantize_q(q), ckv, mask_ptrs(masks), projected);
-      std::vector<int> totals(ckv.size());
-      for (std::size_t r = 0; r < ckv.size(); ++r) totals[r] = ckv[r]->rows();
-      fuser->record_mha_cached_batch(std::move(totals), qm.d_model,
-                                     qm.num_heads, projected);
+      const MatI8 out = acc.forward_mha_cached_batch(qm, qm.quantize_q(q),
+                                                     s.ckv, s.masks, projected);
+      s.totals.clear();
+      s.totals.reserve(s.ckv.size());
+      for (const QuantKvCache* c : s.ckv) s.totals.push_back(c->rows());
+      fuser->record_mha_cached_batch(s.totals, qm.d_model, qm.num_heads,
+                                     projected);
       return qm.dequantize_out(out);
     }
-    const auto result = acc.run_mha_cached_batch(qm, qm.quantize_q(q), ckv,
-                                                 mask_ptrs(masks), projected);
+    const auto result = acc.run_mha_cached_batch(qm, qm.quantize_q(q), s.ckv,
+                                                 s.masks, projected);
     charge_mha(stats, result.report);
     return qm.dequantize_out(result.out);
   };

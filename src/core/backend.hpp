@@ -80,8 +80,11 @@ class DecodeStepFuser {
   RunReport end_step();
 
   /// Hook-side recorders (no-ops unless a step is open — callers check
-  /// active() first).
-  void record_mha_cached_batch(std::vector<int> totals, int d_model,
+  /// active() first). They run inside the allocation-free packed step loop,
+  /// so they write into recycled plan slots: `totals` is copied into the
+  /// slot's persistent buffer, labels stay within SSO capacity, and a warm
+  /// step touches the heap not at all.
+  void record_mha_cached_batch(const std::vector<int>& totals, int d_model,
                                int num_heads, int project_kv_rows);
   void record_ffn(int rows, int d_model, int d_ff);
 
@@ -106,13 +109,17 @@ class DecodeStepFuser {
   void add_prefill_chunk(SublayerPlan chunk);
 
  private:
+  /// Next recycled slot of subs_ (grows it on first use); labels it "subN".
+  SublayerPlan& next_sub();
+
   const Accelerator* acc_;
   AcceleratorStats* stats_;
   bool active_ = false;
   bool prefill_active_ = false;
   long mha_sublayers_ = 0;
   long ffn_sublayers_ = 0;
-  std::vector<SublayerPlan> subs_;
+  std::size_t n_subs_ = 0;            ///< live plans this step: subs_[0, n)
+  std::vector<SublayerPlan> subs_;    ///< recycled slots, capacity persists
   std::vector<SublayerPlan> prefill_plans_;   ///< capture: full-size plans
   std::vector<SublayerPlan> prefill_chunks_;  ///< this step's spliced chunks
 };

@@ -41,10 +41,15 @@ void LayerNormUnit::finish_row(const std::int16_t* g, std::int64_t sum,
     return;
   }
 
-  const RsqrtLut& lut = rsqrt_lut();
+  // One ROM access per row, like the hardware: V is row-constant, so the
+  // lookup is hoisted and only the multiply/shift runs per element
+  // (bit-identical to calling mul_rsqrt per element).
+  const RsqrtLut::Result rs = rsqrt_lut().lookup(v);
+  const int norm_shift = RsqrtLut::kOutFracBits + rs.shift - kNormFracBits;
   for (int j = 0; j < n_; ++j) {
     const std::int64_t t = static_cast<std::int64_t>(n_) * g[j] - sum;
-    const std::int64_t norm_q12 = lut.mul_rsqrt(t, v, kNormFracBits);
+    const std::int64_t norm_q12 =
+        rounding_shift_right(t * rs.mantissa, norm_shift);
     const std::int64_t scaled = rounding_shift_right(
         norm_q12 * gq_[static_cast<std::size_t>(j)], 2 * kNormFracBits);
     out[j] = saturate_i8(scaled + bq_[static_cast<std::size_t>(j)]);

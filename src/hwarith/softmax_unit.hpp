@@ -59,9 +59,11 @@ class SoftmaxUnit {
   FixedPointScale to_q10_;  // d_scale/8, expressed in Q.10 LSBs
   std::optional<PwlResolution> resolution_;  // empty = shipped dyadic design
   // Per-row exp-argument scratch, hoisted out of row()'s hot path so the
-  // attention inner loop is allocation-free. Entries for masked columns are
-  // left stale; every read in stage 4 is guarded by the same mask.
-  mutable std::vector<std::int32_t> x_q10_;
+  // attention inner loop is allocation-free. Pool-backed (tensor/arena.hpp)
+  // so even a freshly constructed unit recycles a warm thread's buffer
+  // instead of hitting the heap. Entries for masked columns are left stale;
+  // every read in stage 4 is guarded by the same mask.
+  mutable PoolVec<std::int32_t> x_q10_;
 };
 
 }  // namespace tfacc::hw

@@ -29,14 +29,21 @@ std::int64_t inject_faults(MhaQuantized& block, double ber, Rng& rng) {
     flips += inject_bit_flips(head.wq.w, ber, rng);
     flips += inject_bit_flips(head.wk.w, ber, rng);
     flips += inject_bit_flips(head.wv.w, ber, rng);
+    // The GEMM kernels read the Bᵀ pack, not w — re-pack the flipped bits.
+    head.wq.repack();
+    head.wk.repack();
+    head.wv.repack();
   }
   flips += inject_bit_flips(block.wg.w, ber, rng);
+  block.wg.repack();
   return flips;
 }
 
 std::int64_t inject_faults(FfnQuantized& block, double ber, Rng& rng) {
   std::int64_t flips = inject_bit_flips(block.w1.w, ber, rng);
   flips += inject_bit_flips(block.w2.w, ber, rng);
+  block.w1.repack();
+  block.w2.repack();
   return flips;
 }
 

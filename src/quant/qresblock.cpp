@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace tfacc {
@@ -23,16 +24,23 @@ float scale_of(const std::vector<MatF>& samples, int qmax,
 MatI16 saturating_add_i16(const MatI16& a, const MatI16& b) {
   TFACC_CHECK_ARG(a.same_shape(b));
   MatI16 out(a.rows(), a.cols());
-  for (int r = 0; r < a.rows(); ++r)
+  for (int r = 0; r < a.rows(); ++r) {
+    const std::int16_t* ar = a.row(r);
+    const std::int16_t* br = b.row(r);
+    std::int16_t* orow = out.row(r);
     for (int c = 0; c < a.cols(); ++c)
-      out(r, c) = saturate_i16(static_cast<std::int64_t>(a(r, c)) + b(r, c));
+      orow[c] = saturate_i16(static_cast<std::int64_t>(ar[c]) + br[c]);
+  }
   return out;
 }
 
 MatI16 requantize_i8_to_i16(const MatI8& m, const FixedPointScale& s) {
   MatI16 out(m.rows(), m.cols());
-  for (int r = 0; r < m.rows(); ++r)
-    for (int c = 0; c < m.cols(); ++c) out(r, c) = s.apply_i16(m(r, c));
+  for (int r = 0; r < m.rows(); ++r) {
+    const std::int8_t* mr = m.row(r);
+    std::int16_t* orow = out.row(r);
+    for (int c = 0; c < m.cols(); ++c) orow[c] = s.apply_i16(mr[c]);
+  }
   return out;
 }
 
@@ -54,6 +62,7 @@ QuantizedLinear QuantizedLinear::build(const MatF& w,
   if (granularity == WeightGranularity::kPerTensor) {
     q.w = quantize_i8(w, QuantParams{q.w_scale});
     q.bias = quantize_bias(bias, in_scale, q.w_scale);
+    q.repack();
     return q;
   }
   // Per-column: each output channel gets its own scale and requantizer.
@@ -75,11 +84,19 @@ QuantizedLinear QuantizedLinear::build(const MatF& w,
     q.col_requant[static_cast<std::size_t>(j)] = FixedPointScale::from_double(
         static_cast<double>(in_scale) * ws / out_scale);
   }
+  q.repack();
   return q;
 }
 
 MatI32 QuantizedLinear::accumulate(const MatI8& x) const {
-  return add_bias_i32(gemm_i8(x, w), bias);
+  // Packed fused-bias kernel: c = bias ⊕ x·W in one pass, exactly
+  // add_bias_i32(gemm_i8(x, w), bias). The fallback covers hand-assembled
+  // layers that never called build()/repack().
+  if (wpack.k != w.rows() || wpack.n != w.cols())
+    return add_bias_i32(gemm_i8(x, w), bias);
+  MatI32 out(x.rows(), w.cols());
+  kernels::gemm_i8_packed_bias_into(x, wpack, bias, out);
+  return out;
 }
 
 MatI8 QuantizedLinear::requantize(const MatI32& acc, int col_offset) const {
@@ -221,8 +238,7 @@ MatI8 MhaQuantized::forward(const MatI8& q, const MatI8& kv,
   TFACC_CHECK_ARG(q.cols() == d_model && kv.cols() == d_model);
   TFACC_CHECK_ARG(mask.rows() == q.rows() && mask.cols() == kv.rows());
 
-  std::vector<MatI8> p_blocks;
-  p_blocks.reserve(heads.size());
+  MatI8 p(q.rows(), d_model);
   for (int h = 0; h < num_heads; ++h) {
     const auto& qh = heads[static_cast<std::size_t>(h)];
     const MatI8 q1 = qh.wq.forward(q);
@@ -231,9 +247,8 @@ MatI8 MhaQuantized::forward(const MatI8& q, const MatI8& kv,
     const MatI32 scores = gemm_nt_i8(q1, k1);
     const MatI8 probs = softmax(scores, mask, h);
     const MatI32 a = gemm_i8(probs, v1);
-    p_blocks.push_back(requantize_i8(a, qh.av_requant));
+    p.set_block(0, h * head_dim, requantize_i8(a, qh.av_requant));
   }
-  const MatI8 p = hconcat(p_blocks);
   return mha_output_stage(*this, q, p);
 }
 
@@ -266,8 +281,7 @@ MatI8 MhaQuantized::forward_cached(const MatI8& q, const QuantKvCache& cache,
   TFACC_CHECK_ARG(q.cols() == d_model);
   TFACC_CHECK_ARG(mask.rows() == q.rows() && mask.cols() == cache.rows());
 
-  std::vector<MatI8> p_blocks;
-  p_blocks.reserve(heads.size());
+  MatI8 p(q.rows(), d_model);
   for (int h = 0; h < num_heads; ++h) {
     const auto& qh = heads[static_cast<std::size_t>(h)];
     const MatI8 q1 = qh.wq.forward(q);
@@ -275,9 +289,8 @@ MatI8 MhaQuantized::forward_cached(const MatI8& q, const QuantKvCache& cache,
         gemm_nt_i8(q1, cache.k1[static_cast<std::size_t>(h)]);
     const MatI8 probs = softmax(scores, mask, h);
     const MatI32 a = gemm_i8(probs, cache.v1[static_cast<std::size_t>(h)]);
-    p_blocks.push_back(requantize_i8(a, qh.av_requant));
+    p.set_block(0, h * head_dim, requantize_i8(a, qh.av_requant));
   }
-  const MatI8 p = hconcat(p_blocks);
   return mha_output_stage(*this, q, p);
 }
 
@@ -293,6 +306,30 @@ std::vector<const Mask*> mask_ptrs(const std::vector<Mask>& masks) {
   std::vector<const Mask*> out(masks.size());
   for (std::size_t i = 0; i < masks.size(); ++i) out[i] = &masks[i];
   return out;
+}
+
+BatchHookScratch& batch_hook_scratch() {
+  thread_local BatchHookScratch s;
+  return s;
+}
+
+void quant_kv_caches_into(const std::vector<MhaCache*>& caches,
+                          BatchHookScratch& s) {
+  s.kv.clear();
+  s.ckv.clear();
+  s.kv.reserve(caches.size());
+  s.ckv.reserve(caches.size());
+  for (MhaCache* c : caches) {
+    QuantKvCache* q = &dynamic_cast<QuantKvCache&>(*c);
+    s.kv.push_back(q);
+    s.ckv.push_back(q);
+  }
+}
+
+void mask_ptrs_into(const std::vector<Mask>& masks, BatchHookScratch& s) {
+  s.masks.clear();
+  s.masks.reserve(masks.size());
+  for (const Mask& m : masks) s.masks.push_back(&m);
 }
 
 void MhaQuantized::append_kv_batch(

@@ -14,6 +14,7 @@
 #include "hwarith/layernorm_unit.hpp"
 #include "hwarith/softmax_unit.hpp"
 #include "quant/quantizer.hpp"
+#include "tensor/pack.hpp"
 #include "reference/decode_state.hpp"
 #include "reference/functional.hpp"
 #include "reference/weights.hpp"
@@ -58,6 +59,7 @@ struct QuantizedLinear {
   WeightGranularity granularity = WeightGranularity::kPerTensor;
   std::vector<float> col_w_scale;            // per column, when per-column
   std::vector<FixedPointScale> col_requant;  // per column, when per-column
+  PackedI8 wpack;  // Bᵀ pack of w for the blocked/SIMD GEMM kernels (PR 8)
 
   /// Quantize FP32 weights/bias given the input scale and the calibrated
   /// output scale.
@@ -66,7 +68,11 @@ struct QuantizedLinear {
       float out_scale,
       WeightGranularity granularity = WeightGranularity::kPerTensor);
 
+  /// Rebuild wpack from w — call after mutating w in place (fault injection).
+  void repack() { wpack = pack_b_i8(w); }
+
   /// INT32 accumulators of x·W + b (what leaves the systolic array + adders).
+  /// Runs the packed fused-bias kernel (bit-identical to the unpacked GEMM).
   MatI32 accumulate(const MatI8& x) const;
   /// Requantize accumulators of columns [col_offset, col_offset + acc.cols)
   /// — the per-64-column-block path the accelerator controller uses.
@@ -199,6 +205,26 @@ std::vector<QuantKvCache*> quant_kv_caches(
     const std::vector<MhaCache*>& caches);
 /// Address-of view of a hook's mask list, as forward_cached_batch consumes.
 std::vector<const Mask*> mask_ptrs(const std::vector<Mask>& masks);
+
+/// Thread-local marshalling scratch for the packed decode hooks: the
+/// cache/mask pointer views and the per-slot totals are rebuilt every step,
+/// but their buffers persist, so a warm step's hook does zero heap
+/// allocations (PR 8). Each hook invocation overwrites the previous one's
+/// contents — don't hold views across calls.
+struct BatchHookScratch {
+  std::vector<QuantKvCache*> kv;
+  std::vector<const QuantKvCache*> ckv;
+  std::vector<const Mask*> masks;
+  std::vector<int> totals;
+};
+BatchHookScratch& batch_hook_scratch();
+
+/// quant_kv_caches + the const view, into `s.kv` / `s.ckv` (no allocation
+/// once warm).
+void quant_kv_caches_into(const std::vector<MhaCache*>& caches,
+                          BatchHookScratch& s);
+/// mask_ptrs into `s.masks` (no allocation once warm).
+void mask_ptrs_into(const std::vector<Mask>& masks, BatchHookScratch& s);
 
 /// Saturating INT16 residual add: sat16(a + b) elementwise.
 MatI16 saturating_add_i16(const MatI16& a, const MatI16& b);

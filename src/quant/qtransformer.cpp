@@ -103,11 +103,13 @@ ResBlockBackend QuantizedTransformer::backend() const {
                               const MhaWeights& w,
                               const std::vector<Mask>& masks, bool append) {
     const MhaQuantized& qm = mha_for(w);
-    const std::vector<QuantKvCache*> kv = quant_kv_caches(caches);
-    if (append) qm.append_kv_batch(qm.quantize_kv(q), kv);
-    const std::vector<const QuantKvCache*> ckv(kv.begin(), kv.end());
+    // Thread-local marshalling scratch: zero heap allocations once warm.
+    BatchHookScratch& s = batch_hook_scratch();
+    quant_kv_caches_into(caches, s);
+    mask_ptrs_into(masks, s);
+    if (append) qm.append_kv_batch(qm.quantize_kv(q), s.kv);
     return qm.dequantize_out(
-        qm.forward_cached_batch(qm.quantize_q(q), ckv, mask_ptrs(masks)));
+        qm.forward_cached_batch(qm.quantize_q(q), s.ckv, s.masks));
   };
   return b;
 }

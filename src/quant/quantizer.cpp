@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.hpp"
+
 namespace tfacc {
 
 namespace {
@@ -120,15 +122,13 @@ MatF dequantize_i32(const MatI32& m, float scale) {
 
 MatI8 requantize_i8(const MatI32& acc, const FixedPointScale& s) {
   MatI8 out(acc.rows(), acc.cols());
-  for (int r = 0; r < acc.rows(); ++r)
-    for (int c = 0; c < acc.cols(); ++c) out(r, c) = s.apply_i8(acc(r, c));
+  kernels::requantize_i8_into(acc, s.mantissa, s.shift, out);
   return out;
 }
 
 MatI16 requantize_i16(const MatI32& acc, const FixedPointScale& s) {
   MatI16 out(acc.rows(), acc.cols());
-  for (int r = 0; r < acc.rows(); ++r)
-    for (int c = 0; c < acc.cols(); ++c) out(r, c) = s.apply_i16(acc(r, c));
+  kernels::requantize_i16_into(acc, s.mantissa, s.shift, out);
   return out;
 }
 

@@ -57,8 +57,10 @@ MatF ref_mha_cached_batch(const MatF& q, const std::vector<MhaCache*>& caches,
   TFACC_CHECK_ARG(static_cast<int>(caches.size()) == n &&
                   static_cast<int>(masks.size()) == n);
   const int head_dim = w.heads.front().wk.cols();
-  std::vector<MatF> head_outputs;
-  head_outputs.reserve(w.heads.size());
+  // Heads write straight into their column block of P — no per-head output
+  // list, no hconcat; matrix temporaries recycle through the byte pool, so a
+  // warm step allocates nothing.
+  MatF p(n, static_cast<int>(w.heads.size()) * head_dim);
   for (std::size_t h = 0; h < w.heads.size(); ++h) {
     const auto& head = w.heads[h];
     if (append) {
@@ -74,17 +76,14 @@ MatF ref_mha_cached_batch(const MatF& q, const std::vector<MhaCache*>& caches,
       }
     }
     const MatF qi = add_bias(gemm(q, head.wq), head.bq);
-    MatF out(n, head_dim);
     for (int r = 0; r < n; ++r) {
       const auto& ref =
           dynamic_cast<const RefMhaCache&>(*caches[static_cast<std::size_t>(r)]);
-      out.set_block(r, 0,
-                    attention_head(qi.block(r, 0, 1, head_dim), ref.k[h],
-                                   ref.v[h], masks[static_cast<std::size_t>(r)]));
+      p.set_block(r, static_cast<int>(h) * head_dim,
+                  attention_head(qi.block(r, 0, 1, head_dim), ref.k[h],
+                                 ref.v[h], masks[static_cast<std::size_t>(r)]));
     }
-    head_outputs.push_back(std::move(out));
   }
-  const MatF p = hconcat(head_outputs);
   const MatF g = add(q, add_bias(gemm(p, w.wg), w.bg));
   return layer_norm(g, w.norm);
 }

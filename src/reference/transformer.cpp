@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "reference/search.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace tfacc {
@@ -11,6 +12,19 @@ namespace tfacc {
 namespace {
 // Initial positional-table allocation; positions() grows past it on demand.
 constexpr int kInitialPositions = 512;
+
+// Thread-local scratch of the packed decode step (decode_step_batch): the
+// per-slot mask and cache-pointer lists are rebuilt each step, but their
+// buffers persist across steps, keeping the warm step loop allocation-free.
+struct StepScratch {
+  std::vector<Mask> self_masks, cross_masks;
+  std::vector<MhaCache*> self_caches, cross_caches;
+};
+
+StepScratch& step_scratch() {
+  thread_local StepScratch s;
+  return s;
+}
 
 /// Does this std::function still hold the free function it was defaulted to?
 template <typename Sig, typename Fn>
@@ -185,17 +199,35 @@ std::vector<float> Transformer::decode_step(DecodeState& state,
 std::vector<std::vector<float>> Transformer::decode_step_batch(
     const std::vector<DecodeState*>& states,
     const std::vector<int>& tokens) const {
+  MatF logits;
+  decode_step_batch(states, tokens, logits);
+  std::vector<std::vector<float>> out(states.size());
+  for (int i = 0; i < logits.rows(); ++i) {
+    const float* row = logits.row(i);
+    out[static_cast<std::size_t>(i)].assign(row, row + logits.cols());
+  }
+  return out;
+}
+
+void Transformer::decode_step_batch(const std::vector<DecodeState*>& states,
+                                    const std::vector<int>& tokens,
+                                    MatF& logits) const {
   TFACC_CHECK_ARG(!states.empty() && states.size() == tokens.size());
+  const int n = static_cast<int>(states.size());
+  const int vocab = weights_.output_projection.cols();
+  if (logits.rows() != n || logits.cols() != vocab) logits = MatF(n, vocab);
+
   if (!backend_.supports_batched_decode()) {
     // Untrusted batch hook: the serial path is bit-identical by definition.
-    std::vector<std::vector<float>> out;
-    out.reserve(states.size());
-    for (std::size_t i = 0; i < states.size(); ++i)
-      out.push_back(decode_step(*states[i], tokens[i]));
-    return out;
+    for (int i = 0; i < n; ++i) {
+      const std::vector<float> row =
+          decode_step(*states[static_cast<std::size_t>(i)],
+                      tokens[static_cast<std::size_t>(i)]);
+      std::copy(row.begin(), row.end(), logits.row(i));
+    }
+    return;
   }
 
-  const int n = static_cast<int>(states.size());
   const int d_model = weights_.config.d_model;
   const float scale = std::sqrt(static_cast<float>(d_model));
   int max_pos = 0;
@@ -209,46 +241,42 @@ std::vector<std::vector<float>> Transformer::decode_step_batch(
   }
   const auto pe = positions(max_pos + 1);
 
+  // Per-thread step scratch: the mask and cache-pointer lists are rebuilt
+  // every step but keep their buffers, so a warm step allocates nothing
+  // (the masks themselves draw from the recycling byte pool).
+  StepScratch& sc = step_scratch();
+
   // Stack every hypothesis's embedded input row (each at its own position).
   MatF y(n, d_model);
-  std::vector<Mask> self_masks, cross_masks;
-  self_masks.reserve(states.size());
-  cross_masks.reserve(states.size());
+  sc.self_masks.clear();
+  sc.cross_masks.clear();
   for (int i = 0; i < n; ++i) {
     const DecodeState& s = *states[static_cast<std::size_t>(i)];
     const int tok = tokens[static_cast<std::size_t>(i)];
     for (int c = 0; c < d_model; ++c)
       y(i, c) = weights_.tgt_embedding(tok, c) * scale + (*pe)(s.steps, c);
     // Row `steps` of causal_mask(steps + 1), as in decode_step.
-    self_masks.push_back(no_mask(1, s.steps + 1));
-    cross_masks.push_back(padding_mask(1, s.memory_rows, s.src_valid));
+    sc.self_masks.push_back(no_mask(1, s.steps + 1));
+    sc.cross_masks.push_back(padding_mask(1, s.memory_rows, s.src_valid));
   }
 
-  std::vector<MhaCache*> self_caches(states.size());
-  std::vector<MhaCache*> cross_caches(states.size());
+  sc.self_caches.resize(states.size());
+  sc.cross_caches.resize(states.size());
   for (std::size_t li = 0; li < weights_.decoder_layers.size(); ++li) {
     const auto& layer = weights_.decoder_layers[li];
     for (std::size_t i = 0; i < states.size(); ++i) {
-      self_caches[i] = states[i]->self_kv[li].get();
-      cross_caches[i] = states[i]->cross_kv[li].get();
+      sc.self_caches[i] = states[i]->self_kv[li].get();
+      sc.cross_caches[i] = states[i]->cross_kv[li].get();
     }
-    y = backend_.mha_cached_batch(y, self_caches, layer.self_mha, self_masks,
-                                  /*append=*/true);
-    y = backend_.mha_cached_batch(y, cross_caches, layer.cross_mha,
-                                  cross_masks, /*append=*/false);
+    y = backend_.mha_cached_batch(y, sc.self_caches, layer.self_mha,
+                                  sc.self_masks, /*append=*/true);
+    y = backend_.mha_cached_batch(y, sc.cross_caches, layer.cross_mha,
+                                  sc.cross_masks, /*append=*/false);
     y = backend_.ffn(y, layer.ffn);
   }
   for (DecodeState* s : states) ++s->steps;
 
-  const MatF logits = gemm(y, weights_.output_projection);
-  std::vector<std::vector<float>> out(states.size());
-  for (int i = 0; i < n; ++i) {
-    auto& row = out[static_cast<std::size_t>(i)];
-    row.resize(static_cast<std::size_t>(logits.cols()));
-    for (int c = 0; c < logits.cols(); ++c)
-      row[static_cast<std::size_t>(c)] = logits(i, c);
-  }
-  return out;
+  kernels::gemm_f32_into(y, weights_.output_projection, logits);
 }
 
 TokenSeq Transformer::translate_beam(const TokenSeq& src, int max_len,

@@ -138,6 +138,15 @@ class Transformer {
       const std::vector<DecodeState*>& states,
       const std::vector<int>& tokens) const;
 
+  /// Allocation-free variant for the serve step loop: writes hypothesis i's
+  /// logits into row i of `logits` (reshaped to n × vocab only when its
+  /// shape differs, drawing from the recycling byte pool). With a batched
+  /// backend, a warm call performs ZERO heap allocations — every temporary
+  /// recycles through the thread-local pool or persistent scratch
+  /// (tests/test_kernels.cpp enforces this with an operator-new counter).
+  void decode_step_batch(const std::vector<DecodeState*>& states,
+                         const std::vector<int>& tokens, MatF& logits) const;
+
   /// Greedy autoregressive translation: BOS ... EOS, capped at max_len.
   /// The returned sequence excludes BOS and EOS.
   TokenSeq translate_greedy(const TokenSeq& src, int max_len,

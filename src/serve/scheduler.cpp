@@ -377,6 +377,18 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
     return std::max(clock_floor, busy);
   };
 
+  // Per-iteration gather/scatter buffers, hoisted out of the step loop so
+  // their capacities persist: together with the allocation-free
+  // decode_step_batch overload below, a warm steady-state step touches the
+  // heap only inside the search machines.
+  std::vector<DecodeState*> states;
+  std::vector<int> tokens;
+  std::vector<char> ready;
+  std::vector<int> live_counts;
+  std::vector<SublayerPlan> step_chunks;
+  MatF flat_logits;                             // cached mode: rows × vocab
+  std::vector<std::vector<float>> sentence_rows;  // advance() marshalling
+
   bool queue_drained = false;
   for (;;) {
     // Refill every vacant slot before stepping: finished sentences left last
@@ -450,10 +462,10 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
     // prefill chunk rides THIS step's ledger becomes decode-ready next step
     // (its encoder output exists, in simulated time, only once this step's
     // graph nodes complete).
-    std::vector<DecodeState*> states;
-    std::vector<int> tokens;
-    std::vector<char> ready(active.size(), 0);
-    std::vector<int> live_counts(active.size(), 0);
+    states.clear();
+    tokens.clear();
+    ready.assign(active.size(), 0);
+    live_counts.assign(active.size(), 0);
     int rows = 0;
     for (std::size_t ai = 0; ai < active.size(); ++ai) {
       if (!active[ai].prefill_done()) continue;
@@ -471,7 +483,7 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
     // Splice ONE pending prefill chunk per not-yet-ready sentence into this
     // step — the fixed-size interleaving that stops one long sentence from
     // monopolizing a step while its siblings' beams starve.
-    std::vector<SublayerPlan> step_chunks;
+    step_chunks.clear();
     for (Active& a : active) {
       if (a.prefill_done()) continue;
       step_chunks.push_back(a.chunks[a.next_chunk++]);
@@ -497,6 +509,8 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
 
     // One packed pass for every row (cached), or the legacy per-hypothesis
     // full recompute (the O(L³) comparison mode — nothing to pack there).
+    // Cached mode writes into the persistent flat_logits (the allocation-free
+    // overload); full recompute keeps per-hypothesis vectors.
     std::vector<std::vector<float>> logits;
     if (cached) {
       if (fuse) {
@@ -507,7 +521,7 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
         fuser->begin_step();
         for (SublayerPlan& chunk : step_chunks)
           fuser->add_prefill_chunk(std::move(chunk));
-        if (rows > 0) logits = card.model.decode_step_batch(states, tokens);
+        if (rows > 0) card.model.decode_step_batch(states, tokens, flat_logits);
         (void)fuser->end_step();
       } else {
         // Unfused packing (ablation): each chunk is its own ledger ahead of
@@ -521,7 +535,7 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
             if (rows > 0) stats.prefill_stall_cycles += r.total_cycles;
           }
         }
-        if (rows > 0) logits = card.model.decode_step_batch(states, tokens);
+        if (rows > 0) card.model.decode_step_batch(states, tokens, flat_logits);
       }
     } else {
       logits.reserve(static_cast<std::size_t>(rows));
@@ -538,9 +552,16 @@ void Scheduler::run_card(std::size_t c, RequestQueue& queue,
     for (std::size_t ai = 0; ai < active.size(); ++ai) {
       if (!ready[ai]) continue;
       const std::size_t k = static_cast<std::size_t>(live_counts[ai]);
-      active[ai].search->advance(std::vector<std::vector<float>>(
-          logits.begin() + static_cast<std::ptrdiff_t>(off),
-          logits.begin() + static_cast<std::ptrdiff_t>(off + k)));
+      sentence_rows.resize(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        if (cached) {
+          const float* row = flat_logits.row(static_cast<int>(off + i));
+          sentence_rows[i].assign(row, row + flat_logits.cols());
+        } else {
+          sentence_rows[i] = std::move(logits[off + i]);
+        }
+      }
+      active[ai].search->advance(sentence_rows);
       off += k;
     }
 

@@ -1,0 +1,167 @@
+// Thread-local recycling arena behind every Matrix<T> buffer.
+//
+// The packed serve step loop (PR 8) must run allocation-free: each decode
+// step builds dozens of short-lived matrices (projections, scores, softmax
+// rows, requantized blocks) whose shapes repeat step after step. Routing
+// Matrix storage through a size-bucketed free list means the first step
+// warms the pool and every later step recycles blocks without touching the
+// global heap — generalizing the PR 2 SoftmaxUnit::row hoist to every
+// temporary on the measured path.
+//
+// Design constraints:
+//  * No heap bookkeeping inside the pool itself (fixed-capacity free lists),
+//    so a free/alloc pair can never allocate — the zero-allocation guard in
+//    tests/test_kernels.cpp counts global operator new calls.
+//  * 64-byte-aligned blocks, so pooled storage doubles as the aligned
+//    backing for the packed GEMM kernels (src/tensor/pack.hpp).
+//  * Pools are thread_local: no cross-thread synchronization (TSan-clean for
+//    the per-card scheduler threads), and each pool frees its cached blocks
+//    at thread exit (ASan leak-clean). A block allocated on one thread and
+//    freed on another simply migrates pools; the memory itself comes from
+//    the global aligned operator new either way.
+//  * Static-destruction safe: a trivially-destructible thread_local state
+//    flag routes frees arriving after the pool's destructor straight to
+//    operator delete.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace tfacc {
+namespace pool_detail {
+
+constexpr std::size_t kAlign = 64;
+constexpr int kMinClassLog2 = 6;   // 64 B — one cache line / SA tile row
+constexpr int kMaxClassLog2 = 26;  // 64 MiB — larger blocks bypass the pool
+constexpr int kNumClasses = kMaxClassLog2 - kMinClassLog2 + 1;
+// Free-list depth: generous for small blocks (many per step), shallow for
+// large ones so an idle pool cannot pin hundreds of megabytes.
+constexpr int kSmallCap = 64;
+constexpr int kLargeCap = 8;
+constexpr int kLargeClassLog2 = 16;  // > 64 KiB counts as large
+
+/// Size-class index of a request, or -1 when it bypasses the pool.
+inline int class_of(std::size_t bytes) {
+  if (bytes <= (std::size_t{1} << kMinClassLog2)) return 0;
+  const int log2 = std::bit_width(bytes - 1);  // ceil(log2(bytes))
+  if (log2 > kMaxClassLog2) return -1;
+  return log2 - kMinClassLog2;
+}
+
+inline std::size_t class_bytes(int cls) {
+  return std::size_t{1} << (kMinClassLog2 + cls);
+}
+
+inline void* aligned_new(std::size_t bytes) {
+  return ::operator new(bytes, std::align_val_t{kAlign});
+}
+
+inline void aligned_delete(void* p) {
+  ::operator delete(p, std::align_val_t{kAlign});
+}
+
+enum class PoolState : char { kUninit, kLive, kDead };
+
+/// Trivially destructible, so it outlives the pool during thread/static
+/// teardown and keeps routing frees safely.
+inline PoolState& pool_state() {
+  static thread_local PoolState state = PoolState::kUninit;
+  return state;
+}
+
+class BytePool {
+ public:
+  BytePool() { pool_state() = PoolState::kLive; }
+  ~BytePool() {
+    pool_state() = PoolState::kDead;
+    for (int cls = 0; cls < kNumClasses; ++cls)
+      for (int i = 0; i < lists_[cls].count; ++i)
+        aligned_delete(lists_[cls].blocks[i]);
+  }
+  BytePool(const BytePool&) = delete;
+  BytePool& operator=(const BytePool&) = delete;
+
+  void* alloc(int cls) {
+    FreeList& list = lists_[cls];
+    if (list.count > 0) return list.blocks[--list.count];
+    return aligned_new(class_bytes(cls));
+  }
+
+  void free(int cls, void* p) {
+    FreeList& list = lists_[cls];
+    const int cap = cls + kMinClassLog2 > kLargeClassLog2 ? kLargeCap
+                                                          : kSmallCap;
+    if (list.count < cap) {
+      list.blocks[list.count++] = p;
+      return;
+    }
+    aligned_delete(p);  // list full — don't hoard
+  }
+
+ private:
+  // Plain arrays: the pool's own bookkeeping never touches the heap.
+  struct FreeList {
+    void* blocks[kSmallCap];
+    int count = 0;
+  };
+  FreeList lists_[kNumClasses] = {};
+};
+
+inline BytePool& pool_instance() {
+  static thread_local BytePool pool;
+  return pool;
+}
+
+}  // namespace pool_detail
+
+/// 64-byte-aligned allocation from the calling thread's recycling pool.
+// hot-path: allocation-free
+// (steady state: a warm pool serves repeats from its free lists;
+//  `operator new` is reached only on a cold size class.)
+inline void* pool_alloc(std::size_t bytes) {
+  using namespace pool_detail;
+  const int cls = class_of(bytes);
+  if (cls < 0 || pool_state() == PoolState::kDead)
+    return aligned_new(bytes);
+  return pool_instance().alloc(cls);
+}
+
+/// Return a pool_alloc'd block (same byte count) to the pool.
+inline void pool_free(void* p, std::size_t bytes) {
+  using namespace pool_detail;
+  const int cls = class_of(bytes);
+  if (cls < 0 || pool_state() != PoolState::kLive) {
+    aligned_delete(p);
+    return;
+  }
+  pool_instance().free(cls, p);
+}
+
+/// std::allocator drop-in that recycles through the thread-local pool.
+/// Matrix<T> uses it for data_, so every matrix temporary on the decode hot
+/// path draws from (and returns to) the arena instead of the heap.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(pool_alloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) { pool_free(p, n * sizeof(T)); }
+
+  friend bool operator==(const PoolAllocator&, const PoolAllocator&) {
+    return true;
+  }
+};
+
+/// A std::vector whose storage recycles through the arena (64-byte aligned).
+template <typename T>
+using PoolVec = std::vector<T, PoolAllocator<T>>;
+
+}  // namespace tfacc

@@ -1,0 +1,955 @@
+#include "tensor/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "common/check.hpp"
+#include "common/fixed_point.hpp"
+
+// Intrinsics headers are safe to include without -march flags; the AVX2
+// paths are compiled per-function via __attribute__((target("avx2"))) and
+// only ever *called* after a runtime __builtin_cpu_supports check, so the
+// binary stays runnable on any x86-64 host.
+#if defined(__x86_64__) || defined(__i386__)
+#define TFACC_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#define TFACC_KERNELS_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace tfacc::kernels {
+
+namespace {
+
+#if TFACC_KERNELS_X86
+bool cpu_has_avx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+#endif
+
+Kind kind_from_env_or_default() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* spec = std::getenv("TFACC_KERNEL");
+  if (spec == nullptr || *spec == '\0') return Kind::kSimd;
+  Kind kind = Kind::kSimd;
+  TFACC_CHECK_ARG_MSG(parse_kind(spec, &kind),
+                      "TFACC_KERNEL='" << spec
+                                       << "' (want scalar|blocked|simd)");
+  return kind;
+}
+
+std::atomic<Kind>& kind_slot() {
+  static std::atomic<Kind> slot{kind_from_env_or_default()};
+  return slot;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels: the original tensor/ops triple loops, verbatim. These are
+// the semantic reference every other kind must match bit-for-bit, and the
+// "before" side of the wall-clock speedup gate.
+// ---------------------------------------------------------------------------
+
+// hot-path: allocation-free region — every kernel in this namespace runs
+// inside decode_step_batch; they write pre-shaped outputs and never touch
+// the heap (scripts/lint_invariants.py scans the region until the matching
+// '// hot-path: region end').
+
+template <typename T, typename Acc>
+void gemm_scalar(const Matrix<T>& a, const Matrix<T>& b, Matrix<Acc>& out) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    Acc* orow = out.row(i);
+    for (int j = 0; j < n; ++j) orow[j] = Acc{};
+    const T* arow = a.row(i);
+    for (int p = 0; p < k; ++p) {
+      const Acc av = arow[p];
+      const T* brow = b.row(p);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+template <typename T, typename Acc>
+void gemm_nt_scalar(const Matrix<T>& a, const Matrix<T>& b, Matrix<Acc>& out) {
+  const int k = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const T* arow = a.row(i);
+    Acc* orow = out.row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const T* brow = b.row(j);
+      Acc acc{};
+      for (int p = 0; p < k; ++p) acc += static_cast<Acc>(arow[p]) * brow[p];
+      orow[j] = acc;
+    }
+  }
+}
+
+template <typename T, typename Acc>
+void gemm_packed_scalar(const Matrix<T>& a, const PackedB<T>& bp,
+                        const std::int32_t* bias, Matrix<Acc>& out) {
+  const int k = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const T* arow = a.row(i);
+    Acc* orow = out.row(i);
+    for (int j = 0; j < bp.n; ++j) {
+      const T* brow = bp.row(j);
+      Acc acc = bias != nullptr ? static_cast<Acc>(bias[j]) : Acc{};
+      for (int p = 0; p < k; ++p) acc += static_cast<Acc>(arow[p]) * brow[p];
+      orow[j] = acc;
+    }
+  }
+}
+
+/// Saturate to the output element type (int8 or int16).
+template <typename OutT>
+OutT saturate_narrow(std::int64_t v) {
+  if constexpr (sizeof(OutT) == 1) return saturate_i8(v);
+  else return saturate_i16(v);  // NOLINT(readability-else-after-return)
+}
+
+/// The quantizer's original requantize loops, verbatim: (r,c) indexing and
+/// FixedPointScale::apply per element.
+template <typename OutT>
+void requantize_scalar(const MatI32& acc, std::int32_t mantissa, int shift,
+                       Matrix<OutT>& out) {
+  for (int r = 0; r < acc.rows(); ++r)
+    for (int c = 0; c < acc.cols(); ++c)
+      out(r, c) = saturate_narrow<OutT>(rounding_shift_right(
+          static_cast<std::int64_t>(acc(r, c)) * mantissa, shift));
+}
+
+// ---------------------------------------------------------------------------
+// Blocked kernels: plain C++, always available. gemm blocks over a 4-row
+// strip of A so each streamed B row is reused 4× from registers/L1; each
+// output element still accumulates in ascending-p order with a single
+// accumulator, so the float results are bit-identical to scalar. The dot
+// kernels (packed / nt) unroll the reduction 4-way — integer-only, where
+// reassociation is exact.
+// ---------------------------------------------------------------------------
+
+template <typename T, typename Acc>
+void gemm_blocked(const Matrix<T>& a, const Matrix<T>& b, Matrix<Acc>& out) {
+  constexpr int kRowStrip = 4;
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i0 = 0; i0 < m; i0 += kRowStrip) {
+    const int strip = i0 + kRowStrip <= m ? kRowStrip : m - i0;
+    for (int ii = 0; ii < strip; ++ii) {
+      Acc* orow = out.row(i0 + ii);
+      for (int j = 0; j < n; ++j) orow[j] = Acc{};
+    }
+    for (int p = 0; p < k; ++p) {
+      const T* brow = b.row(p);
+      for (int ii = 0; ii < strip; ++ii) {
+        const Acc av = a(i0 + ii, p);
+        Acc* orow = out.row(i0 + ii);
+        for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+/// Integer dot with a 4-way unrolled reduction (exact reassociation).
+template <typename T>
+std::int32_t dot_i32_blocked(const T* a, const T* b, int k) {
+  std::int32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  int p = 0;
+  for (; p + 4 <= k; p += 4) {
+    s0 += static_cast<std::int32_t>(a[p]) * b[p];
+    s1 += static_cast<std::int32_t>(a[p + 1]) * b[p + 1];
+    s2 += static_cast<std::int32_t>(a[p + 2]) * b[p + 2];
+    s3 += static_cast<std::int32_t>(a[p + 3]) * b[p + 3];
+  }
+  std::int32_t sum = (s0 + s1) + (s2 + s3);
+  for (; p < k; ++p) sum += static_cast<std::int32_t>(a[p]) * b[p];
+  return sum;
+}
+
+/// Float dot in strict ascending-p order (bit-identical to the scalar loop).
+float dot_f32_ordered(const float* a, const float* b, int k) {
+  float acc = 0.0f;
+  for (int p = 0; p < k; ++p) acc += a[p] * b[p];
+  return acc;
+}
+
+template <typename T>
+void gemm_nt_blocked(const Matrix<T>& a, const Matrix<T>& b, MatI32& out) {
+  const int k = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const T* arow = a.row(i);
+    std::int32_t* orow = out.row(i);
+    for (int j = 0; j < b.rows(); ++j)
+      orow[j] = dot_i32_blocked(arow, b.row(j), k);
+  }
+}
+
+void gemm_nt_blocked_f32(const MatF& a, const MatF& b, MatF& out) {
+  const int k = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (int j = 0; j < b.rows(); ++j)
+      orow[j] = dot_f32_ordered(arow, b.row(j), k);
+  }
+}
+
+template <typename T>
+void gemm_packed_blocked(const Matrix<T>& a, const PackedB<T>& bp,
+                         const std::int32_t* bias, MatI32& out) {
+  const int k = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const T* arow = a.row(i);
+    std::int32_t* orow = out.row(i);
+    for (int j = 0; j < bp.n; ++j) {
+      const std::int32_t seed = bias != nullptr ? bias[j] : 0;
+      orow[j] = seed + dot_i32_blocked(arow, bp.row(j), k);
+    }
+  }
+}
+
+/// Row-pointer requantize — same math as requantize_scalar, contiguous walk.
+template <typename OutT>
+void requantize_rows(const MatI32& acc, std::int32_t mantissa, int shift,
+                     Matrix<OutT>& out) {
+  const int n = acc.cols();
+  for (int r = 0; r < acc.rows(); ++r) {
+    const std::int32_t* in = acc.row(r);
+    OutT* o = out.row(r);
+    for (int c = 0; c < n; ++c)
+      o[c] = saturate_narrow<OutT>(rounding_shift_right(
+          static_cast<std::int64_t>(in[c]) * mantissa, shift));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels (x86, runtime-dispatched). Integer reductions use
+// sign-extension to int16 + pmaddwd, which is exact for int8 operands
+// (|pair sum| ≤ 2·128² < 2³¹) and for quantized int16 operands. The f32
+// kernel vectorizes across output columns with separate mul+add — the
+// target attribute enables AVX2 only (no FMA), so no contraction can change
+// the scalar path's per-element rounding.
+// ---------------------------------------------------------------------------
+
+#if TFACC_KERNELS_X86
+
+__attribute__((target("avx2"))) std::int32_t hsum_epi32(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+__attribute__((target("avx2"))) std::int32_t dot_i8_avx2(const std::int8_t* a,
+                                                         const std::int8_t* b,
+                                                         int k) {
+  __m256i acc = _mm256_setzero_si256();
+  int p = 0;
+  for (; p + 32 <= k; p += 32) {
+    const __m256i a0 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + p)));
+    const __m256i b0 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + p)));
+    const __m256i a1 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + p + 16)));
+    const __m256i b1 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + p + 16)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a0, b0));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a1, b1));
+  }
+  for (; p + 16 <= k; p += 16) {
+    const __m256i a0 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + p)));
+    const __m256i b0 = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + p)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a0, b0));
+  }
+  std::int32_t sum = hsum_epi32(acc);
+  for (; p < k; ++p) sum += static_cast<std::int32_t>(a[p]) * b[p];
+  return sum;
+}
+
+__attribute__((target("avx2"))) std::int32_t dot_i16_avx2(
+    const std::int16_t* a, const std::int16_t* b, int k) {
+  __m256i acc = _mm256_setzero_si256();
+  int p = 0;
+  for (; p + 16 <= k; p += 16) {
+    const __m256i a0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + p));
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + p));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a0, b0));
+  }
+  std::int32_t sum = hsum_epi32(acc);
+  for (; p < k; ++p) sum += static_cast<std::int32_t>(a[p]) * b[p];
+  return sum;
+}
+
+__attribute__((target("avx2"))) void gemm_i8_avx2(const MatI8& a,
+                                                  const MatI8& b,
+                                                  MatI32& out) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  if (n == 0) return;  // row() may be null on an empty matrix (memset UB)
+  for (int i = 0; i < m; ++i) {
+    std::int32_t* orow = out.row(i);
+    std::memset(orow, 0, static_cast<std::size_t>(n) * sizeof(std::int32_t));
+    const std::int8_t* arow = a.row(i);
+    for (int p = 0; p < k; ++p) {
+      const std::int8_t* brow = b.row(p);
+      const __m256i av = _mm256_set1_epi16(arow[p]);
+      int j = 0;
+      for (; j + 16 <= n; j += 16) {
+        const __m256i b16 = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(brow + j)));
+        // int8·int8 products fit int16 exactly (|v| ≤ 128·128 < 2¹⁵).
+        const __m256i prod = _mm256_mullo_epi16(av, b16);
+        const __m256i lo =
+            _mm256_cvtepi16_epi32(_mm256_castsi256_si128(prod));
+        const __m256i hi =
+            _mm256_cvtepi16_epi32(_mm256_extracti128_si256(prod, 1));
+        __m256i* o = reinterpret_cast<__m256i*>(orow + j);
+        _mm256_storeu_si256(o, _mm256_add_epi32(_mm256_loadu_si256(o), lo));
+        __m256i* o2 = reinterpret_cast<__m256i*>(orow + j + 8);
+        _mm256_storeu_si256(o2, _mm256_add_epi32(_mm256_loadu_si256(o2), hi));
+      }
+      const std::int32_t avs = arow[p];
+      for (; j < n; ++j) orow[j] += avs * brow[j];
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void gemm_i16_avx2(const MatI16& a,
+                                                   const MatI16& b,
+                                                   MatI32& out) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  if (n == 0) return;  // row() may be null on an empty matrix (memset UB)
+  for (int i = 0; i < m; ++i) {
+    std::int32_t* orow = out.row(i);
+    std::memset(orow, 0, static_cast<std::size_t>(n) * sizeof(std::int32_t));
+    const std::int16_t* arow = a.row(i);
+    for (int p = 0; p < k; ++p) {
+      const std::int16_t* brow = b.row(p);
+      const __m256i av = _mm256_set1_epi32(arow[p]);
+      int j = 0;
+      for (; j + 8 <= n; j += 8) {
+        const __m256i b32 = _mm256_cvtepi16_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(brow + j)));
+        const __m256i prod = _mm256_mullo_epi32(av, b32);
+        __m256i* o = reinterpret_cast<__m256i*>(orow + j);
+        _mm256_storeu_si256(o, _mm256_add_epi32(_mm256_loadu_si256(o), prod));
+      }
+      const std::int32_t avs = arow[p];
+      for (; j < n; ++j) orow[j] += avs * brow[j];
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void gemm_f32_avx2(const MatF& a,
+                                                   const MatF& b, MatF& out) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  if (n == 0) return;  // row() may be null on an empty matrix (memset UB)
+  for (int i = 0; i < m; ++i) {
+    float* orow = out.row(i);
+    std::memset(orow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    const float* arow = a.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b.row(p);
+      const __m256 av = _mm256_set1_ps(arow[p]);
+      int j = 0;
+      for (; j + 8 <= n; j += 8) {
+        // Separate mul + add (no FMA in the target set): each orow[j]
+        // accumulates the same rounded products in the same order as the
+        // scalar loop.
+        const __m256 prod = _mm256_mul_ps(av, _mm256_loadu_ps(brow + j));
+        _mm256_storeu_ps(orow + j,
+                         _mm256_add_ps(_mm256_loadu_ps(orow + j), prod));
+      }
+      const float avs = arow[p];
+      for (; j < n; ++j) orow[j] += avs * brow[j];
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void gemm_nt_i8_avx2(const MatI8& a,
+                                                     const MatI8& b,
+                                                     MatI32& out) {
+  const int k = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const std::int8_t* arow = a.row(i);
+    std::int32_t* orow = out.row(i);
+    for (int j = 0; j < b.rows(); ++j) orow[j] = dot_i8_avx2(arow, b.row(j), k);
+  }
+}
+
+__attribute__((target("avx2"))) void gemm_i8_packed_avx2(
+    const MatI8& a, const PackedI8& bp, const std::int32_t* bias,
+    MatI32& out) {
+  const int k = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const std::int8_t* arow = a.row(i);
+    std::int32_t* orow = out.row(i);
+    for (int j = 0; j < bp.n; ++j) {
+      const std::int32_t seed = bias != nullptr ? bias[j] : 0;
+      orow[j] = seed + dot_i8_avx2(arow, bp.row(j), k);
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void gemm_i16_packed_avx2(const MatI16& a,
+                                                          const PackedI16& bp,
+                                                          MatI32& out) {
+  const int k = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const std::int16_t* arow = a.row(i);
+    std::int32_t* orow = out.row(i);
+    for (int j = 0; j < bp.n; ++j) orow[j] = dot_i16_avx2(arow, bp.row(j), k);
+  }
+}
+
+// --- AVX2 requantization ---------------------------------------------------
+// Branchless reformulation of rounding_shift_right(v·m, s) for s ≥ 1:
+//
+//   round(p, s) = (p + bias + (p < 0 ? −1 : 0)) >>ₐ s,   bias = 2^(s−1)
+//
+// (for p < 0, −((−p + bias) >> s) = floor((p − bias + 2^s − 1)/2^s) and
+// 2^s − 1 − bias = bias − 1). AVX2 has no 64-bit arithmetic shift, so it is
+// emulated: x >>ₐ s = ((x + 2^62) >>ₗ s) − 2^(62−s), valid while x + 2^62
+// stays in [0, 2^63). Here |p| = |v·m| < 2^31·2^15 = 2^46 and bias ≤ 2^47
+// (the dispatch only takes this path for 1 ≤ s ≤ 48), so |x| < 2^48. The
+// products come from _mm256_mul_epi32 on the even/odd 32-bit lanes — it
+// sign-extends the low dword of each 64-bit lane, which is exactly the
+// int32 accumulator value.
+
+/// Round, emulated-arithmetic-shift, and clamp four int64 products.
+__attribute__((target("avx2"))) __m256i requant_round_clamp_avx2(
+    __m256i prod, __m256i bias, __m128i count, __m256i offset,
+    __m256i offset_shifted, __m256i lo, __m256i hi) {
+  const __m256i neg = _mm256_cmpgt_epi64(_mm256_setzero_si256(), prod);
+  __m256i x = _mm256_add_epi64(_mm256_add_epi64(prod, bias), neg);
+  x = _mm256_sub_epi64(_mm256_srl_epi64(_mm256_add_epi64(x, offset), count),
+                       offset_shifted);
+  x = _mm256_blendv_epi8(x, hi, _mm256_cmpgt_epi64(x, hi));
+  x = _mm256_blendv_epi8(x, lo, _mm256_cmpgt_epi64(lo, x));
+  return x;
+}
+
+/// Eight int32 lanes → eight clamped int32 results in lane order: multiply
+/// the even and odd dwords separately (mul_epi32 eats the low dword of each
+/// 64-bit lane), round/clamp each half, then re-interleave the low dwords.
+__attribute__((target("avx2"))) __m256i requant_8lanes_avx2(
+    const std::int32_t* in, __m256i mvec, __m256i bias, __m128i count,
+    __m256i offset, __m256i offset_shifted, __m256i lo, __m256i hi) {
+  const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in));
+  const __m256i pe = _mm256_mul_epi32(x, mvec);  // dwords 0,2,4,6
+  const __m256i po = _mm256_mul_epi32(
+      _mm256_shuffle_epi32(x, _MM_SHUFFLE(3, 3, 1, 1)), mvec);  // 1,3,5,7
+  const __m256i re = requant_round_clamp_avx2(pe, bias, count, offset,
+                                              offset_shifted, lo, hi);
+  const __m256i ro = requant_round_clamp_avx2(po, bias, count, offset,
+                                              offset_shifted, lo, hi);
+  return _mm256_blend_epi32(re, _mm256_slli_epi64(ro, 32), 0b10101010);
+}
+
+__attribute__((target("avx2"))) void requantize_i8_avx2(const MatI32& acc,
+                                                        std::int32_t mantissa,
+                                                        int shift,
+                                                        MatI8& out) {
+  const __m256i mvec = _mm256_set1_epi64x(mantissa);
+  const __m256i bias = _mm256_set1_epi64x(std::int64_t{1} << (shift - 1));
+  const __m128i count = _mm_cvtsi32_si128(shift);
+  const __m256i offset = _mm256_set1_epi64x(std::int64_t{1} << 62);
+  const __m256i offset_shifted =
+      _mm256_set1_epi64x((std::int64_t{1} << 62) >> shift);
+  const __m256i lo = _mm256_set1_epi64x(-128);
+  const __m256i hi = _mm256_set1_epi64x(127);
+  // Byte 0 of each dword, per 128-bit lane (clamped → truncation is exact).
+  const __m256i pick = _mm256_setr_epi8(
+      0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  //
+      0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+  const __m256i join = _mm256_setr_epi32(0, 4, 0, 0, 0, 0, 0, 0);
+  const int n = acc.cols();
+  for (int r = 0; r < acc.rows(); ++r) {
+    const std::int32_t* in = acc.row(r);
+    std::int8_t* o = out.row(r);
+    int c = 0;
+    for (; c + 8 <= n; c += 8) {
+      const __m256i merged = requant_8lanes_avx2(
+          in + c, mvec, bias, count, offset, offset_shifted, lo, hi);
+      const __m256i packed =
+          _mm256_permutevar8x32_epi32(_mm256_shuffle_epi8(merged, pick), join);
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(o + c),
+                       _mm256_castsi256_si128(packed));
+    }
+    for (; c < n; ++c)
+      o[c] = saturate_i8(rounding_shift_right(
+          static_cast<std::int64_t>(in[c]) * mantissa, shift));
+  }
+}
+
+__attribute__((target("avx2"))) void requantize_i16_avx2(const MatI32& acc,
+                                                         std::int32_t mantissa,
+                                                         int shift,
+                                                         MatI16& out) {
+  const __m256i mvec = _mm256_set1_epi64x(mantissa);
+  const __m256i bias = _mm256_set1_epi64x(std::int64_t{1} << (shift - 1));
+  const __m128i count = _mm_cvtsi32_si128(shift);
+  const __m256i offset = _mm256_set1_epi64x(std::int64_t{1} << 62);
+  const __m256i offset_shifted =
+      _mm256_set1_epi64x((std::int64_t{1} << 62) >> shift);
+  const __m256i lo = _mm256_set1_epi64x(-32768);
+  const __m256i hi = _mm256_set1_epi64x(32767);
+  // Bytes 0–1 of each dword, per 128-bit lane.
+  const __m256i pick = _mm256_setr_epi8(
+      0, 1, 4, 5, 8, 9, 12, 13, -1, -1, -1, -1, -1, -1, -1, -1,  //
+      0, 1, 4, 5, 8, 9, 12, 13, -1, -1, -1, -1, -1, -1, -1, -1);
+  const __m256i join = _mm256_setr_epi32(0, 1, 4, 5, 0, 0, 0, 0);
+  const int n = acc.cols();
+  for (int r = 0; r < acc.rows(); ++r) {
+    const std::int32_t* in = acc.row(r);
+    std::int16_t* o = out.row(r);
+    int c = 0;
+    for (; c + 8 <= n; c += 8) {
+      const __m256i merged = requant_8lanes_avx2(
+          in + c, mvec, bias, count, offset, offset_shifted, lo, hi);
+      const __m256i packed =
+          _mm256_permutevar8x32_epi32(_mm256_shuffle_epi8(merged, pick), join);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(o + c),
+                       _mm256_castsi256_si128(packed));
+    }
+    for (; c < n; ++c)
+      o[c] = saturate_i16(rounding_shift_right(
+          static_cast<std::int64_t>(in[c]) * mantissa, shift));
+  }
+}
+
+// --- SSE2 fallbacks (x86 baseline, no runtime check needed) ----------------
+
+/// Sign-extend the low/high 8 bytes of an epi8 vector to epi16 (SSE2 has no
+/// pmovsxbw): interleave-with-self then arithmetic-shift restores the sign.
+std::int32_t dot_i8_sse2(const std::int8_t* a, const std::int8_t* b, int k) {
+  __m128i acc = _mm_setzero_si128();
+  int p = 0;
+  for (; p + 16 <= k; p += 16) {
+    const __m128i av =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + p));
+    const __m128i bv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + p));
+    const __m128i alo = _mm_srai_epi16(_mm_unpacklo_epi8(av, av), 8);
+    const __m128i ahi = _mm_srai_epi16(_mm_unpackhi_epi8(av, av), 8);
+    const __m128i blo = _mm_srai_epi16(_mm_unpacklo_epi8(bv, bv), 8);
+    const __m128i bhi = _mm_srai_epi16(_mm_unpackhi_epi8(bv, bv), 8);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(alo, blo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(ahi, bhi));
+  }
+  __m128i s =
+      _mm_add_epi32(acc, _mm_shuffle_epi32(acc, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  std::int32_t sum = _mm_cvtsi128_si32(s);
+  for (; p < k; ++p) sum += static_cast<std::int32_t>(a[p]) * b[p];
+  return sum;
+}
+
+void gemm_nt_i8_sse2(const MatI8& a, const MatI8& b, MatI32& out) {
+  const int k = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const std::int8_t* arow = a.row(i);
+    std::int32_t* orow = out.row(i);
+    for (int j = 0; j < b.rows(); ++j) orow[j] = dot_i8_sse2(arow, b.row(j), k);
+  }
+}
+
+void gemm_i8_packed_sse2(const MatI8& a, const PackedI8& bp,
+                         const std::int32_t* bias, MatI32& out) {
+  const int k = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const std::int8_t* arow = a.row(i);
+    std::int32_t* orow = out.row(i);
+    for (int j = 0; j < bp.n; ++j) {
+      const std::int32_t seed = bias != nullptr ? bias[j] : 0;
+      orow[j] = seed + dot_i8_sse2(arow, bp.row(j), k);
+    }
+  }
+}
+
+void gemm_f32_sse2(const MatF& a, const MatF& b, MatF& out) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  if (n == 0) return;  // row() may be null on an empty matrix (memset UB)
+  for (int i = 0; i < m; ++i) {
+    float* orow = out.row(i);
+    std::memset(orow, 0, static_cast<std::size_t>(n) * sizeof(float));
+    const float* arow = a.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float* brow = b.row(p);
+      const __m128 av = _mm_set1_ps(arow[p]);
+      int j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const __m128 prod = _mm_mul_ps(av, _mm_loadu_ps(brow + j));
+        _mm_storeu_ps(orow + j, _mm_add_ps(_mm_loadu_ps(orow + j), prod));
+      }
+      const float avs = arow[p];
+      for (; j < n; ++j) orow[j] += avs * brow[j];
+    }
+  }
+}
+
+#endif  // TFACC_KERNELS_X86
+
+#if TFACC_KERNELS_NEON
+
+std::int32_t dot_i8_neon(const std::int8_t* a, const std::int8_t* b, int k) {
+  int32x4_t acc = vdupq_n_s32(0);
+  int p = 0;
+  for (; p + 16 <= k; p += 16) {
+    const int8x16_t av = vld1q_s8(a + p);
+    const int8x16_t bv = vld1q_s8(b + p);
+    acc = vpadalq_s16(acc, vmull_s8(vget_low_s8(av), vget_low_s8(bv)));
+    acc = vpadalq_s16(acc, vmull_s8(vget_high_s8(av), vget_high_s8(bv)));
+  }
+  std::int32_t sum = vaddvq_s32(acc);
+  for (; p < k; ++p) sum += static_cast<std::int32_t>(a[p]) * b[p];
+  return sum;
+}
+
+std::int32_t dot_i16_neon(const std::int16_t* a, const std::int16_t* b,
+                          int k) {
+  int32x4_t acc = vdupq_n_s32(0);
+  int p = 0;
+  for (; p + 8 <= k; p += 8) {
+    const int16x8_t av = vld1q_s16(a + p);
+    const int16x8_t bv = vld1q_s16(b + p);
+    acc = vmlal_s16(acc, vget_low_s16(av), vget_low_s16(bv));
+    acc = vmlal_s16(acc, vget_high_s16(av), vget_high_s16(bv));
+  }
+  std::int32_t sum = vaddvq_s32(acc);
+  for (; p < k; ++p) sum += static_cast<std::int32_t>(a[p]) * b[p];
+  return sum;
+}
+
+void gemm_nt_i8_neon(const MatI8& a, const MatI8& b, MatI32& out) {
+  const int k = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const std::int8_t* arow = a.row(i);
+    std::int32_t* orow = out.row(i);
+    for (int j = 0; j < b.rows(); ++j) orow[j] = dot_i8_neon(arow, b.row(j), k);
+  }
+}
+
+void gemm_i8_packed_neon(const MatI8& a, const PackedI8& bp,
+                         const std::int32_t* bias, MatI32& out) {
+  const int k = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const std::int8_t* arow = a.row(i);
+    std::int32_t* orow = out.row(i);
+    for (int j = 0; j < bp.n; ++j) {
+      const std::int32_t seed = bias != nullptr ? bias[j] : 0;
+      orow[j] = seed + dot_i8_neon(arow, bp.row(j), k);
+    }
+  }
+}
+
+void gemm_i16_packed_neon(const MatI16& a, const PackedI16& bp, MatI32& out) {
+  const int k = a.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    const std::int16_t* arow = a.row(i);
+    std::int32_t* orow = out.row(i);
+    for (int j = 0; j < bp.n; ++j) orow[j] = dot_i16_neon(arow, bp.row(j), k);
+  }
+}
+
+#endif  // TFACC_KERNELS_NEON
+
+// hot-path: region end
+
+}  // namespace
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kScalar:
+      return "scalar";
+    case Kind::kBlocked:
+      return "blocked";
+    case Kind::kSimd:
+      return "simd";
+  }
+  return "?";
+}
+
+bool parse_kind(const char* spec, Kind* out) {
+  if (spec == nullptr || out == nullptr) return false;
+  const std::string_view s(spec);
+  if (s == "scalar") *out = Kind::kScalar;
+  else if (s == "blocked") *out = Kind::kBlocked;
+  else if (s == "simd") *out = Kind::kSimd;
+  else return false;
+  return true;
+}
+
+Kind selected() { return kind_slot().load(std::memory_order_relaxed); }
+
+void set_kind(Kind kind) {
+  kind_slot().store(kind, std::memory_order_relaxed);
+}
+
+Kind refresh_from_env() {
+  const Kind kind = kind_from_env_or_default();
+  set_kind(kind);
+  return kind;
+}
+
+bool simd_available() {
+#if TFACC_KERNELS_X86
+  return true;  // SSE2 is the x86-64 baseline; AVX2 upgraded at runtime
+#elif TFACC_KERNELS_NEON
+  return true;
+#else
+  return false;
+#endif
+}
+
+const char* capability() {
+#if TFACC_KERNELS_X86
+  return cpu_has_avx2() ? "avx2" : "sse2";
+#elif TFACC_KERNELS_NEON
+  return "neon";
+#else
+  return "generic";
+#endif
+}
+
+// --- Dispatch --------------------------------------------------------------
+
+void gemm_f32_into(const MatF& a, const MatF& b, MatF& out) {
+  TFACC_CHECK_ARG(a.cols() == b.rows());
+  TFACC_CHECK_ARG(out.rows() == a.rows() && out.cols() == b.cols());
+  switch (selected()) {
+    case Kind::kScalar:
+      gemm_scalar(a, b, out);
+      return;
+    case Kind::kBlocked:
+      gemm_blocked(a, b, out);
+      return;
+    case Kind::kSimd:
+#if TFACC_KERNELS_X86
+      if (cpu_has_avx2()) {
+        gemm_f32_avx2(a, b, out);
+        return;
+      }
+      gemm_f32_sse2(a, b, out);
+      return;
+#else
+      // NEON/generic: the blocked path keeps the scalar summation order;
+      // a NEON f32 path would risk FMA contraction differences.
+      gemm_blocked(a, b, out);
+      return;
+#endif
+  }
+}
+
+void gemm_i8_into(const MatI8& a, const MatI8& b, MatI32& out) {
+  TFACC_CHECK_ARG(a.cols() == b.rows());
+  TFACC_CHECK_ARG(out.rows() == a.rows() && out.cols() == b.cols());
+  switch (selected()) {
+    case Kind::kScalar:
+      gemm_scalar(a, b, out);
+      return;
+    case Kind::kBlocked:
+      gemm_blocked(a, b, out);
+      return;
+    case Kind::kSimd:
+#if TFACC_KERNELS_X86
+      if (cpu_has_avx2()) {
+        gemm_i8_avx2(a, b, out);
+        return;
+      }
+#endif
+      gemm_blocked(a, b, out);
+      return;
+  }
+}
+
+void gemm_i16_into(const MatI16& a, const MatI16& b, MatI32& out) {
+  TFACC_CHECK_ARG(a.cols() == b.rows());
+  TFACC_CHECK_ARG(out.rows() == a.rows() && out.cols() == b.cols());
+  switch (selected()) {
+    case Kind::kScalar:
+      gemm_scalar(a, b, out);
+      return;
+    case Kind::kBlocked:
+      gemm_blocked(a, b, out);
+      return;
+    case Kind::kSimd:
+#if TFACC_KERNELS_X86
+      if (cpu_has_avx2()) {
+        gemm_i16_avx2(a, b, out);
+        return;
+      }
+#endif
+      gemm_blocked(a, b, out);
+      return;
+  }
+}
+
+void gemm_nt_f32_into(const MatF& a, const MatF& b, MatF& out) {
+  TFACC_CHECK_ARG(a.cols() == b.cols());
+  TFACC_CHECK_ARG(out.rows() == a.rows() && out.cols() == b.rows());
+  switch (selected()) {
+    case Kind::kScalar:
+      gemm_nt_scalar(a, b, out);
+      return;
+    case Kind::kBlocked:
+    case Kind::kSimd:
+      // The f32 reduction must keep one accumulator in ascending-p order to
+      // stay bit-identical, so the "fast" kinds share the blocked layout.
+      gemm_nt_blocked_f32(a, b, out);
+      return;
+  }
+}
+
+void gemm_nt_i8_into(const MatI8& a, const MatI8& b, MatI32& out) {
+  TFACC_CHECK_ARG(a.cols() == b.cols());
+  TFACC_CHECK_ARG(out.rows() == a.rows() && out.cols() == b.rows());
+  switch (selected()) {
+    case Kind::kScalar:
+      gemm_nt_scalar(a, b, out);
+      return;
+    case Kind::kBlocked:
+      gemm_nt_blocked(a, b, out);
+      return;
+    case Kind::kSimd:
+#if TFACC_KERNELS_X86
+      if (cpu_has_avx2()) {
+        gemm_nt_i8_avx2(a, b, out);
+        return;
+      }
+      gemm_nt_i8_sse2(a, b, out);
+      return;
+#elif TFACC_KERNELS_NEON
+      gemm_nt_i8_neon(a, b, out);
+      return;
+#else
+      gemm_nt_blocked(a, b, out);
+      return;
+#endif
+  }
+}
+
+namespace {
+
+void gemm_i8_packed_dispatch(const MatI8& a, const PackedI8& bp,
+                             const std::int32_t* bias, MatI32& out) {
+  TFACC_CHECK_ARG(a.cols() == bp.k);
+  TFACC_CHECK_ARG(out.rows() == a.rows() && out.cols() == bp.n);
+  switch (selected()) {
+    case Kind::kScalar:
+      gemm_packed_scalar(a, bp, bias, out);
+      return;
+    case Kind::kBlocked:
+      gemm_packed_blocked(a, bp, bias, out);
+      return;
+    case Kind::kSimd:
+#if TFACC_KERNELS_X86
+      if (cpu_has_avx2()) {
+        gemm_i8_packed_avx2(a, bp, bias, out);
+        return;
+      }
+      gemm_i8_packed_sse2(a, bp, bias, out);
+      return;
+#elif TFACC_KERNELS_NEON
+      gemm_i8_packed_neon(a, bp, bias, out);
+      return;
+#else
+      gemm_packed_blocked(a, bp, bias, out);
+      return;
+#endif
+  }
+}
+
+}  // namespace
+
+void gemm_i8_packed_into(const MatI8& a, const PackedI8& bp, MatI32& out) {
+  gemm_i8_packed_dispatch(a, bp, nullptr, out);
+}
+
+void gemm_i8_packed_bias_into(const MatI8& a, const PackedI8& bp,
+                              const std::vector<std::int32_t>& bias,
+                              MatI32& out) {
+  TFACC_CHECK_ARG(static_cast<int>(bias.size()) == bp.n);
+  gemm_i8_packed_dispatch(a, bp, bias.data(), out);
+}
+
+void gemm_i16_packed_into(const MatI16& a, const PackedI16& bp, MatI32& out) {
+  TFACC_CHECK_ARG(a.cols() == bp.k);
+  TFACC_CHECK_ARG(out.rows() == a.rows() && out.cols() == bp.n);
+  switch (selected()) {
+    case Kind::kScalar:
+      gemm_packed_scalar(a, bp, nullptr, out);
+      return;
+    case Kind::kBlocked:
+      gemm_packed_blocked(a, bp, nullptr, out);
+      return;
+    case Kind::kSimd:
+#if TFACC_KERNELS_X86
+      if (cpu_has_avx2()) {
+        gemm_i16_packed_avx2(a, bp, out);
+        return;
+      }
+#elif TFACC_KERNELS_NEON
+      gemm_i16_packed_neon(a, bp, out);
+      return;
+#endif
+      gemm_packed_blocked(a, bp, nullptr, out);
+      return;
+  }
+}
+
+void requantize_i8_into(const MatI32& acc, std::int32_t mantissa, int shift,
+                        MatI8& out) {
+  TFACC_CHECK_ARG(out.rows() == acc.rows() && out.cols() == acc.cols());
+  switch (selected()) {
+    case Kind::kScalar:
+      requantize_scalar(acc, mantissa, shift, out);
+      return;
+    case Kind::kBlocked:
+      requantize_rows(acc, mantissa, shift, out);
+      return;
+    case Kind::kSimd:
+#if TFACC_KERNELS_X86
+      // The branchless AVX2 reformulation needs shift ≥ 1, and its emulated
+      // arithmetic shift needs bias ≤ 2^47 (see the kernel's comment).
+      if (cpu_has_avx2() && shift >= 1 && shift <= 48) {
+        requantize_i8_avx2(acc, mantissa, shift, out);
+        return;
+      }
+#endif
+      requantize_rows(acc, mantissa, shift, out);
+      return;
+  }
+}
+
+void requantize_i16_into(const MatI32& acc, std::int32_t mantissa, int shift,
+                         MatI16& out) {
+  TFACC_CHECK_ARG(out.rows() == acc.rows() && out.cols() == acc.cols());
+  switch (selected()) {
+    case Kind::kScalar:
+      requantize_scalar(acc, mantissa, shift, out);
+      return;
+    case Kind::kBlocked:
+      requantize_rows(acc, mantissa, shift, out);
+      return;
+    case Kind::kSimd:
+#if TFACC_KERNELS_X86
+      if (cpu_has_avx2() && shift >= 1 && shift <= 48) {
+        requantize_i16_avx2(acc, mantissa, shift, out);
+        return;
+      }
+#endif
+      requantize_rows(acc, mantissa, shift, out);
+      return;
+  }
+}
+
+}  // namespace tfacc::kernels

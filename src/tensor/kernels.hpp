@@ -1,0 +1,111 @@
+// Blocked / SIMD GEMM microkernels behind a runtime-checked dispatch table
+// (PR 8).
+//
+// Three implementations of every GEMM, selectable per process:
+//
+//   kind      | implementation
+//   ----------|------------------------------------------------------------
+//   kScalar   | the original tensor/ops triple loops, kept verbatim as the
+//             | reference semantics (and the perf baseline for the 2× gate)
+//   kBlocked  | plain C++, cache-blocked + unrolled; always available
+//   kSimd     | intrinsics (AVX2 / SSE2 / NEON) chosen by a *runtime* CPU
+//             | check — the binary is compiled without -march so it runs
+//             | anywhere; unsupported hosts fall back to kBlocked per op
+//
+// Selection: `TFACC_KERNEL=scalar|blocked|simd` (read once at first use),
+// overridable with set_kind() for A/B benches and tests. Default is kSimd.
+//
+// Bit-identity contract (enforced by tests/test_kernels.cpp and the
+// cross-backend equivalence suites):
+//  * Integer kernels (int8→int32, int16→int32) are exact — integer addition
+//    is associative, so any blocking/vectorization reorder is bit-identical.
+//    int16 inputs must keep |Σ a·b| within int32 (quantized values do).
+//  * Float kernels preserve the scalar path's per-element summation order
+//    (ascending p, one accumulator per output element, no FMA contraction),
+//    so all three kinds produce bit-identical floats — tolerance 0, pinned
+//    explicitly in the tests. This is why the f32 Q·Kᵀ kernel vectorizes
+//    across output columns rather than across the reduction.
+//
+// The *_into kernels write a pre-shaped `out` and perform no allocation —
+// they are the hot-path seam under decode_step_batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+#include "tensor/pack.hpp"
+
+namespace tfacc::kernels {
+
+enum class Kind { kScalar, kBlocked, kSimd };
+
+const char* kind_name(Kind kind);
+
+/// Parse "scalar" | "blocked" | "simd"; returns false on anything else.
+bool parse_kind(const char* spec, Kind* out);
+
+/// The process-wide selected kernel (TFACC_KERNEL env var, default simd).
+Kind selected();
+
+/// Override the selected kernel (benches/tests; atomic, any thread).
+void set_kind(Kind kind);
+
+/// Re-read TFACC_KERNEL and make it the selection. Throws CheckError on an
+/// unparseable value. Returns the new selection.
+Kind refresh_from_env();
+
+/// True when this host has a vector unit the kSimd paths can use.
+bool simd_available();
+
+/// Host vector capability, for the BENCH_*.json host stanza and the
+/// perf-gate capability match: "avx2" | "sse2" | "neon" | "generic".
+const char* capability();
+
+// --- Dispatched GEMMs (out must be pre-shaped; overwritten, no alloc) ------
+
+/// C = A·B, float. Bit-identical across kinds (fixed summation order).
+void gemm_f32_into(const MatF& a, const MatF& b, MatF& out);
+
+/// C = A·B, int8 operands, int32 accumulation. Exact.
+void gemm_i8_into(const MatI8& a, const MatI8& b, MatI32& out);
+
+/// C = A·B, int16 operands, int32 accumulation. Exact within int32 range.
+void gemm_i16_into(const MatI16& a, const MatI16& b, MatI32& out);
+
+/// C = A·Bᵀ, float (attention scores). Scalar summation order in all kinds.
+void gemm_nt_f32_into(const MatF& a, const MatF& b, MatF& out);
+
+/// C = A·Bᵀ, int8 operands, int32 accumulation. Exact.
+void gemm_nt_i8_into(const MatI8& a, const MatI8& b, MatI32& out);
+
+// --- Packed-B GEMMs (B pre-packed at weight-load time, tensor/pack.hpp) ----
+
+/// C = A·B with B packed. Exact (identical to gemm_i8 on unpack(bp)).
+void gemm_i8_packed_into(const MatI8& a, const PackedI8& bp, MatI32& out);
+
+/// C = bias ⊕ A·B with B packed — the bias seeds the accumulator, which is
+/// exactly add_bias_i32(gemm_i8(a, b), bias) in one pass.
+void gemm_i8_packed_bias_into(const MatI8& a, const PackedI8& bp,
+                              const std::vector<std::int32_t>& bias,
+                              MatI32& out);
+
+/// C = A·B with B packed, int16 operands. Exact within int32 range.
+void gemm_i16_packed_into(const MatI16& a, const PackedI16& bp, MatI32& out);
+
+// --- Dispatched requantization ---------------------------------------------
+// out = saturate(round((acc · mantissa) >> shift)) per element — the hardware
+// requantizer (FixedPointScale::apply_i8/apply_i16) over a whole accumulator
+// matrix. The rounding is half-away-from-zero, exactly like
+// rounding_shift_right; all kinds are bit-identical (the AVX2 path uses a
+// branchless reformulation proven equal for shift ≥ 1, scalar otherwise).
+
+/// out(r,c) = FixedPointScale{mantissa, shift}.apply_i8(acc(r,c)).
+void requantize_i8_into(const MatI32& acc, std::int32_t mantissa, int shift,
+                        MatI8& out);
+
+/// out(r,c) = FixedPointScale{mantissa, shift}.apply_i16(acc(r,c)).
+void requantize_i16_into(const MatI32& acc, std::int32_t mantissa, int shift,
+                         MatI16& out);
+
+}  // namespace tfacc::kernels

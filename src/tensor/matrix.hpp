@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "tensor/arena.hpp"
 
 namespace tfacc {
 
@@ -121,7 +122,11 @@ class Matrix {
  private:
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<T> data_;
+  // Storage recycles through the thread-local arena (tensor/arena.hpp): the
+  // decode hot path re-creates same-shaped temporaries every step, and a
+  // warm pool serves them without heap traffic. Pooled blocks are 64-byte
+  // aligned, which the packed GEMM kernels rely on.
+  PoolVec<T> data_;
 };
 
 using MatF = Matrix<float>;

@@ -1,6 +1,13 @@
 #include "tensor/ops.hpp"
 
+#include "tensor/kernels.hpp"
+
 namespace tfacc {
+
+// The GEMM entry points delegate to the PR 8 dispatch table
+// (tensor/kernels.hpp): TFACC_KERNEL selects scalar / blocked / SIMD, and
+// every kind is bit-identical (integer accumulation is exact; the float
+// kernels pin the scalar summation order).
 
 MatF gemm(const MatF& a, const MatF& b) {
   TFACC_CHECK_ARG_MSG(a.cols() == b.rows(), "gemm: " << a.rows() << 'x'
@@ -8,18 +15,7 @@ MatF gemm(const MatF& a, const MatF& b) {
                                                      << b.rows() << 'x'
                                                      << b.cols());
   MatF out(a.rows(), b.cols());
-  const int m = a.rows(), k = a.cols(), n = b.cols();
-  // i-k-j loop order streams B rows and the output row, which keeps the inner
-  // loop contiguous for both.
-  for (int i = 0; i < m; ++i) {
-    float* orow = out.row(i);
-    const float* arow = a.row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      const float* brow = b.row(p);
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::gemm_f32_into(a, b, out);
   return out;
 }
 
@@ -29,16 +25,17 @@ MatI32 gemm_i8(const MatI8& a, const MatI8& b) {
                                                         << b.rows() << 'x'
                                                         << b.cols());
   MatI32 out(a.rows(), b.cols());
-  const int m = a.rows(), k = a.cols(), n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    std::int32_t* orow = out.row(i);
-    const std::int8_t* arow = a.row(i);
-    for (int p = 0; p < k; ++p) {
-      const std::int32_t av = arow[p];
-      const std::int8_t* brow = b.row(p);
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::gemm_i8_into(a, b, out);
+  return out;
+}
+
+MatI32 gemm_i16(const MatI16& a, const MatI16& b) {
+  TFACC_CHECK_ARG_MSG(a.cols() == b.rows(), "gemm_i16: " << a.rows() << 'x'
+                                                         << a.cols() << " * "
+                                                         << b.rows() << 'x'
+                                                         << b.cols());
+  MatI32 out(a.rows(), b.cols());
+  kernels::gemm_i16_into(a, b, out);
   return out;
 }
 
@@ -47,15 +44,7 @@ MatF gemm_nt(const MatF& a, const MatF& b) {
                                                 << a.cols() << " vs "
                                                 << b.cols());
   MatF out(a.rows(), b.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* arow = a.row(i);
-    for (int j = 0; j < b.rows(); ++j) {
-      const float* brow = b.row(j);
-      float acc = 0.0f;
-      for (int p = 0; p < a.cols(); ++p) acc += arow[p] * brow[p];
-      out(i, j) = acc;
-    }
-  }
+  kernels::gemm_nt_f32_into(a, b, out);
   return out;
 }
 
@@ -64,16 +53,7 @@ MatI32 gemm_nt_i8(const MatI8& a, const MatI8& b) {
                                                 << a.cols() << " vs "
                                                 << b.cols());
   MatI32 out(a.rows(), b.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    const std::int8_t* arow = a.row(i);
-    for (int j = 0; j < b.rows(); ++j) {
-      const std::int8_t* brow = b.row(j);
-      std::int32_t acc = 0;
-      for (int p = 0; p < a.cols(); ++p)
-        acc += static_cast<std::int32_t>(arow[p]) * brow[p];
-      out(i, j) = acc;
-    }
-  }
+  kernels::gemm_nt_i8_into(a, b, out);
   return out;
 }
 

@@ -1,0 +1,437 @@
+// PR 8 kernel suite: the blocked/SIMD GEMM dispatch must be bit-identical to
+// the scalar reference on every shape (ragged tails, 1×1, empty edges), the
+// packed-B layout must round-trip and stay cache-line aligned, the
+// TFACC_KERNEL knob must parse/refresh correctly, and — the tentpole
+// invariant — a warm packed decode step must perform ZERO heap allocations
+// on all three backends (enforced with a global operator-new counter).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/fixed_point.hpp"
+#include "common/random.hpp"
+#include "core/backend.hpp"
+#include "quant/qtransformer.hpp"
+#include "reference/transformer.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/pack.hpp"
+
+// --- Global allocation counter ----------------------------------------------
+// Counts every route into the heap (plain, nothrow, aligned, array). The
+// zero-allocation tests reset it, run a warm step, and require no growth.
+// Definitions live at global scope; all other state stays in tfacc::.
+
+namespace {
+std::atomic<long> g_heap_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t padded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, padded ? padded : align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace tfacc {
+namespace {
+
+/// RAII kernel-kind override: restores the previous selection on scope exit
+/// so test order never leaks a kind into another test.
+class KindGuard {
+ public:
+  explicit KindGuard(kernels::Kind kind) : saved_(kernels::selected()) {
+    kernels::set_kind(kind);
+  }
+  ~KindGuard() { kernels::set_kind(saved_); }
+  KindGuard(const KindGuard&) = delete;
+  KindGuard& operator=(const KindGuard&) = delete;
+
+ private:
+  kernels::Kind saved_;
+};
+
+struct Shape {
+  int m, k, n;
+};
+
+// Ragged tails (non-multiples of every vector width), singletons, and empty
+// edges. k = 0 must yield an all-zero (bias-only) accumulator.
+const Shape kShapes[] = {
+    {1, 1, 1},  {1, 7, 1},   {5, 1, 3},   {3, 5, 7},    {4, 64, 64},
+    {2, 66, 3}, {17, 33, 65}, {8, 127, 31}, {0, 4, 4},   {4, 0, 4},
+    {4, 4, 0},  {1, 256, 16}, {9, 100, 100},
+};
+
+MatI8 rand_i8(int r, int c, Rng& rng) {
+  MatI8 m(r, c);
+  fill_uniform_i8(m, rng);
+  return m;
+}
+
+MatI16 rand_i16(int r, int c, Rng& rng) {
+  MatI16 m(r, c);
+  for (int i = 0; i < r; ++i)
+    for (int j = 0; j < c; ++j)
+      m(i, j) = static_cast<std::int16_t>(rng.uniform_int(-1000, 1000));
+  return m;
+}
+
+MatF rand_f32(int r, int c, Rng& rng) {
+  MatF m(r, c);
+  fill_uniform(m, rng, -1.0f, 1.0f);
+  return m;
+}
+
+template <typename T>
+void expect_same(const Matrix<T>& got, const Matrix<T>& want,
+                 const char* what, const Shape& s) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (int r = 0; r < got.rows(); ++r)
+    for (int c = 0; c < got.cols(); ++c)
+      ASSERT_EQ(got(r, c), want(r, c))
+          << what << " (" << s.m << 'x' << s.k << 'x' << s.n << ") at (" << r
+          << ',' << c << ") under kernel "
+          << kernels::kind_name(kernels::selected());
+}
+
+// --- Cross-kind bit-identity over the shape grid ----------------------------
+
+class KernelEquivalence : public ::testing::TestWithParam<kernels::Kind> {};
+
+TEST_P(KernelEquivalence, MatchesScalarBitExact) {
+  Rng rng(1234);
+  for (const Shape& s : kShapes) {
+    const MatI8 a8 = rand_i8(s.m, s.k, rng);
+    const MatI8 b8 = rand_i8(s.k, s.n, rng);
+    const MatI16 a16 = rand_i16(s.m, s.k, rng);
+    const MatI16 b16 = rand_i16(s.k, s.n, rng);
+    const MatF af = rand_f32(s.m, s.k, rng);
+    const MatF bf = rand_f32(s.k, s.n, rng);
+    const MatF bt = rand_f32(s.n, s.k, rng);  // for A·Bᵀ
+    const MatI8 b8t = rand_i8(s.n, s.k, rng);
+    std::vector<std::int32_t> bias(static_cast<std::size_t>(s.n));
+    for (auto& v : bias)
+      v = rng.uniform_int(-100000, 100000);
+
+    MatI32 want_i8(s.m, s.n), want_i16(s.m, s.n), want_nt_i8(s.m, s.n);
+    MatF want_f(s.m, s.n), want_nt_f(s.m, s.n);
+    {
+      KindGuard g(kernels::Kind::kScalar);
+      kernels::gemm_i8_into(a8, b8, want_i8);
+      kernels::gemm_i16_into(a16, b16, want_i16);
+      kernels::gemm_f32_into(af, bf, want_f);
+      kernels::gemm_nt_f32_into(af, bt, want_nt_f);
+      kernels::gemm_nt_i8_into(a8, b8t, want_nt_i8);
+    }
+
+    KindGuard g(GetParam());
+    MatI32 got_i32(s.m, s.n);
+    kernels::gemm_i8_into(a8, b8, got_i32);
+    expect_same(got_i32, want_i8, "gemm_i8", s);
+    kernels::gemm_i16_into(a16, b16, got_i32);
+    expect_same(got_i32, want_i16, "gemm_i16", s);
+    MatF got_f(s.m, s.n);
+    kernels::gemm_f32_into(af, bf, got_f);
+    expect_same(got_f, want_f, "gemm_f32", s);
+    kernels::gemm_nt_f32_into(af, bt, got_f);
+    expect_same(got_f, want_nt_f, "gemm_nt_f32", s);
+    kernels::gemm_nt_i8_into(a8, b8t, got_i32);
+    expect_same(got_i32, want_nt_i8, "gemm_nt_i8", s);
+
+    // Packed-B forms against the dense reference results.
+    const PackedI8 p8 = pack_b_i8(b8);
+    kernels::gemm_i8_packed_into(a8, p8, got_i32);
+    expect_same(got_i32, want_i8, "gemm_i8_packed", s);
+    const PackedI16 p16 = pack_b_i16(b16);
+    kernels::gemm_i16_packed_into(a16, p16, got_i32);
+    expect_same(got_i32, want_i16, "gemm_i16_packed", s);
+
+    // Fused bias: exactly add_bias_i32(gemm_i8(a, b), bias).
+    const MatI32 want_bias = add_bias_i32(want_i8, bias);
+    kernels::gemm_i8_packed_bias_into(a8, p8, bias, got_i32);
+    expect_same(got_i32, want_bias, "gemm_i8_packed_bias", s);
+  }
+}
+
+TEST_P(KernelEquivalence, RequantizeMatchesFixedPointScale) {
+  Rng rng(4321);
+  KindGuard g(GetParam());
+  // Shifts sweep the AVX2 fast path (1..48), its shift<1 fallback, and the
+  // saturating regime (small shifts push values far past ±127 / ±32767).
+  for (const int shift : {0, 1, 2, 7, 15, 20, 31, 48, 50}) {
+    const FixedPointScale s{/*mantissa=*/rng.uniform_int(1 << 14,
+                                                         (1 << 15) - 1),
+                            shift};
+    for (const int rows : {1, 3, 16}) {
+      for (const int cols : {1, 7, 8, 64, 100}) {
+        MatI32 acc(rows, cols);
+        for (int r = 0; r < rows; ++r)
+          for (int c = 0; c < cols; ++c)
+            acc(r, c) = rng.uniform_int(std::numeric_limits<int>::min() / 2,
+                                        std::numeric_limits<int>::max() / 2);
+        // Pin the extremes onto the first row.
+        acc(0, 0) = std::numeric_limits<std::int32_t>::max();
+        if (cols > 1) acc(0, 1) = std::numeric_limits<std::int32_t>::min();
+
+        MatI8 got8(rows, cols);
+        kernels::requantize_i8_into(acc, s.mantissa, s.shift, got8);
+        MatI16 got16(rows, cols);
+        kernels::requantize_i16_into(acc, s.mantissa, s.shift, got16);
+        for (int r = 0; r < rows; ++r)
+          for (int c = 0; c < cols; ++c) {
+            ASSERT_EQ(got8(r, c), s.apply_i8(acc(r, c)))
+                << "requantize_i8 shift=" << shift << " at (" << r << ','
+                << c << ") under kernel "
+                << kernels::kind_name(kernels::selected());
+            ASSERT_EQ(got16(r, c), s.apply_i16(acc(r, c)))
+                << "requantize_i16 shift=" << shift << " at (" << r << ','
+                << c << ") under kernel "
+                << kernels::kind_name(kernels::selected());
+          }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, KernelEquivalence,
+                         ::testing::Values(kernels::Kind::kBlocked,
+                                           kernels::Kind::kSimd),
+                         [](const auto& info) {
+                           return std::string(kernels::kind_name(info.param));
+                         });
+
+// --- Packed layout ----------------------------------------------------------
+
+TEST(PackB, RoundTripsAndPadsWithZeros) {
+  Rng rng(7);
+  for (const Shape& s : kShapes) {
+    const MatI8 b8 = rand_i8(s.k, s.n, rng);
+    const PackedI8 p8 = pack_b_i8(b8);
+    EXPECT_EQ(p8.k, s.k);
+    EXPECT_EQ(p8.n, s.n);
+    EXPECT_EQ(p8.k_pad % 64, 0);  // int8: 64 elements per 64 bytes
+    EXPECT_GE(p8.k_pad, s.k);
+    EXPECT_EQ(unpack_b_i8(p8), b8);
+    for (int j = 0; j < p8.n; ++j)
+      for (int x = p8.k; x < p8.k_pad; ++x)
+        ASSERT_EQ(p8.row(j)[x], 0) << "pad row " << j << " elem " << x;
+
+    const MatI16 b16 = rand_i16(s.k, s.n, rng);
+    const PackedI16 p16 = pack_b_i16(b16);
+    EXPECT_EQ(p16.k_pad % 32, 0);  // int16: 32 elements per 64 bytes
+    EXPECT_EQ(unpack_b_i16(p16), b16);
+
+    const MatF bf = rand_f32(s.k, s.n, rng);
+    const PackedF pf = pack_b_f32(bf);
+    EXPECT_EQ(pf.k_pad % 16, 0);  // f32: 16 elements per 64 bytes
+    EXPECT_EQ(unpack_b_f32(pf), bf);
+  }
+}
+
+TEST(PackB, RowsAreCacheLineAligned) {
+  Rng rng(8);
+  const MatI8 b = rand_i8(100, 7, rng);
+  const PackedI8 p = pack_b_i8(b);
+  for (int j = 0; j < p.n; ++j)
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p.row(j)) % 64, 0u)
+        << "row " << j;
+}
+
+// --- Dispatch knob ----------------------------------------------------------
+
+TEST(KernelDispatch, ParsesKnownKindsOnly) {
+  kernels::Kind k{};
+  EXPECT_TRUE(kernels::parse_kind("scalar", &k));
+  EXPECT_EQ(k, kernels::Kind::kScalar);
+  EXPECT_TRUE(kernels::parse_kind("blocked", &k));
+  EXPECT_EQ(k, kernels::Kind::kBlocked);
+  EXPECT_TRUE(kernels::parse_kind("simd", &k));
+  EXPECT_EQ(k, kernels::Kind::kSimd);
+  EXPECT_FALSE(kernels::parse_kind("avx512", &k));
+  EXPECT_FALSE(kernels::parse_kind("", &k));
+}
+
+TEST(KernelDispatch, SetKindOverridesSelection) {
+  KindGuard g(kernels::Kind::kBlocked);
+  EXPECT_EQ(kernels::selected(), kernels::Kind::kBlocked);
+  kernels::set_kind(kernels::Kind::kScalar);
+  EXPECT_EQ(kernels::selected(), kernels::Kind::kScalar);
+}
+
+TEST(KernelDispatch, RefreshFromEnvReadsTheKnob) {
+  const kernels::Kind saved = kernels::selected();
+  ASSERT_EQ(setenv("TFACC_KERNEL", "blocked", 1), 0);
+  EXPECT_EQ(kernels::refresh_from_env(), kernels::Kind::kBlocked);
+  EXPECT_EQ(kernels::selected(), kernels::Kind::kBlocked);
+  ASSERT_EQ(setenv("TFACC_KERNEL", "warp-drive", 1), 0);
+  EXPECT_THROW(kernels::refresh_from_env(), CheckError);
+  ASSERT_EQ(unsetenv("TFACC_KERNEL"), 0);
+  EXPECT_EQ(kernels::refresh_from_env(), kernels::Kind::kSimd);  // default
+  kernels::set_kind(saved);
+}
+
+TEST(KernelDispatch, CapabilityNamesAreStable) {
+  const std::string cap = kernels::capability();
+  EXPECT_TRUE(cap == "avx2" || cap == "sse2" || cap == "neon" ||
+              cap == "generic");
+  EXPECT_EQ(kernels::simd_available(), cap != "generic");
+}
+
+// --- Zero allocations per warm packed step ----------------------------------
+
+ModelConfig hw_config() {
+  ModelConfig cfg;
+  cfg.name = "kernels-hw";
+  cfg.d_model = 64;
+  cfg.d_ff = 256;
+  cfg.num_heads = 1;
+  cfg.head_dim = 64;
+  cfg.num_encoder_layers = 1;
+  cfg.num_decoder_layers = 2;
+  return cfg;
+}
+
+constexpr int kSlots = 4;
+// The pool and every scratch buffer are warm after the KV-cache capacity
+// doublings at steps 1,2,3,5,9; the next is at step 17, and per-slot score
+// rows stay within the smallest pool class through step 16. So measure
+// steps 11..16: a correct hot path does zero heap allocations there.
+constexpr int kWarmSteps = 10;
+constexpr int kMeasuredSteps = 6;
+
+/// Drives kWarmSteps + kMeasuredSteps packed steps over kSlots ragged
+/// hypotheses and returns the operator-new count of the measured steps.
+/// `bracket` wraps each decode_step_batch call (the fuser hooks for the
+/// accelerator backend); the counter only covers the step call itself.
+template <typename Fn>
+long measure_step_allocs(Transformer& model, const Fn& bracket) {
+  const std::vector<TokenSeq> srcs = {{3, 4, 5}, {6, 7}, {8, 9, 10, 3}, {4}};
+  std::vector<MatF> memories;
+  std::vector<DecodeState> states_store;
+  for (const TokenSeq& src : srcs) {
+    memories.push_back(model.encode(src));
+    states_store.push_back(
+        model.begin_decode(memories.back(), static_cast<int>(src.size())));
+  }
+  std::vector<DecodeState*> states;
+  for (auto& s : states_store) states.push_back(&s);
+  std::vector<int> tokens(kSlots, kBosId);
+
+  MatF logits;
+  long measured = 0;
+  for (int step = 0; step < kWarmSteps + kMeasuredSteps; ++step) {
+    // Count only the step call itself: the fuser begin/end bracketing around
+    // it schedules the simulated-time ledger and may allocate freely.
+    bracket([&] {
+      const long before = g_heap_allocs.load(std::memory_order_relaxed);
+      model.decode_step_batch(states, tokens, logits);
+      const long after = g_heap_allocs.load(std::memory_order_relaxed);
+      if (step >= kWarmSteps) measured += after - before;
+    });
+    for (int i = 0; i < kSlots; ++i) {
+      // Cycle deterministic non-EOS tokens so every slot stays live.
+      tokens[static_cast<std::size_t>(i)] = 3 + (step + i) % 4;
+    }
+  }
+  return measured;
+}
+
+class ZeroAllocStep : public ::testing::TestWithParam<kernels::Kind> {};
+
+TEST_P(ZeroAllocStep, ReferenceBackend) {
+  KindGuard g(GetParam());
+  Rng rng(91);
+  Transformer model(TransformerWeights::random(hw_config(), 20, rng));
+  const long allocs =
+      measure_step_allocs(model, [](const auto& fn) { fn(); });
+  EXPECT_EQ(allocs, 0) << "heap allocations in " << kMeasuredSteps
+                       << " warm packed steps (reference backend)";
+}
+
+TEST_P(ZeroAllocStep, QuantizedBackend) {
+  KindGuard g(GetParam());
+  Rng rng(92);
+  Transformer model(TransformerWeights::random(hw_config(), 20, rng));
+  const auto qt = QuantizedTransformer::build(model, {{3, 4, 5}, {6, 7}}, 12,
+                                              SoftmaxImpl::kHardware);
+  model.set_backend(qt.backend());
+  const long allocs =
+      measure_step_allocs(model, [](const auto& fn) { fn(); });
+  model.set_backend(ResBlockBackend{});
+  EXPECT_EQ(allocs, 0) << "heap allocations in " << kMeasuredSteps
+                       << " warm packed steps (quantized backend)";
+}
+
+TEST_P(ZeroAllocStep, AcceleratorBackendFusedStep) {
+  KindGuard g(GetParam());
+  Rng rng(93);
+  Transformer model(TransformerWeights::random(hw_config(), 20, rng));
+  const auto qt = QuantizedTransformer::build(model, {{3, 4, 5}, {6, 7}}, 12,
+                                              SoftmaxImpl::kHardware);
+  Accelerator acc;
+  AcceleratorStats stats;
+  DecodeStepFuser fuser(acc, &stats);
+  model.set_backend(accelerator_backend(qt, acc, &stats, &fuser));
+  // The serve loop brackets each step with begin/end_step; the allocation
+  // window covers only the decode_step_batch call (end_step schedules the
+  // fused ledger and may allocate — that is simulator bookkeeping, not the
+  // measured datapath).
+  const long allocs = measure_step_allocs(model, [&](const auto& fn) {
+    fuser.begin_step();
+    fn();
+    (void)fuser.end_step();
+  });
+  model.set_backend(ResBlockBackend{});
+  EXPECT_EQ(allocs, 0) << "heap allocations in " << kMeasuredSteps
+                       << " warm packed steps (accelerator backend)";
+  EXPECT_GT(stats.fused_steps, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ZeroAllocStep,
+                         ::testing::Values(kernels::Kind::kScalar,
+                                           kernels::Kind::kBlocked,
+                                           kernels::Kind::kSimd),
+                         [](const auto& info) {
+                           return std::string(kernels::kind_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace tfacc
