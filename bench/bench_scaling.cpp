@@ -1,0 +1,177 @@
+// PR 9 measured multi-card scaling: wall-clock throughput of the slot-16
+// quantized serve loop at 1 / 2 / 4 cards on THIS host.
+//
+// The simulated per-card cycle ledgers have always been host-independent;
+// what this bench pins is that the *measured* farm now scales too. Before
+// PR 9 the refill loop host-blocked a card in AdmissionGate::wait_turn
+// whenever it merely had a vacant slot, so cards convoyed behind the
+// globally slowest sibling; with convoy-free reservation admission and the
+// persistent worker pool, a card with live decode work keeps stepping while
+// its admission turn is pending, and N cards should occupy N host cores.
+//
+// The quantized backend is the right probe: every decode step does real
+// INT8 host compute through the PR 8 kernel dispatch (no cycle-model
+// bookkeeping dominating), so wall time measures the serve loop itself.
+//
+// Gates (exit code):
+//   * outputs bit-identical across card counts, and repeated runs at each
+//     card count reproduce outputs, admission order, and per-card simulated
+//     cycle totals exactly — always enforced;
+//   * wall-clock speedup vs 1 card >= 1.6x at 2 cards and >= 2.5x at 4
+//     cards — enforced only on hosts with >= 4 cores (reported otherwise).
+//
+// Machine-readable results land in BENCH_scaling.json; perf_gate.py diffs
+// the dimensionless speedup curve against bench/baselines/scaling.json,
+// skipping it on core-starved or kernel-capability-mismatched hosts.
+//
+//   $ ./build/bench_scaling [sentences] [repeats]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "json.hpp"
+#include "nlp/synthetic.hpp"
+#include "reference/weights.hpp"
+#include "serve/scheduler.hpp"
+#include "table.hpp"
+
+namespace {
+
+using namespace tfacc;
+
+// Repeated runs of one Scheduler must reproduce everything the thread-stress
+// suite checks; the bench re-asserts the wall-clock-relevant core of it so a
+// nondeterministic schedule can never publish a scaling number.
+bool reports_identical(const ScheduleReport& a, const ScheduleReport& b) {
+  if (a.outputs != b.outputs) return false;
+  if (a.per_card.size() != b.per_card.size()) return false;
+  for (std::size_t c = 0; c < a.per_card.size(); ++c) {
+    if (a.per_card_steps[c].admitted != b.per_card_steps[c].admitted)
+      return false;
+    if (a.per_card[c].total_cycles() != b.per_card[c].total_cycles())
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int sentences = argc > 1 ? std::atoi(argv[1]) : 96;
+  const int repeats = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  // Big enough that a decode step is real host work (the per-step INT8
+  // GEMMs dwarf the admission handshake), small enough for CI.
+  ModelConfig cfg;
+  cfg.name = "scaling-bench";
+  cfg.d_model = 128;
+  cfg.d_ff = 512;
+  cfg.num_heads = 2;
+  cfg.head_dim = 64;
+  cfg.num_encoder_layers = 1;
+  cfg.num_decoder_layers = 2;
+
+  const SyntheticTranslationTask task(24, 5, 8);
+  Rng rng(17);
+  const TransformerWeights weights =
+      TransformerWeights::random(cfg, task.vocab_size(), rng);
+  std::vector<TokenSeq> calib, sources;
+  for (int i = 0; i < 4; ++i) calib.push_back(task.sample(rng).source);
+  for (int i = 0; i < sentences; ++i)
+    sources.push_back(task.sample(rng).source);
+  const int max_len = task.max_len() + 2;
+  const int cores = static_cast<int>(std::thread::hardware_concurrency());
+
+  bench::title("Measured multi-card scaling (quantized serve loop, 16 slots, " +
+               std::to_string(sentences) + " sentences, " +
+               std::to_string(cores) + " host cores)");
+  std::printf("%5s | %12s %14s %12s\n", "cards", "best wall s",
+              "wall sent/s", "speedup");
+  bench::rule(52);
+
+  std::ofstream json_file("BENCH_scaling.json");
+  bench::JsonWriter json(json_file);
+  json.begin_object();
+  json.key("bench").value("multi_card_scaling");
+  json.key("backend").value("quantized");
+  json.key("sentences").value(sentences);
+  json.key("max_len").value(max_len);
+  json.key("slots").value(16);
+  json.key("repeats").value(repeats);
+  bench::write_host_info(json);
+  json.key("sweep").begin_array();
+
+  std::vector<TokenSeq> base_outputs;
+  double base_sps = 0.0;
+  double speedup2 = 0.0, speedup4 = 0.0;
+  bool outputs_identical = true;
+  bool runs_deterministic = true;
+  for (const int cards : {1, 2, 4}) {
+    SchedulerConfig sc;
+    sc.backend = ServeBackend::kQuantized;
+    sc.num_cards = cards;
+    sc.max_len = max_len;
+    sc.slots_per_card = 16;
+    Scheduler sched(weights, calib, sc);
+    ScheduleReport first;
+    double best_wall = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      ScheduleReport rep = sched.run(sources);
+      if (r == 0) {
+        first = std::move(rep);
+        best_wall = first.wall_seconds;
+      } else {
+        if (!reports_identical(first, rep)) runs_deterministic = false;
+        if (rep.wall_seconds < best_wall) best_wall = rep.wall_seconds;
+      }
+    }
+    if (cards == 1)
+      base_outputs = first.outputs;
+    else if (first.outputs != base_outputs)
+      outputs_identical = false;
+    const double wall_sps = best_wall > 0 ? sentences / best_wall : 0.0;
+    const double speedup =
+        cards == 1 ? 1.0 : (base_sps > 0 ? wall_sps / base_sps : 0.0);
+    if (cards == 1) base_sps = wall_sps;
+    if (cards == 2) speedup2 = speedup;
+    if (cards == 4) speedup4 = speedup;
+    std::printf("%5d | %12.4f %14.1f %11.2fx\n", cards, best_wall, wall_sps,
+                speedup);
+
+    json.begin_object();
+    json.key("cards").value(cards);
+    json.key("wall_seconds_best").value(best_wall);
+    json.key("wall_sentences_per_second").value(wall_sps);
+    json.key("wall_speedup_vs_1card").value(speedup);
+    json.key("makespan_cycles")
+        .value(static_cast<long long>(first.makespan_cycles()));
+    json.key("packed_rows_mean").value(first.packed_rows_mean());
+    json.end_object();
+  }
+  json.end_array();
+
+  const bool scaling_ok = speedup2 >= 1.6 && speedup4 >= 2.5;
+  const bool enough_cores = cores >= 4;
+  json.key("gate").begin_object();
+  json.key("outputs_bit_identical").value(outputs_identical);
+  json.key("runs_deterministic").value(runs_deterministic);
+  json.key("scaling_gated").value(enough_cores);
+  json.key("scaling_ok").value(scaling_ok);
+  json.end_object();
+  json.end_object();
+  json_file << '\n';
+
+  std::printf(
+      "outputs across card counts %s, repeated runs %s; speedup %.2fx @ 2 "
+      "cards (>= 1.6x), %.2fx @ 4 cards (>= 2.5x): %s\n"
+      "results written to BENCH_scaling.json\n",
+      outputs_identical ? "bit-identical" : "DIVERGED",
+      runs_deterministic ? "deterministic" : "NONDETERMINISTIC",
+      speedup2, speedup4,
+      !enough_cores ? "SKIPPED (host has < 4 cores)"
+                    : (scaling_ok ? "PASS" : "FAIL"));
+  if (!outputs_identical || !runs_deterministic) return 2;
+  return !enough_cores || scaling_ok ? 0 : 1;
+}

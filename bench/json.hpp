@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tensor/kernels.hpp"
@@ -114,12 +115,16 @@ class JsonWriter {
 /// bench ran with and what the host CPU supports. perf_gate.py reads
 /// "kernel_capability" to skip wall-clock gates when the current host cannot
 /// reproduce the baseline's kernel class (e.g. a NEON box diffing an AVX2
-/// baseline) — simulated-cycle metrics stay gated regardless.
+/// baseline) — simulated-cycle metrics stay gated regardless. "cores" (PR 9)
+/// is the host's hardware concurrency: perf_gate.py skips the multi-card
+/// scaling gates when either side of the diff ran on fewer than 4 cores.
 inline void write_host_info(JsonWriter& json) {
   json.key("host").begin_object();
   json.key("kernel").value(kernels::kind_name(kernels::selected()));
   json.key("kernel_capability").value(kernels::capability());
   json.key("simd_available").value(kernels::simd_available());
+  json.key("cores")
+      .value(static_cast<int>(std::thread::hardware_concurrency()));
   json.end_object();
 }
 

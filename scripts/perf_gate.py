@@ -15,13 +15,18 @@ structurally matching position (sweep points, beam section, gates):
   * modeled_sentences_per_second — must not drop below baseline * (1 - tol)
   * wallclock_speedup_vs_scalar  — measured SIMD/scalar serve-loop ratio
   * gemm_ns_scalar_over_simd     — measured scalar/SIMD GEMM-kernel ratio
+  * wall_speedup_vs_1card        — measured multi-card scaling ratio (PR 9)
 
 The wall-clock metrics are dimensionless ratios (host-speed free), but they
 do depend on the host's SIMD class. When both files carry a "host" stanza
 (bench/json.hpp write_host_info) and the kernel capabilities differ — e.g. a
 NEON box diffing an AVX2 baseline — the wall-clock gates are SKIPPED;
-simulated-cycle metrics stay gated regardless. Gate wall-clock files with a
-loose --tolerance (CI uses 0.25): they are measured, not integer-replayed.
+simulated-cycle metrics stay gated regardless. The multi-card scaling ratio
+additionally depends on the host's core count: it is SKIPPED whenever either
+side of the diff ran on fewer than 4 cores (the host stanza's "cores"), since
+a core-starved box cannot reproduce a 4-card curve. Gate wall-clock files
+with a loose --tolerance (CI uses 0.25): they are measured, not
+integer-replayed.
 
 Workload keys (sentences, max_len, slots, cards, kernel, ...) must match
 exactly: comparing different workloads is a configuration error, not a
@@ -38,14 +43,20 @@ import argparse
 import json
 import sys
 
+# Multi-card scaling gates: measured speedup ratios that need >= 4 host
+# cores on both sides of the diff to be comparable.
+SCALING_METRICS = {"wall_speedup_vs_1card"}
 # Wall-clock gates: dimensionless measured ratios, skipped on a host whose
-# kernel capability differs from the baseline's.
-WALLCLOCK_METRICS = {"wallclock_speedup_vs_scalar", "gemm_ns_scalar_over_simd"}
+# kernel capability differs from the baseline's. Scaling ratios are
+# wall-clock too (the capability skip applies on top of the core-count one).
+WALLCLOCK_METRICS = {"wallclock_speedup_vs_scalar",
+                     "gemm_ns_scalar_over_simd"} | SCALING_METRICS
 GATED_METRICS = {"sa_utilization",
                  "modeled_sentences_per_second"} | WALLCLOCK_METRICS
 WORKLOAD_KEYS = {"sentences", "max_len", "slots", "slots_per_card", "cards",
                  "beam_size", "bench", "pack_prefill", "prefill_chunk_rows",
-                 "arrival_mean_gap_cycles", "kernel", "d_model"}
+                 "arrival_mean_gap_cycles", "kernel", "d_model", "backend",
+                 "repeats"}
 
 
 def capability(doc):
@@ -54,8 +65,14 @@ def capability(doc):
     return host.get("kernel_capability") if isinstance(host, dict) else None
 
 
+def host_cores(doc):
+    """The host stanza's core count, or None on pre-PR-9 files."""
+    host = doc.get("host") if isinstance(doc, dict) else None
+    return host.get("cores") if isinstance(host, dict) else None
+
+
 def walk(current, baseline, path, failures, checks, skip_wallclock,
-         skips):
+         skip_scaling, skips):
     if isinstance(baseline, dict):
         if not isinstance(current, dict):
             failures.append(f"{path}: baseline is an object, current is not")
@@ -65,17 +82,21 @@ def walk(current, baseline, path, failures, checks, skip_wallclock,
                 failures.append(f"{path}.{key}: missing from current bench")
                 continue
             walk(current[key], base_value, f"{path}.{key}", failures, checks,
-                 skip_wallclock, skips)
+                 skip_wallclock, skip_scaling, skips)
     elif isinstance(baseline, list):
         if not isinstance(current, list) or len(current) != len(baseline):
             failures.append(f"{path}: sweep shape differs from baseline")
             return
         for i, base_value in enumerate(baseline):
             walk(current[i], base_value, f"{path}[{i}]", failures, checks,
-                 skip_wallclock, skips)
+                 skip_wallclock, skip_scaling, skips)
     else:
         leaf = path.rsplit(".", 1)[-1]
-        if leaf in WALLCLOCK_METRICS and skip_wallclock:
+        if leaf in SCALING_METRICS and skip_scaling:
+            skips.append(path)
+            print(f"     SKIPPED  {path}: a host on either side has < 4 "
+                  f"cores — multi-card scaling gate not comparable")
+        elif leaf in WALLCLOCK_METRICS and skip_wallclock:
             skips.append(path)
             print(f"     SKIPPED  {path}: host kernel capability differs "
                   f"from baseline — wall-clock gate not comparable")
@@ -125,9 +146,13 @@ def main():
     cap_current, cap_baseline = capability(current), capability(baseline)
     skip_wallclock = (cap_current is not None and cap_baseline is not None
                       and cap_current != cap_baseline)
+    cores_current, cores_baseline = host_cores(current), host_cores(baseline)
+    skip_scaling = ((cores_current is not None and cores_current < 4)
+                    or (cores_baseline is not None and cores_baseline < 4))
 
     failures, checks, skips = [], [], []
-    walk(current, baseline, "$", failures, checks, skip_wallclock, skips)
+    walk(current, baseline, "$", failures, checks, skip_wallclock,
+         skip_scaling, skips)
 
     # The baseline-driven walk never sees current-only paths: a gated metric
     # the current bench emits without a baseline counterpart must fail, or
@@ -138,7 +163,9 @@ def main():
     unbaselined = sorted(
         path for path in current_gated - baseline_gated
         if not (skip_wallclock
-                and path.rsplit(".", 1)[-1] in WALLCLOCK_METRICS))
+                and path.rsplit(".", 1)[-1] in WALLCLOCK_METRICS)
+        if not (skip_scaling
+                and path.rsplit(".", 1)[-1] in SCALING_METRICS))
     for path in unbaselined:
         print(f"  UNBASELINED {path}: gated metric has no baseline — "
               f"refresh {args.baseline} in this change")
@@ -162,7 +189,8 @@ def main():
     if not checks and not failures:
         if skips:
             print(f"perf gate: PASS ({len(skips)} wall-clock metric(s) "
-                  f"skipped on capability mismatch, nothing else gated)")
+                  f"skipped on host capability/core mismatch, nothing else "
+                  f"gated)")
             return 0
         print("perf gate: no gated metrics found — check the file pair")
         return 1

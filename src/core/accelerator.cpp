@@ -14,23 +14,27 @@ namespace {
 /// `policy` is the issue policy the builder actually used, so the verifier
 /// knows whether the program-order pin applies.
 void maybe_verify(const AcceleratorConfig& cfg, const char* what,
-                  const ScheduledRun& run, IssuePolicy policy) {
+                  const ScheduledRun& run, IssuePolicy policy,
+                  RunReport& rep) {
   if (!cfg.verify_schedules) return;
   VerifyOptions opts;
   opts.program_order = policy == IssuePolicy::kProgramOrder;
   const VerifyResult res = verify_schedule(run.graph, run.stats, opts);
   TFACC_CHECK_MSG(res.ok(), what << " schedule failed verification:\n"
                                  << res.to_string());
+  rep.ledger_hash = res.hash;  // canonical PR 7 hash, 0 when verify is off
 }
 
 void maybe_verify_fused(const AcceleratorConfig& cfg, const char* what,
-                        const FusedRun& run, IssuePolicy policy) {
+                        const FusedRun& run, IssuePolicy policy,
+                        RunReport& rep) {
   if (!cfg.verify_schedules) return;
   VerifyOptions opts;
   opts.program_order = policy == IssuePolicy::kProgramOrder;
   const VerifyResult res = verify_fused(run, opts);
   TFACC_CHECK_MSG(res.ok(), what << " ledger failed verification:\n"
                                  << res.to_string());
+  rep.ledger_hash = res.hash;
 }
 
 /// Busy cycles of a module that may never have been scheduled (e.g. Softmax
@@ -113,7 +117,7 @@ Accelerator::MhaResult Accelerator::run_mha(const MhaQuantized& block,
   const ScheduledRun sched =
       schedule_mha(cfg_, rep.timeline, q.rows(), kv.rows(), block.d_model,
                    block.num_heads);
-  maybe_verify(cfg_, "run_mha", sched, IssuePolicy::kProgramOrder);
+  maybe_verify(cfg_, "run_mha", sched, IssuePolicy::kProgramOrder, rep);
   finalize_report(rep, cfg_, sched.stats);
   return res;
 }
@@ -143,7 +147,7 @@ Accelerator::FfnResult Accelerator::run_ffn(const FfnQuantized& block,
   RunReport& rep = res.report;
   const ScheduledRun sched =
       schedule_ffn(cfg_, rep.timeline, x.rows(), block.d_model, block.d_ff);
-  maybe_verify(cfg_, "run_ffn", sched, IssuePolicy::kGreedy);
+  maybe_verify(cfg_, "run_ffn", sched, IssuePolicy::kGreedy, rep);
   finalize_report(rep, cfg_, sched.stats);
   return res;
 }
@@ -154,7 +158,7 @@ RunReport Accelerator::time_mha(int s_q, int s_kv, int d_model,
   RunReport rep;
   const ScheduledRun sched =
       schedule_mha(cfg_, rep.timeline, s_q, s_kv, d_model, num_heads);
-  maybe_verify(cfg_, "time_mha", sched, IssuePolicy::kProgramOrder);
+  maybe_verify(cfg_, "time_mha", sched, IssuePolicy::kProgramOrder, rep);
   finalize_report(rep, cfg_, sched.stats);
   return rep;
 }
@@ -169,7 +173,7 @@ RunReport Accelerator::time_mha_cached(int s_new, int s_total, int d_model,
   const ScheduledRun sched =
       schedule_mha_cached(cfg_, rep.timeline, s_new, s_total, d_model,
                           num_heads, project_kv_rows);
-  maybe_verify(cfg_, "time_mha_cached", sched, cached_policy(cfg_));
+  maybe_verify(cfg_, "time_mha_cached", sched, cached_policy(cfg_), rep);
   finalize_report(rep, cfg_, sched.stats);
   return rep;
 }
@@ -191,7 +195,7 @@ Accelerator::MhaResult Accelerator::run_mha_cached(const MhaQuantized& block,
   const ScheduledRun sched =
       schedule_mha_cached(cfg_, rep.timeline, q.rows(), cache.rows(),
                           block.d_model, block.num_heads, projected_rows);
-  maybe_verify(cfg_, "run_mha_cached", sched, cached_policy(cfg_));
+  maybe_verify(cfg_, "run_mha_cached", sched, cached_policy(cfg_), rep);
 
   // Functional pass: identical arithmetic to the quantized model's cached
   // path (the caller appended this step's K/V rows before invoking us, so
@@ -237,7 +241,7 @@ Accelerator::MhaResult Accelerator::run_mha_cached_batch(
   const ScheduledRun sched =
       schedule_mha_cached_batch(cfg_, rep.timeline, totals, block.d_model,
                                 block.num_heads, projected_rows);
-  maybe_verify(cfg_, "run_mha_cached_batch", sched, cached_policy(cfg_));
+  maybe_verify(cfg_, "run_mha_cached_batch", sched, cached_policy(cfg_), rep);
   finalize_report(rep, cfg_, sched.stats);
   return res;
 }
@@ -247,7 +251,7 @@ RunReport Accelerator::time_ffn(int s, int d_model, int d_ff) const {
   RunReport rep;
   const ScheduledRun sched =
       schedule_ffn(cfg_, rep.timeline, s, d_model, d_ff);
-  maybe_verify(cfg_, "time_ffn", sched, IssuePolicy::kGreedy);
+  maybe_verify(cfg_, "time_ffn", sched, IssuePolicy::kGreedy, rep);
   finalize_report(rep, cfg_, sched.stats);
   return rep;
 }
@@ -284,7 +288,7 @@ RunReport Accelerator::time_fused(const std::vector<SublayerPlan>& subs,
   RunReport rep;
   const FusedRun fused = schedule_fused(cfg_, rep.timeline, subs, chain,
                                         fused_policy(cfg_, subs));
-  maybe_verify_fused(cfg_, "time_fused", fused, fused_policy(cfg_, subs));
+  maybe_verify_fused(cfg_, "time_fused", fused, fused_policy(cfg_, subs), rep);
   finalize_report(rep, cfg_, fused.stats);
   // Replace the edges-only estimate with the composer's seam-aware number
   // (identical for a one-sublayer ledger).
@@ -296,7 +300,7 @@ RunReport Accelerator::time_step(const std::vector<FusedLane>& lanes) const {
   RunReport rep;
   const FusedRun fused = schedule_fused_lanes(cfg_, rep.timeline, lanes,
                                               fused_policy(cfg_, lanes));
-  maybe_verify_fused(cfg_, "time_step", fused, fused_policy(cfg_, lanes));
+  maybe_verify_fused(cfg_, "time_step", fused, fused_policy(cfg_, lanes), rep);
   finalize_report(rep, cfg_, fused.stats);
   rep.boundary_stall = fused.boundary_stall;
   rep.prefill_stall = fused.prefill_stall;

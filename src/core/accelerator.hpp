@@ -48,6 +48,11 @@ struct RunReport {
   Cycle prefill_stall = 0;
   bool softmax_hidden = true;
   double clock_mhz = 200.0;
+  /// Canonical ledger hash (analysis/verifier.hpp, PR 7) of this run's
+  /// schedule — populated only when cfg.verify_schedules is on, 0 otherwise.
+  /// Folded per card into AcceleratorStats::ledger_fingerprint so the
+  /// thread-stress test can compare whole per-card ledger streams.
+  std::uint64_t ledger_hash = 0;
   Timeline timeline;
 
   /// Fraction of total cycles the SA was busy ("the SA hardly stops").

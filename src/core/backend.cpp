@@ -13,6 +13,11 @@ void charge_modules(AcceleratorStats* stats, const RunReport& report) {
   stats->softmax_stall_cycles += report.softmax_stall;
   stats->boundary_stall_cycles += report.boundary_stall;
   stats->prefill_stall_cycles += report.prefill_stall;
+  // Order-sensitive fold (FNV-1a step) of the verified ledger stream: any
+  // reordered, missing, or altered ledger changes the fingerprint.
+  if (report.ledger_hash != 0)
+    stats->ledger_fingerprint =
+        (stats->ledger_fingerprint * 1099511628211ULL) ^ report.ledger_hash;
 }
 
 void charge_mha(AcceleratorStats* stats, const RunReport& report) {
@@ -42,7 +47,10 @@ void DecodeStepFuser::begin_step() {
 
 void DecodeStepFuser::begin_prefill() {
   TFACC_CHECK_MSG(!prefill_active_, "prefill capture already open");
-  TFACC_CHECK_MSG(!active_, "prefill capture inside an open step");
+  // A capture MAY open inside an open step: the convoy-free scheduler (PR 9)
+  // drains admissions mid-step and encodes them before the step's splice
+  // loop. The hooks stay unambiguous because every recorder checks
+  // prefill_active() first; the capture must close before end_step().
   TFACC_CHECK(prefill_plans_.empty());
   prefill_active_ = true;
 }
@@ -112,6 +120,7 @@ void DecodeStepFuser::record_ffn(int rows, int d_model, int d_ff) {
 
 RunReport DecodeStepFuser::end_step() {
   TFACC_CHECK_MSG(active_, "end_step without begin_step");
+  TFACC_CHECK_MSG(!prefill_active_, "end_step inside prefill capture");
   active_ = false;
   if (n_subs_ == 0 && prefill_chunks_.empty())
     return {};  // the step fell back to non-hook paths

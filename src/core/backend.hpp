@@ -38,6 +38,11 @@ struct AcceleratorStats {
   /// a decode-only rebuild; with eager encode, the whole encoder pass of
   /// every admission that found live decode slots on the card.
   Cycle prefill_stall_cycles = 0;
+  /// Order-sensitive FNV fold of every charged run's canonical ledger hash
+  /// (RunReport::ledger_hash; populated only under cfg.verify_schedules).
+  /// Two runs with identical fingerprints executed identical ledger streams
+  /// in identical order — the thread-stress determinism witness.
+  std::uint64_t ledger_fingerprint = 0;
 
   Cycle total_cycles() const {
     return mha_cycles + ffn_cycles + fused_cycles;

@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/fixed_point.hpp"
 #include "hwarith/rsqrt_lut.hpp"
+#include "tensor/kernels.hpp"
 
 namespace tfacc::hw {
 
@@ -43,25 +44,18 @@ void LayerNormUnit::finish_row(const std::int16_t* g, std::int64_t sum,
 
   // One ROM access per row, like the hardware: V is row-constant, so the
   // lookup is hoisted and only the multiply/shift runs per element
-  // (bit-identical to calling mul_rsqrt per element).
+  // (bit-identical to calling mul_rsqrt per element). The γ/β loop runs
+  // through the dispatched kernel (TFACC_KERNEL) — every kind is exact.
   const RsqrtLut::Result rs = rsqrt_lut().lookup(v);
   const int norm_shift = RsqrtLut::kOutFracBits + rs.shift - kNormFracBits;
-  for (int j = 0; j < n_; ++j) {
-    const std::int64_t t = static_cast<std::int64_t>(n_) * g[j] - sum;
-    const std::int64_t norm_q12 =
-        rounding_shift_right(t * rs.mantissa, norm_shift);
-    const std::int64_t scaled = rounding_shift_right(
-        norm_q12 * gq_[static_cast<std::size_t>(j)], 2 * kNormFracBits);
-    out[j] = saturate_i8(scaled + bq_[static_cast<std::size_t>(j)]);
-  }
+  kernels::layernorm_finish_into(g, n_, sum, rs.mantissa, norm_shift,
+                                 2 * kNormFracBits, gq_.data(), bq_.data(),
+                                 out);
 }
 
 void LayerNormUnit::row(const std::int16_t* g, std::int8_t* out) const {
   std::int64_t sum = 0, sumsq = 0;
-  for (int j = 0; j < n_; ++j) {
-    sum += g[j];
-    sumsq += static_cast<std::int64_t>(g[j]) * g[j];
-  }
+  kernels::layernorm_stats(g, n_, &sum, &sumsq);
   finish_row(g, sum, sumsq, out);
 }
 

@@ -4,9 +4,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
 
 #include "common/check.hpp"
 #include "core/schedules.hpp"
@@ -24,6 +26,9 @@ void SchedulerConfig::validate() const {
                       "slots_per_card must be >= " << slot_demand()
                           << " (one sentence's hypotheses), got "
                           << slots_per_card);
+  TFACC_CHECK_ARG_MSG(host_threads >= 0,
+                      "host_threads must be >= 0 (0 = auto), got "
+                          << host_threads);
   accel.validate();
 }
 
@@ -136,86 +141,312 @@ struct Scheduler::Card {
   }
 };
 
-/// Conservative simulated-time admission order. Card threads race on the
-/// host (and may even be fully serialized on a single CPU), but the farm
-/// being modeled has every card live at once, so "who takes the next
-/// request" must follow *simulated* time, not host scheduling: a card may
-/// admit only while no live sibling sits at a smaller virtual clock (ties
-/// break toward the lower card id). Cards publish their clock after every
-/// admission and every packed step, so waiters advance promptly. This makes
-/// multi-card request placement — and with it every per-card cycle ledger —
-/// fully deterministic and host-independent.
+/// Convoy-free simulated-time admission order (the PR 9 tentpole).
+///
+/// Card threads race on the host, but the farm being modeled has every card
+/// live at once, so "who takes the next request" must follow *simulated*
+/// time, not host scheduling. The old protocol had each vacant card
+/// host-block in wait_turn() until it held the global minimum (clock, id) —
+/// cards with live decode work convoyed behind the slowest sibling's step
+/// compute. Here admission is reservation-based and a card never blocks
+/// while it has work:
+///
+///  * reserve(c, key) posts card c's intent to pop at simulated time `key`.
+///    The key is frozen — computed from simulated state only, so it is
+///    identical on every host and at every thread count.
+///  * Whichever thread next touches the gate and observes that c's
+///    (key, id) pair is the strict minimum over every live card's blocking
+///    pair resolves the admission: the queue pop runs right there, under
+///    the gate mutex, at c's frozen key — pops execute in exact (key, id)
+///    order regardless of host scheduling. The outcome is parked in the
+///    slot as a Grant.
+///  * The card collects its grant with the non-blocking try_consume() at
+///    its next drain point; with in-flight work it keeps stepping while the
+///    grant is pending and only parks (WorkerPool) when it truly cannot
+///    progress. A card with no reservation blocks siblings at its published
+///    clock, exactly like the old protocol.
+///
+/// Blocking pair of live card i: (key_i, i) while a reservation is posted
+/// (pending, granted or held), else (clock_i, i). A pending slot is granted
+/// iff its pair is strictly below every other live card's pair — the same
+/// total order wait_turn() enforced, so the admission sequence (and with it
+/// every per-card cycle ledger) is unchanged from the blocking protocol.
 class AdmissionGate {
  public:
-  explicit AdmissionGate(std::size_t n) : clock_(n, 0), live_(n, true) {}
+  struct Grant {
+    RequestQueue::PopOutcome outcome = RequestQueue::PopOutcome::kDrained;
+    TranslationRequest req;
+    Cycle next_arrival = 0;
+  };
 
-  /// Monotonically raise card c's virtual clock and wake waiters.
-  void publish(std::size_t c, Cycle t) {
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      clock_[c] = std::max(clock_[c], t);
-    }
-    cv_.notify_all();
+  AdmissionGate(std::size_t n, RequestQueue& queue,
+                std::function<void(std::size_t)> on_grant)
+      : queue_(&queue), on_grant_(std::move(on_grant)), slots_(n) {}
+
+  /// Post card c's intent to pop at simulated time `key`. Raises the card's
+  /// clock to the key (a reservation is also a progress publication). Legal
+  /// from idle or held (re-reserving right after consuming a grant).
+  void reserve(std::size_t c, Cycle key) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Slot& s = slots_[c];
+    TFACC_CHECK(s.phase == Phase::kIdle || s.phase == Phase::kHeld);
+    s.key = std::max(key, s.clock);
+    s.clock = s.key;
+    s.phase = Phase::kPending;
+    scan_locked();
   }
 
-  /// Card c is done (no further admissions); waiters stop considering it.
-  void retire(std::size_t c) {
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      live_[c] = false;
+  /// Collect a resolved reservation. Non-blocking: true moves the grant out
+  /// and holds the turn (the slot keeps blocking siblings at its key until
+  /// release()/reserve()); false means the reservation is still pending.
+  bool try_consume(std::size_t c, Grant* out) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Slot& s = slots_[c];
+    if (s.phase != Phase::kGranted) {
+      TFACC_CHECK(s.phase == Phase::kPending);
+      return false;
     }
-    cv_.notify_all();
-  }
-
-  /// Block until card c holds the smallest (clock, id) among live cards.
-  void wait_turn(std::size_t c) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return my_turn(c); });
-  }
-
- private:
-  bool my_turn(std::size_t c) const {
-    for (std::size_t i = 0; i < clock_.size(); ++i) {
-      if (i == c || !live_[i]) continue;
-      if (clock_[i] < clock_[c] || (clock_[i] == clock_[c] && i < c))
-        return false;
-    }
+    *out = std::move(s.grant);
+    s.phase = Phase::kHeld;
     return true;
   }
 
+  /// Drop a held turn without re-reserving (card is full or done popping).
+  void release(std::size_t c) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Slot& s = slots_[c];
+    TFACC_CHECK(s.phase == Phase::kHeld);
+    s.phase = Phase::kIdle;
+    scan_locked();
+  }
+
+  /// Monotonically raise card c's published clock (end of a step).
+  void publish(std::size_t c, Cycle t) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    slots_[c].clock = std::max(slots_[c].clock, t);
+    scan_locked();
+  }
+
+  /// Card c is done (no further admissions); scans stop considering it.
+  void retire(std::size_t c) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    slots_[c].live = false;
+    slots_[c].phase = Phase::kIdle;
+    scan_locked();
+  }
+
+ private:
+  enum class Phase { kIdle, kPending, kGranted, kHeld };
+
+  struct Slot {
+    bool live = true;
+    Cycle clock = 0;
+    Phase phase = Phase::kIdle;
+    Cycle key = 0;
+    Grant grant;
+  };
+
+  // Resolve at most one admission: if the globally minimal blocking pair
+  // belongs to a PENDING slot, pop for it at its frozen key and mark it
+  // granted. A granted/held minimum blocks everyone (its pop is already in
+  // the total order but its card has not folded it in yet); an idle minimum
+  // means that card is mid-step and may still reserve an earlier key.
+  void scan_locked() {
+    std::size_t min_c = slots_.size();
+    Cycle min_k = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const Slot& s = slots_[i];
+      if (!s.live) continue;
+      const Cycle k = s.phase == Phase::kIdle ? s.clock : s.key;
+      if (min_c == slots_.size() || k < min_k) {
+        min_c = i;
+        min_k = k;
+      }
+    }
+    if (min_c == slots_.size()) return;
+    Slot& s = slots_[min_c];
+    if (s.phase != Phase::kPending) return;
+    s.grant.outcome = queue_->try_pop(static_cast<int>(min_c), s.key,
+                                      s.grant.req, &s.grant.next_arrival);
+    s.phase = Phase::kGranted;
+    if (on_grant_) on_grant_(min_c);
+  }
+
+  RequestQueue* queue_;
+  std::function<void(std::size_t)> on_grant_;
   mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Cycle> clock_;
-  std::vector<bool> live_;
+  std::vector<Slot> slots_;
+};
+
+/// Persistent host worker pool owned by the Scheduler: the threads are
+/// spawned once at construction and reused by every run() (and by the
+/// concurrent card builds), replacing the old per-run spawn/join. Job i is
+/// pinned to worker i % threads, so a card's state is only ever touched by
+/// one thread across park/unpark cycles. A job returns kParked when it
+/// cannot progress (admission grant pending); unpark(i) makes it runnable
+/// again. With one effective thread there are no workers at all: run()
+/// drives every job cooperatively on the calling thread — the forced-serial
+/// mode the thread-stress test compares against.
+class Scheduler::WorkerPool {
+ public:
+  enum class Status { kDone, kParked };
+  using Job = std::function<Status()>;
+
+  explicit WorkerPool(int threads) {
+    TFACC_CHECK(threads >= 1);
+    if (threads == 1) return;  // inline cooperative mode
+    workers_.resize(static_cast<std::size_t>(threads));
+    for (auto& w : workers_) w = std::make_unique<Worker>();
+    threads_.reserve(workers_.size());
+    for (std::size_t w = 0; w < workers_.size(); ++w)
+      threads_.emplace_back([this, w] { worker_main(w); });
+  }
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    for (auto& w : workers_) w->cv.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  int threads() const {
+    return threads_.empty() ? 1 : static_cast<int>(threads_.size());
+  }
+
+  /// Run `jobs` to completion (every job returned kDone). Blocks the caller.
+  /// Jobs must not throw — wrap them.
+  void run(std::vector<Job> jobs) {
+    if (jobs.empty()) return;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      jobs_ = std::move(jobs);
+      live_.assign(jobs_.size(), 1);
+      runnable_.assign(jobs_.size(), 1);
+      remaining_ = jobs_.size();
+      ++generation_;
+    }
+    if (threads_.empty()) {
+      run_inline();
+    } else {
+      for (auto& w : workers_) w->cv.notify_all();
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    }
+    jobs_.clear();
+  }
+
+  /// Make a parked job runnable again and wake its worker. Callable from
+  /// any thread (the admission gate's grant callback, possibly while that
+  /// thread is executing a different job).
+  void unpark(std::size_t job) {
+    std::size_t w = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (job >= runnable_.size() || !live_[job]) return;
+      runnable_[job] = 1;
+      if (threads_.empty()) return;
+      w = job % workers_.size();
+    }
+    workers_[w]->cv.notify_all();
+  }
+
+ private:
+  struct Worker {
+    std::condition_variable cv;
+  };
+
+  // Cooperative single-thread mode: round-robin over runnable jobs. All
+  // parked with work remaining would be a deadlock — unreachable, because a
+  // job only parks on a pending reservation, and the gate grants the
+  // minimal pending reservation at every interaction (the grant callback
+  // marks its job runnable before the owner can observe it parked).
+  void run_inline() {
+    std::size_t next = 0;
+    for (;;) {
+      std::size_t j = jobs_.size();
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (remaining_ == 0) return;
+        for (std::size_t k = 0; k < jobs_.size(); ++k) {
+          const std::size_t cand = (next + k) % jobs_.size();
+          if (live_[cand] && runnable_[cand]) {
+            j = cand;
+            break;
+          }
+        }
+        TFACC_CHECK_MSG(j < jobs_.size(),
+                        "worker pool deadlock: every live job is parked");
+        runnable_[j] = 0;
+      }
+      next = j + 1;
+      const Status st = jobs_[j]();
+      if (st == Status::kDone) {
+        const std::lock_guard<std::mutex> lock(mu_);
+        live_[j] = 0;
+        --remaining_;
+      }
+    }
+  }
+
+  void worker_main(std::size_t w) {
+    std::unique_lock<std::mutex> lock(mu_);
+    std::uint64_t seen = 0;
+    for (;;) {
+      workers_[w]->cv.wait(
+          lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      for (;;) {
+        std::size_t j = jobs_.size();
+        bool any_live = false;
+        for (std::size_t cand = w; cand < jobs_.size();
+             cand += workers_.size()) {
+          if (!live_[cand]) continue;
+          any_live = true;
+          if (runnable_[cand]) {
+            j = cand;
+            break;
+          }
+        }
+        if (!any_live) break;  // this generation is done for this worker
+        if (j == jobs_.size()) {
+          workers_[w]->cv.wait(lock, [&] {
+            if (shutdown_) return true;
+            for (std::size_t cand = w; cand < jobs_.size();
+                 cand += workers_.size())
+              if (live_[cand] && runnable_[cand]) return true;
+            return false;
+          });
+          if (shutdown_) return;
+          continue;
+        }
+        runnable_[j] = 0;
+        lock.unlock();
+        const Status st = jobs_[j]();
+        lock.lock();
+        if (st == Status::kDone) {
+          live_[j] = 0;
+          if (--remaining_ == 0) done_cv_.notify_all();
+        }
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  std::vector<Job> jobs_;
+  std::vector<char> live_;
+  std::vector<char> runnable_;
+  std::size_t remaining_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
 };
 
 namespace {
-
-// Run `fn(c)` for c in [0, n) on one thread each (or inline when n == 1),
-// capturing the first exception so it rethrows on the caller's thread
-// instead of std::terminate-ing the process.
-template <typename Fn>
-void run_per_card(std::size_t n, Fn&& fn) {
-  std::exception_ptr error;
-  std::mutex error_mu;
-  auto guarded = [&](std::size_t c) {
-    try {
-      fn(c);
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mu);
-      if (!error) error = std::current_exception();
-    }
-  };
-  if (n == 1) {
-    guarded(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(n);
-    for (std::size_t c = 0; c < n; ++c) threads.emplace_back(guarded, c);
-    for (std::thread& t : threads) t.join();
-  }
-  if (error) std::rethrow_exception(error);
-}
 
 std::unique_ptr<SentenceSearch> make_search(const SchedulerConfig& cfg,
                                             std::optional<DecodeState> state) {
@@ -245,7 +476,456 @@ std::vector<SublayerPlan> encoder_plan(const ModelConfig& m, int rows) {
   return subs;
 }
 
+// Host threads the pool should hold: the knob, defaulted to one thread per
+// card capped at the hardware concurrency, and always clamped to num_cards
+// (a card is single-threaded, extra workers would idle).
+int effective_threads(const SchedulerConfig& cfg) {
+  int t = cfg.host_threads;
+  if (t == 0) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    t = static_cast<int>(
+        std::min(static_cast<unsigned>(cfg.num_cards), hw));
+  }
+  return std::min(t, cfg.num_cards);
+}
+
 }  // namespace
+
+// The per-card step loop, restructured as a resumable machine so a pool
+// worker can park it (only) when it truly cannot progress. One iteration of
+// the old loop becomes kTop → [kTopDrain] → kStepCompute → [kMidDrain] →
+// kTop. In pack mode the admission drain runs MID-step (after the expensive
+// decode compute, inside the still-open step ledger): a newly admitted
+// sentence is never decode-ready in its admission step — its chunks are
+// non-empty, so it contributes no gather rows — and its first prefill chunk
+// rides this step's ledger exactly as when admission ran at the top, so the
+// composed step ledger (and every modeled metric) is unchanged while the
+// admission wait overlaps the step's host compute. Without packing (eager
+// encode or full recompute) admission charges cycles that later pops
+// observe, so those modes keep the old admit-at-top order.
+struct Scheduler::CardRun {
+  using Status = WorkerPool::Status;
+
+  // One admitted sentence: its id, the encoder memory (needed per step in
+  // full-recompute mode, at admission only in cached mode), its search state
+  // machine, and — under pack_prefill — the not-yet-timed prefill chunks.
+  // A sentence contributes decode rows only once every chunk has been
+  // spliced into a prior step ledger (decode-ready in simulated time).
+  struct Active {
+    std::uint64_t id = 0;
+    MatF memory;
+    int src_valid = 0;
+    std::unique_ptr<SentenceSearch> search;
+    std::vector<SublayerPlan> chunks;
+    std::size_t next_chunk = 0;
+    bool prefill_done() const { return next_chunk >= chunks.size(); }
+  };
+
+  enum class StepPhase { kTop, kTopDrain, kStepCompute, kMidDrain };
+  enum class Drain { kCompleted, kParked };
+
+  CardRun(const SchedulerConfig& config, std::size_t card_id, Card& card_ref,
+          AdmissionGate& gate_ref, ScheduleReport& report)
+      : cfg(config),
+        c(card_id),
+        card(card_ref),
+        gate(gate_ref),
+        rep(report),
+        stats(report.per_card[card_id]),
+        step_stats(report.per_card_steps[card_id]),
+        cached(cfg.decode == DecodeMode::kKvCache),
+        pack(cached && cfg.accel.pack_prefill),
+        demand(cfg.slot_demand()) {
+    switch (cfg.backend) {
+      case ServeBackend::kReference:
+        card.model.set_backend(ResBlockBackend{});
+        break;
+      case ServeBackend::kQuantized:
+        card.model.set_backend(card.qt->backend());
+        break;
+      case ServeBackend::kAccelerator:
+        if (cached &&
+            (cfg.accel.fuse_decode_step || cfg.accel.pack_prefill))
+          fuser.emplace(*card.acc, &stats);
+        card.model.set_backend(accelerator_backend(
+            *card.qt, *card.acc, &stats, fuser ? &*fuser : nullptr));
+        break;
+    }
+    fuse = fuser.has_value() && cfg.accel.fuse_decode_step;
+  }
+
+  /// Restore the card's default backend (normal completion or abandon after
+  /// an exception — the backend must not dangle past this CardRun).
+  void detach() { card.model.set_backend(ResBlockBackend{}); }
+
+  // Virtual clock driving the admission order: simulated ResBlock cycles on
+  // the accelerator; a work proxy (rows stepped + sentences admitted +
+  // prefill chunks spliced) for the functional backends, which have no
+  // cycle model. `clock_floor` fast-forwards an idle card past an arrival
+  // gap so the admission order stays well-defined with staggered arrivals.
+  Cycle busy() const {
+    return cfg.backend == ServeBackend::kAccelerator
+               ? stats.total_cycles()
+               : static_cast<Cycle>(step_stats.packed_rows +
+                                    step_stats.sentences +
+                                    step_stats.prefill_chunks);
+  }
+  Cycle virtual_time() const { return std::max(clock_floor, busy()); }
+
+  // Frozen reservation key. Pack mode pops mid-step, when the step's own
+  // charges have already polluted the live clock, so its keys come from the
+  // top-of-iteration snapshot: on the accelerator an admission charges
+  // nothing (the capture defers all timing), so every pop this iteration
+  // keys at the snapshot; the functional proxy counts each admitted
+  // sentence, so successive pops key one tick apart — both exactly the
+  // values the old admit-at-top protocol popped at. Eager modes admit at
+  // the top with the live clock (their encodes charge cycles that later
+  // pops must observe).
+  Cycle admission_key() const {
+    if (!pack) return virtual_time();
+    const Cycle base = cfg.backend == ServeBackend::kAccelerator
+                           ? busy_snapshot
+                           : busy_snapshot +
+                                 static_cast<Cycle>(admitted_in_drain);
+    return std::max(clock_floor, base);
+  }
+
+  void post_reservation() {
+    gate.reserve(c, admission_key());
+    posted = true;
+  }
+
+  Status resume() {
+    for (;;) {
+      switch (phase) {
+        case StepPhase::kTop: {
+          if (queue_drained && active.empty() && pending_admits.empty()) {
+            gate.retire(c);
+            detach();
+            return Status::kDone;
+          }
+          busy_snapshot = busy();
+          admitted_in_drain = 0;
+          if (pack && !active.empty()) {
+            // Post the step's reservation BEFORE the decode compute so a
+            // sibling's scan can resolve it while this thread crunches.
+            if (!posted && !queue_drained &&
+                reserved + demand <= cfg.slots_per_card)
+              post_reservation();
+            phase = StepPhase::kStepCompute;
+          } else {
+            phase = StepPhase::kTopDrain;
+          }
+          break;
+        }
+        case StepPhase::kTopDrain: {
+          if (drain() == Drain::kParked) return Status::kParked;
+          admit_pending();
+          phase = active.empty() ? StepPhase::kTop : StepPhase::kStepCompute;
+          break;
+        }
+        case StepPhase::kStepCompute: {
+          step_compute();
+          if (pack) {
+            phase = StepPhase::kMidDrain;
+          } else {
+            close_step();
+            finish_step();
+            phase = StepPhase::kTop;
+          }
+          break;
+        }
+        case StepPhase::kMidDrain: {
+          if (drain() == Drain::kParked) return Status::kParked;
+          admit_pending();
+          splice_range(ready.size(), active.size());
+          close_step();
+          finish_step();
+          phase = StepPhase::kTop;
+          break;
+        }
+      }
+    }
+  }
+
+  // Fill every vacant slot via the reservation protocol. Never blocks the
+  // host: a pending grant parks the job (kParked) and the resume re-enters
+  // here. Completed leaves the gate slot idle (no reservation) unless the
+  // card parked.
+  Drain drain() {
+    for (;;) {
+      if (holding) {
+        // Just consumed a pop: keep the turn and re-reserve while vacancy
+        // remains, else yield it.
+        if (queue_drained || reserved + demand > cfg.slots_per_card) {
+          gate.release(c);
+          holding = false;
+          return Drain::kCompleted;
+        }
+        gate.reserve(c, admission_key());
+        holding = false;
+        posted = true;
+      } else if (!posted) {
+        if (queue_drained || reserved + demand > cfg.slots_per_card)
+          return Drain::kCompleted;
+        post_reservation();
+      }
+      AdmissionGate::Grant g;
+      if (!gate.try_consume(c, &g)) return Drain::kParked;
+      posted = false;
+      holding = true;
+      switch (g.outcome) {
+        case RequestQueue::PopOutcome::kDrained:
+          queue_drained = true;  // closed before run(): empty is final
+          break;                 // loop head releases and completes
+        case RequestQueue::PopOutcome::kPending:
+          if (active.empty() && pending_admits.empty()) {
+            // Nothing in flight: idle the card forward to the next arrival
+            // so its reservation key (and the admission order) advances.
+            clock_floor = std::max(clock_floor, g.next_arrival);
+            // loop head re-reserves at the raised key
+          } else {
+            // Work in flight: keep stepping, arrivals re-check next step.
+            gate.release(c);
+            holding = false;
+            return Drain::kCompleted;
+          }
+          break;
+        case RequestQueue::PopOutcome::kPopped:
+          admit(g.req);
+          break;
+      }
+    }
+  }
+
+  void admit(TranslationRequest& req) {
+    reserved += demand;
+    ++step_stats.sentences;
+    step_stats.admitted.push_back(req.id);
+    ++admitted_in_drain;
+    if (pack) {
+      // Encode deferred until the drain completes (admit_pending) — the
+      // capture charges nothing, so later pops' keys are unaffected.
+      pending_admits.push_back(std::move(req));
+      return;
+    }
+    // Eager encode, inside the held turn: the old protocol published its
+    // post-encode clock before yielding, and the next reserve() does the
+    // same here, so same-key siblings serialize identically.
+    active.push_back(make_active(req));
+  }
+
+  void admit_pending() {
+    for (TranslationRequest& req : pending_admits)
+      active.push_back(make_active(req));
+    pending_admits.clear();
+  }
+
+  Active make_active(const TranslationRequest& req) {
+    Active a;
+    a.id = req.id;
+    if (pack && fuser) {
+      // Accelerator packing: one bit-exact host-side encoder pass NOW
+      // (outputs can never depend on timing), its cycle cost captured as
+      // full-size sublayer plans and re-cut into chunks the step loop
+      // splices into upcoming mixed ledgers.
+      fuser->begin_prefill();
+      a.memory = card.model.encode(req.src);
+      a.chunks =
+          chunk_prefill(fuser->end_prefill(), cfg.accel.prefill_chunk_rows);
+    } else if (pack) {
+      // Functional backends have no capture hooks for the encoder pass;
+      // synthesize the same chunk sequence from the model shape so the
+      // decode-ready delay and admission proxy behave identically.
+      a.memory = card.model.encode(req.src);
+      a.chunks = chunk_prefill(
+          encoder_plan(card.model.weights().config,
+                       static_cast<int>(req.src.size())),
+          cfg.accel.prefill_chunk_rows);
+    } else {
+      // Eager encode (pack_prefill off): the whole encoder pass lands on
+      // the card's ledger at admission; when live decode rows share the
+      // card, every one of those cycles is decode time lost to prefill.
+      const Cycle before = stats.total_cycles();
+      a.memory = card.model.encode(req.src);
+      if (cfg.backend == ServeBackend::kAccelerator && !active.empty())
+        stats.prefill_stall_cycles += stats.total_cycles() - before;
+    }
+    for (SublayerPlan& chunk : a.chunks)
+      chunk.label = "s" + std::to_string(req.id) + "." + chunk.label;
+    a.src_valid = unpadded_length(req.src);
+    a.search = make_search(
+        cfg, cached ? std::optional<DecodeState>(card.model.begin_decode(
+                          a.memory, a.src_valid))
+                    : std::nullopt);
+    return a;
+  }
+
+  // Splice ONE pending prefill chunk per not-yet-ready sentence in
+  // [first, last) into this step — the fixed-size interleaving that stops
+  // one long sentence from monopolizing a step while its siblings' beams
+  // starve. Mid-drain admissions splice their first chunk through the same
+  // call after the decode compute; the fused ledger orders lanes by splice
+  // order either way, so the composed step ledger matches admit-at-top.
+  void splice_range(std::size_t first, std::size_t last) {
+    for (std::size_t ai = first; ai < last; ++ai) {
+      Active& a = active[ai];
+      if (a.prefill_done()) continue;
+      const SublayerPlan& chunk = a.chunks[a.next_chunk++];
+      ++step_stats.prefill_chunks;
+      if (fuse) {
+        fuser->add_prefill_chunk(chunk);
+      } else if (cfg.backend == ServeBackend::kAccelerator) {
+        // Unfused packing (ablation): each chunk is its own ledger beside
+        // the step's per-sublayer ledgers. With decode rows waiting, the
+        // whole chunk ledger is decode time lost to prefill.
+        const RunReport r = card.acc->time_step(
+            {FusedLane{std::vector<SublayerPlan>{chunk}, true}});
+        charge_prefill_chunk(&stats, chunk, r);
+        if (rows > 0) stats.prefill_stall_cycles += r.total_cycles;
+      }
+    }
+  }
+
+  void step_compute() {
+    // Gather the next-token row of every decode-ready hypothesis on this
+    // card. Readiness is snapshotted BEFORE splicing: a sentence whose last
+    // prefill chunk rides THIS step's ledger becomes decode-ready next step
+    // (its encoder output exists, in simulated time, only once this step's
+    // graph nodes complete).
+    states.clear();
+    tokens.clear();
+    ready.assign(active.size(), 0);
+    live_counts.assign(active.size(), 0);
+    rows = 0;
+    for (std::size_t ai = 0; ai < active.size(); ++ai) {
+      if (!active[ai].prefill_done()) continue;
+      ready[ai] = 1;
+      const int k = active[ai].search->live();
+      live_counts[ai] = k;
+      rows += k;
+      if (cached) {
+        for (int i = 0; i < k; ++i) {
+          states.push_back(&active[ai].search->state(i));
+          tokens.push_back(active[ai].search->input_token(i));
+        }
+      }
+    }
+    // Full recompute issues one whole-prefix pass per hypothesis — nothing
+    // is packed — so it is charged as `rows` one-row steps; only the cached
+    // mode's single stacked invocation counts as one multi-row step. A
+    // prefill-only iteration (every slot still encoding) packs no decode
+    // rows and is NOT a packed step.
+    if (cached) {
+      if (rows > 0) {
+        ++step_stats.steps;
+        step_stats.packed_rows += rows;
+        ++step_stats.rows_hist[static_cast<std::size_t>(
+            std::min(rows, cfg.slots_per_card))];
+      }
+    } else {
+      step_stats.steps += rows;
+      step_stats.packed_rows += rows;
+      step_stats.rows_hist[1] += rows;
+    }
+
+    // One packed pass for every row (cached), or the legacy per-hypothesis
+    // full recompute (the O(L³) comparison mode — nothing to pack there).
+    if (cached) {
+      if (fuse) fuser->begin_step();
+      splice_range(0, active.size());
+      if (rows > 0) card.model.decode_step_batch(states, tokens, flat_logits);
+    } else {
+      logits.clear();
+      logits.reserve(static_cast<std::size_t>(rows));
+      for (std::size_t ai = 0; ai < active.size(); ++ai)
+        for (int i = 0; i < live_counts[ai]; ++i)
+          logits.push_back(card.model.next_token_logits(
+              active[ai].search->prefix(i), active[ai].memory,
+              active[ai].src_valid));
+    }
+  }
+
+  // One fused ledger per card-step: prefill chunks AND every sublayer the
+  // packed pass ran are scheduled as a single mixed cross-sublayer graph,
+  // so the card's virtual clock still advances exactly once per step.
+  void close_step() {
+    if (fuse) (void)fuser->end_step();
+  }
+
+  void finish_step() {
+    // Scatter the logits rows back to each decode-ready sentence's search
+    // machine. Mid-drain admissions sit past ready.size() and contributed
+    // no rows.
+    std::size_t off = 0;
+    for (std::size_t ai = 0; ai < ready.size(); ++ai) {
+      if (!ready[ai]) continue;
+      const std::size_t k = static_cast<std::size_t>(live_counts[ai]);
+      sentence_rows.resize(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        if (cached) {
+          const float* row = flat_logits.row(static_cast<int>(off + i));
+          sentence_rows[i].assign(row, row + flat_logits.cols());
+        } else {
+          sentence_rows[i] = std::move(logits[off + i]);
+        }
+      }
+      active[ai].search->advance(sentence_rows);
+      off += k;
+    }
+    // Finished sentences vacate their slots; the next iteration refills.
+    for (std::size_t ai = 0; ai < active.size();) {
+      if (active[ai].search->done()) {
+        rep.outputs[active[ai].id] = active[ai].search->result();
+        reserved -= demand;
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(ai));
+      } else {
+        ++ai;
+      }
+    }
+    gate.publish(c, virtual_time());
+  }
+
+  // --- wiring ---------------------------------------------------------------
+  const SchedulerConfig& cfg;
+  std::size_t c;
+  Card& card;
+  AdmissionGate& gate;
+  ScheduleReport& rep;
+  AcceleratorStats& stats;
+  CardStepStats& step_stats;
+  const bool cached;
+  const bool pack;
+  const int demand;
+  bool fuse = false;
+  std::optional<DecodeStepFuser> fuser;
+
+  // --- admission state ------------------------------------------------------
+  std::vector<Active> active;
+  int reserved = 0;  // slots claimed by admitted sentences (demand each)
+  Cycle clock_floor = 0;
+  bool queue_drained = false;
+  bool posted = false;   // reservation outstanding (pending or granted)
+  bool holding = false;  // consumed a grant, turn not yet yielded
+  Cycle busy_snapshot = 0;   // busy() at the top of this iteration
+  int admitted_in_drain = 0;
+  std::vector<TranslationRequest> pending_admits;  // pack: encode deferred
+
+  // --- step state -----------------------------------------------------------
+  StepPhase phase = StepPhase::kTop;
+  int rows = 0;
+  // Per-iteration gather/scatter buffers, hoisted so their capacities
+  // persist: together with the allocation-free decode_step_batch overload,
+  // a warm steady-state step touches the heap only inside the search
+  // machines.
+  std::vector<DecodeState*> states;
+  std::vector<int> tokens;
+  std::vector<char> ready;
+  std::vector<int> live_counts;
+  MatF flat_logits;                               // cached mode: rows × vocab
+  std::vector<std::vector<float>> logits;         // full-recompute rows
+  std::vector<std::vector<float>> sentence_rows;  // advance() marshalling
+};
 
 Scheduler::Scheduler(const TransformerWeights& weights,
                      const std::vector<TokenSeq>& calib_sources,
@@ -255,12 +935,27 @@ Scheduler::Scheduler(const TransformerWeights& weights,
   TFACC_CHECK_ARG_MSG(
       cfg_.backend == ServeBackend::kReference || !calib_sources.empty(),
       "need at least one calibration sentence");
+  pool_ = std::make_unique<WorkerPool>(effective_threads(cfg_));
   // Card setups are independent (each copies the weights and calibrates its
-  // own quantization), so build them concurrently like run() decodes.
+  // own quantization), so build them concurrently on the pool like run()
+  // decodes.
   cards_.resize(static_cast<std::size_t>(cfg_.num_cards));
-  run_per_card(cards_.size(), [&](std::size_t c) {
-    cards_[c] = std::make_unique<Card>(weights, calib_sources, cfg_);
-  });
+  std::exception_ptr error;
+  std::mutex error_mu;
+  std::vector<WorkerPool::Job> jobs;
+  jobs.reserve(cards_.size());
+  for (std::size_t c = 0; c < cards_.size(); ++c)
+    jobs.push_back([&, c]() -> WorkerPool::Status {
+      try {
+        cards_[c] = std::make_unique<Card>(weights, calib_sources, cfg_);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+      return WorkerPool::Status::kDone;
+    });
+  pool_->run(std::move(jobs));
+  if (error) std::rethrow_exception(error);
 }
 
 Scheduler::~Scheduler() = default;
@@ -299,286 +994,40 @@ ScheduleReport Scheduler::run(const std::vector<TokenSeq>& sources,
                                   arrivals.empty() ? 0 : arrivals[i]});
   queue.close();
 
-  AdmissionGate gate(cards_.size());
+  AdmissionGate gate(cards_.size(), queue,
+                     [this](std::size_t j) { pool_->unpark(j); });
+  std::vector<std::unique_ptr<CardRun>> runs;
+  runs.reserve(cards_.size());
+  for (std::size_t c = 0; c < cards_.size(); ++c)
+    runs.push_back(
+        std::make_unique<CardRun>(cfg_, c, *cards_[c], gate, rep));
+  std::exception_ptr error;
+  std::mutex error_mu;
+  std::vector<WorkerPool::Job> jobs;
+  jobs.reserve(cards_.size());
+  for (std::size_t c = 0; c < cards_.size(); ++c)
+    jobs.push_back([&, c]() -> WorkerPool::Status {
+      try {
+        return runs[c]->resume();
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+        // Retire the card so siblings do not wait forever on its clock —
+        // the old per-run threads would deadlock here instead.
+        gate.retire(c);
+        runs[c]->detach();
+        return WorkerPool::Status::kDone;
+      }
+    });
   const auto t0 = std::chrono::steady_clock::now();
-  run_per_card(cards_.size(),
-               [&](std::size_t c) { run_card(c, queue, gate, rep); });
+  pool_->run(std::move(jobs));
   rep.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (error) std::rethrow_exception(error);
   return rep;
-}
-
-void Scheduler::run_card(std::size_t c, RequestQueue& queue,
-                         AdmissionGate& gate, ScheduleReport& rep) {
-  Card& card = *cards_[c];
-  AcceleratorStats& stats = rep.per_card[c];
-  CardStepStats& step_stats = rep.per_card_steps[c];
-  const bool cached = cfg_.decode == DecodeMode::kKvCache;
-
-  // pack_prefill defers each admission's encoder timing into the step loop
-  // as fixed-size chunks; without it (the PR 5 / ablation model) encode is
-  // charged eagerly at admission. Only the cached mode packs — the
-  // full-recompute comparison mode has no step ledger to splice into.
-  const bool pack = cached && cfg_.accel.pack_prefill;
-
-  // The fused decode-step ledger: one cross-sublayer schedule per card-step
-  // instead of ~3·L cold per-sublayer ledgers. The fuser also owns prefill
-  // capture, so it exists whenever packing OR fusing is on; begin_step()
-  // brackets are applied only when fusing (see `fuse` below).
-  std::optional<DecodeStepFuser> fuser;
-  switch (cfg_.backend) {
-    case ServeBackend::kReference:
-      card.model.set_backend(ResBlockBackend{});
-      break;
-    case ServeBackend::kQuantized:
-      card.model.set_backend(card.qt->backend());
-      break;
-    case ServeBackend::kAccelerator:
-      if (cached && (cfg_.accel.fuse_decode_step || cfg_.accel.pack_prefill))
-        fuser.emplace(*card.acc, &stats);
-      card.model.set_backend(accelerator_backend(
-          *card.qt, *card.acc, &stats, fuser ? &*fuser : nullptr));
-      break;
-  }
-  const bool fuse = fuser.has_value() && cfg_.accel.fuse_decode_step;
-  const int demand = cfg_.slot_demand();
-
-  // One admitted sentence: its id, the encoder memory (needed per step in
-  // full-recompute mode, at admission only in cached mode), its search state
-  // machine, and — under pack_prefill — the not-yet-timed prefill chunks.
-  // A sentence contributes decode rows only once every chunk has been
-  // spliced into a prior step ledger (decode-ready in simulated time).
-  struct Active {
-    std::uint64_t id = 0;
-    MatF memory;
-    int src_valid = 0;
-    std::unique_ptr<SentenceSearch> search;
-    std::vector<SublayerPlan> chunks;
-    std::size_t next_chunk = 0;
-    bool prefill_done() const { return next_chunk >= chunks.size(); }
-  };
-  std::vector<Active> active;
-  int reserved = 0;  // slots claimed by admitted sentences (demand each)
-
-  // Virtual clock driving the admission order: simulated ResBlock cycles on
-  // the accelerator; a work proxy (rows stepped + sentences admitted +
-  // prefill chunks spliced) for the functional backends, which have no cycle
-  // model. `clock_floor` fast-forwards an idle card past an arrival gap so
-  // the admission order stays well-defined with staggered arrivals.
-  Cycle clock_floor = 0;
-  const auto virtual_time = [&]() -> Cycle {
-    const Cycle busy =
-        cfg_.backend == ServeBackend::kAccelerator
-            ? stats.total_cycles()
-            : static_cast<Cycle>(step_stats.packed_rows +
-                                 step_stats.sentences +
-                                 step_stats.prefill_chunks);
-    return std::max(clock_floor, busy);
-  };
-
-  // Per-iteration gather/scatter buffers, hoisted out of the step loop so
-  // their capacities persist: together with the allocation-free
-  // decode_step_batch overload below, a warm steady-state step touches the
-  // heap only inside the search machines.
-  std::vector<DecodeState*> states;
-  std::vector<int> tokens;
-  std::vector<char> ready;
-  std::vector<int> live_counts;
-  std::vector<SublayerPlan> step_chunks;
-  MatF flat_logits;                             // cached mode: rows × vocab
-  std::vector<std::vector<float>> sentence_rows;  // advance() marshalling
-
-  bool queue_drained = false;
-  for (;;) {
-    // Refill every vacant slot before stepping: finished sentences left last
-    // iteration, so admission is continuous — no barrier per batch. Each
-    // admission waits its simulated-time turn so request placement follows
-    // the modeled farm, not host thread scheduling.
-    while (!queue_drained && reserved + demand <= cfg_.slots_per_card) {
-      gate.wait_turn(c);
-      TranslationRequest req;
-      Cycle next_arrival = 0;
-      const RequestQueue::PopOutcome outcome = queue.try_pop(
-          static_cast<int>(c), virtual_time(), req, &next_arrival);
-      if (outcome == RequestQueue::PopOutcome::kDrained) {
-        queue_drained = true;  // closed before run(): empty is final
-        break;
-      }
-      if (outcome == RequestQueue::PopOutcome::kPending) {
-        // Work in flight: keep stepping, arrivals are re-checked next
-        // iteration. Otherwise idle the card forward to the next arrival so
-        // its clock (and the gate's notion of whose turn it is) advances.
-        if (!active.empty()) break;
-        clock_floor = std::max(clock_floor, next_arrival);
-        gate.publish(c, virtual_time());
-        continue;
-      }
-      Active a;
-      a.id = req.id;
-      if (pack && fuser) {
-        // Accelerator packing: one bit-exact host-side encoder pass NOW
-        // (outputs can never depend on timing), its cycle cost captured as
-        // full-size sublayer plans and re-cut into chunks the step loop
-        // splices into upcoming mixed ledgers.
-        fuser->begin_prefill();
-        a.memory = card.model.encode(req.src);
-        a.chunks =
-            chunk_prefill(fuser->end_prefill(), cfg_.accel.prefill_chunk_rows);
-      } else if (pack && cfg_.backend != ServeBackend::kAccelerator) {
-        // Functional backends have no capture hooks for the encoder pass;
-        // synthesize the same chunk sequence from the model shape so the
-        // decode-ready delay and admission proxy behave identically.
-        a.memory = card.model.encode(req.src);
-        a.chunks = chunk_prefill(
-            encoder_plan(card.model.weights().config,
-                         static_cast<int>(req.src.size())),
-            cfg_.accel.prefill_chunk_rows);
-      } else {
-        // Eager encode (pack_prefill off): the whole encoder pass lands on
-        // the card's ledger at admission; when live decode rows share the
-        // card, every one of those cycles is decode time lost to prefill.
-        const Cycle before = stats.total_cycles();
-        a.memory = card.model.encode(req.src);
-        if (cfg_.backend == ServeBackend::kAccelerator && !active.empty())
-          stats.prefill_stall_cycles += stats.total_cycles() - before;
-      }
-      for (SublayerPlan& chunk : a.chunks)
-        chunk.label = "s" + std::to_string(req.id) + "." + chunk.label;
-      a.src_valid = unpadded_length(req.src);
-      a.search = make_search(
-          cfg_, cached ? std::optional<DecodeState>(card.model.begin_decode(
-                             a.memory, a.src_valid))
-                       : std::nullopt);
-      reserved += demand;
-      ++step_stats.sentences;
-      active.push_back(std::move(a));
-      gate.publish(c, virtual_time());
-    }
-    if (active.empty()) break;  // queue drained and nothing in flight
-
-    // Gather the next-token row of every decode-ready hypothesis on this
-    // card. Readiness is snapshotted BEFORE splicing: a sentence whose last
-    // prefill chunk rides THIS step's ledger becomes decode-ready next step
-    // (its encoder output exists, in simulated time, only once this step's
-    // graph nodes complete).
-    states.clear();
-    tokens.clear();
-    ready.assign(active.size(), 0);
-    live_counts.assign(active.size(), 0);
-    int rows = 0;
-    for (std::size_t ai = 0; ai < active.size(); ++ai) {
-      if (!active[ai].prefill_done()) continue;
-      ready[ai] = 1;
-      const int k = active[ai].search->live();
-      live_counts[ai] = k;
-      rows += k;
-      if (cached) {
-        for (int i = 0; i < k; ++i) {
-          states.push_back(&active[ai].search->state(i));
-          tokens.push_back(active[ai].search->input_token(i));
-        }
-      }
-    }
-    // Splice ONE pending prefill chunk per not-yet-ready sentence into this
-    // step — the fixed-size interleaving that stops one long sentence from
-    // monopolizing a step while its siblings' beams starve.
-    step_chunks.clear();
-    for (Active& a : active) {
-      if (a.prefill_done()) continue;
-      step_chunks.push_back(a.chunks[a.next_chunk++]);
-      ++step_stats.prefill_chunks;
-    }
-    // Full recompute issues one whole-prefix pass per hypothesis — nothing
-    // is packed — so it is charged as `rows` one-row steps; only the cached
-    // mode's single stacked invocation counts as one multi-row step. A
-    // prefill-only iteration (every slot still encoding) packs no decode
-    // rows and is NOT a packed step.
-    if (cached) {
-      if (rows > 0) {
-        ++step_stats.steps;
-        step_stats.packed_rows += rows;
-        ++step_stats.rows_hist[static_cast<std::size_t>(
-            std::min(rows, cfg_.slots_per_card))];
-      }
-    } else {
-      step_stats.steps += rows;
-      step_stats.packed_rows += rows;
-      step_stats.rows_hist[1] += rows;
-    }
-
-    // One packed pass for every row (cached), or the legacy per-hypothesis
-    // full recompute (the O(L³) comparison mode — nothing to pack there).
-    // Cached mode writes into the persistent flat_logits (the allocation-free
-    // overload); full recompute keeps per-hypothesis vectors.
-    std::vector<std::vector<float>> logits;
-    if (cached) {
-      if (fuse) {
-        // One fused ledger per card-step: prefill chunks AND every sublayer
-        // the packed pass runs are scheduled as a single mixed
-        // cross-sublayer graph, so the card's virtual clock still advances
-        // exactly once per step.
-        fuser->begin_step();
-        for (SublayerPlan& chunk : step_chunks)
-          fuser->add_prefill_chunk(std::move(chunk));
-        if (rows > 0) card.model.decode_step_batch(states, tokens, flat_logits);
-        (void)fuser->end_step();
-      } else {
-        // Unfused packing (ablation): each chunk is its own ledger ahead of
-        // the step's per-sublayer ledgers. With decode rows waiting, the
-        // whole chunk ledger is decode time lost to prefill.
-        if (cfg_.backend == ServeBackend::kAccelerator) {
-          for (const SublayerPlan& chunk : step_chunks) {
-            const RunReport r = card.acc->time_step(
-                {FusedLane{std::vector<SublayerPlan>{chunk}, true}});
-            charge_prefill_chunk(&stats, chunk, r);
-            if (rows > 0) stats.prefill_stall_cycles += r.total_cycles;
-          }
-        }
-        if (rows > 0) card.model.decode_step_batch(states, tokens, flat_logits);
-      }
-    } else {
-      logits.reserve(static_cast<std::size_t>(rows));
-      for (std::size_t ai = 0; ai < active.size(); ++ai)
-        for (int i = 0; i < live_counts[ai]; ++i)
-          logits.push_back(card.model.next_token_logits(
-              active[ai].search->prefix(i), active[ai].memory,
-              active[ai].src_valid));
-    }
-
-    // Scatter the logits rows back to each decode-ready sentence's search
-    // machine (not-yet-ready sentences contributed no rows).
-    std::size_t off = 0;
-    for (std::size_t ai = 0; ai < active.size(); ++ai) {
-      if (!ready[ai]) continue;
-      const std::size_t k = static_cast<std::size_t>(live_counts[ai]);
-      sentence_rows.resize(k);
-      for (std::size_t i = 0; i < k; ++i) {
-        if (cached) {
-          const float* row = flat_logits.row(static_cast<int>(off + i));
-          sentence_rows[i].assign(row, row + flat_logits.cols());
-        } else {
-          sentence_rows[i] = std::move(logits[off + i]);
-        }
-      }
-      active[ai].search->advance(sentence_rows);
-      off += k;
-    }
-
-    // Finished sentences vacate their slots; the next iteration refills.
-    for (std::size_t ai = 0; ai < active.size();) {
-      if (active[ai].search->done()) {
-        rep.outputs[active[ai].id] = active[ai].search->result();
-        reserved -= demand;
-        active.erase(active.begin() + static_cast<std::ptrdiff_t>(ai));
-      } else {
-        ++ai;
-      }
-    }
-    gate.publish(c, virtual_time());
-  }
-  gate.retire(c);
-  card.model.set_backend(ResBlockBackend{});
 }
 
 }  // namespace tfacc

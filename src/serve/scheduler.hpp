@@ -51,6 +51,13 @@ struct SchedulerConfig {
   ServeBackend backend = ServeBackend::kAccelerator;
   AcceleratorConfig accel{};
   SoftmaxImpl softmax = SoftmaxImpl::kHardware;
+  /// Host worker threads driving the cards (the persistent pool). 0 = auto:
+  /// min(num_cards, hardware_concurrency). Values above num_cards are
+  /// clamped (a card is single-threaded); 1 runs every card cooperatively
+  /// on the calling thread — the forced-serial mode the thread-stress test
+  /// compares against. Admission order, outputs and per-card cycle ledgers
+  /// are bit-identical at every setting.
+  int host_threads = 0;
 
   /// Slots one sentence may occupy (1 for greedy, beam_size for beam).
   int slot_demand() const { return beam_size < 1 ? 1 : beam_size; }
@@ -67,6 +74,9 @@ struct CardStepStats {
   long prefill_chunks = 0;
   /// rows_hist[k] = steps that packed exactly k rows (k in [1, slots]).
   std::vector<long> rows_hist;
+  /// Request ids this card admitted, in admission order — the determinism
+  /// witness the thread-stress test compares across host-thread counts.
+  std::vector<std::uint64_t> admitted;
 };
 
 /// Outcome of one Scheduler::run call.
@@ -146,11 +156,12 @@ class Scheduler {
 
  private:
   struct Card;
-  void run_card(std::size_t c, RequestQueue& queue, AdmissionGate& gate,
-                ScheduleReport& rep);
+  struct CardRun;  // resumable per-card step machine (scheduler.cpp)
+  class WorkerPool;  // persistent host worker pool (scheduler.cpp)
 
   SchedulerConfig cfg_;
   std::vector<std::unique_ptr<Card>> cards_;
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace tfacc

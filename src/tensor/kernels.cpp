@@ -123,6 +123,33 @@ void requantize_scalar(const MatI32& acc, std::int32_t mantissa, int shift,
           static_cast<std::int64_t>(acc(r, c)) * mantissa, shift));
 }
 
+/// LayerNormUnit::row's accumulator loop, verbatim.
+void layernorm_stats_scalar(const std::int16_t* g, int n, std::int64_t* sum,
+                            std::int64_t* sumsq) {
+  std::int64_t s = 0, q = 0;
+  for (int j = 0; j < n; ++j) {
+    s += g[j];
+    q += static_cast<std::int64_t>(g[j]) * g[j];
+  }
+  *sum = s;
+  *sumsq = q;
+}
+
+/// LayerNormUnit::finish_row's γ/β loop, verbatim.
+void layernorm_finish_scalar(const std::int16_t* g, int n, std::int64_t sum,
+                             std::int32_t rs_mantissa, int norm_shift,
+                             int gamma_shift, const std::int32_t* gq,
+                             const std::int32_t* bq, std::int8_t* out) {
+  for (int j = 0; j < n; ++j) {
+    const std::int64_t t = static_cast<std::int64_t>(n) * g[j] - sum;
+    const std::int64_t norm =
+        rounding_shift_right(t * rs_mantissa, norm_shift);
+    const std::int64_t scaled =
+        rounding_shift_right(norm * gq[j], gamma_shift);
+    out[j] = saturate_i8(scaled + bq[j]);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Blocked kernels: plain C++, always available. gemm blocks over a 4-row
 // strip of A so each streamed B row is reused 4× from registers/L1; each
@@ -223,6 +250,32 @@ void requantize_rows(const MatI32& acc, std::int32_t mantissa, int shift,
       o[c] = saturate_narrow<OutT>(rounding_shift_right(
           static_cast<std::int64_t>(in[c]) * mantissa, shift));
   }
+}
+
+/// 4-way unrolled LayerNorm accumulators — integer reassociation is exact.
+void layernorm_stats_blocked(const std::int16_t* g, int n, std::int64_t* sum,
+                             std::int64_t* sumsq) {
+  std::int64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  std::int64_t q0 = 0, q1 = 0, q2 = 0, q3 = 0;
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    s0 += g[j];
+    s1 += g[j + 1];
+    s2 += g[j + 2];
+    s3 += g[j + 3];
+    q0 += static_cast<std::int64_t>(g[j]) * g[j];
+    q1 += static_cast<std::int64_t>(g[j + 1]) * g[j + 1];
+    q2 += static_cast<std::int64_t>(g[j + 2]) * g[j + 2];
+    q3 += static_cast<std::int64_t>(g[j + 3]) * g[j + 3];
+  }
+  std::int64_t s = (s0 + s1) + (s2 + s3);
+  std::int64_t q = (q0 + q1) + (q2 + q3);
+  for (; j < n; ++j) {
+    s += g[j];
+    q += static_cast<std::int64_t>(g[j]) * g[j];
+  }
+  *sum = s;
+  *sumsq = q;
 }
 
 // ---------------------------------------------------------------------------
@@ -523,6 +576,106 @@ __attribute__((target("avx2"))) void requantize_i16_avx2(const MatI32& acc,
     for (; c < n; ++c)
       o[c] = saturate_i16(rounding_shift_right(
           static_cast<std::int64_t>(in[c]) * mantissa, shift));
+  }
+}
+
+// --- AVX2 LayerNorm row kernels --------------------------------------------
+// Stats: 8 int16 lanes per iteration; squares via pmulld on sign-extended
+// int32 (≤ 2¹⁵·2¹⁵ = 2³⁰, exact — pmaddwd would wrap on a (−32768)² pair),
+// both reductions widened to four int64 lane accumulators, so any n is exact.
+// Finish: 4 int64 lanes; t = n·g − sum stays within int32 for n ≤ 2¹⁴
+// (|t| ≤ 2n·2¹⁵ ≤ 2³⁰), so mul_epi32 on the low dwords is exact, and both
+// rounding shifts reuse the requantizer's branchless reformulation. The
+// intermediate clamp bounds are a no-op by Cauchy–Schwarz: Σtⱼ² = n·V gives
+// |norm| ≤ √n·2¹³ < 2²¹, hence |norm·γq| < 2⁵² — inside the emulated
+// arithmetic shift's valid range.
+
+__attribute__((target("avx2"))) void layernorm_stats_avx2(const std::int16_t* g,
+                                                          int n,
+                                                          std::int64_t* sum,
+                                                          std::int64_t* sumsq) {
+  __m256i sacc = _mm256_setzero_si256();
+  __m256i qacc = _mm256_setzero_si256();
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(g + j));
+    const __m256i v32 = _mm256_cvtepi16_epi32(raw);
+    const __m256i sq32 = _mm256_mullo_epi32(v32, v32);
+    sacc = _mm256_add_epi64(
+        sacc, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v32)));
+    sacc = _mm256_add_epi64(
+        sacc, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v32, 1)));
+    qacc = _mm256_add_epi64(
+        qacc, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(sq32)));
+    qacc = _mm256_add_epi64(
+        qacc, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(sq32, 1)));
+  }
+  alignas(32) std::int64_t ls[4];
+  alignas(32) std::int64_t lq[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(ls), sacc);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lq), qacc);
+  std::int64_t s = (ls[0] + ls[1]) + (ls[2] + ls[3]);
+  std::int64_t q = (lq[0] + lq[1]) + (lq[2] + lq[3]);
+  for (; j < n; ++j) {
+    s += g[j];
+    q += static_cast<std::int64_t>(g[j]) * g[j];
+  }
+  *sum = s;
+  *sumsq = q;
+}
+
+__attribute__((target("avx2"))) void layernorm_finish_avx2(
+    const std::int16_t* g, int n, std::int64_t sum, std::int32_t rs_mantissa,
+    int norm_shift, int gamma_shift, const std::int32_t* gq,
+    const std::int32_t* bq, std::int8_t* out) {
+  const __m256i nvec = _mm256_set1_epi64x(n);
+  const __m256i sumv = _mm256_set1_epi64x(sum);
+  const __m256i mant = _mm256_set1_epi64x(rs_mantissa);
+  const __m256i offset = _mm256_set1_epi64x(std::int64_t{1} << 62);
+  const __m256i nbias = _mm256_set1_epi64x(std::int64_t{1} << (norm_shift - 1));
+  const __m128i ncount = _mm_cvtsi32_si128(norm_shift);
+  const __m256i noff_sh =
+      _mm256_set1_epi64x((std::int64_t{1} << 62) >> norm_shift);
+  const __m256i gbias =
+      _mm256_set1_epi64x(std::int64_t{1} << (gamma_shift - 1));
+  const __m128i gcount = _mm_cvtsi32_si128(gamma_shift);
+  const __m256i goff_sh =
+      _mm256_set1_epi64x((std::int64_t{1} << 62) >> gamma_shift);
+  const __m256i wide_lo = _mm256_set1_epi64x(-(std::int64_t{1} << 40));
+  const __m256i wide_hi = _mm256_set1_epi64x(std::int64_t{1} << 40);
+  const __m256i i8lo = _mm256_set1_epi64x(-128);
+  const __m256i i8hi = _mm256_set1_epi64x(127);
+  alignas(32) std::int64_t lanes[4];
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i g64 = _mm256_cvtepi16_epi64(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(g + j)));
+    const __m256i t = _mm256_sub_epi64(_mm256_mul_epi32(nvec, g64), sumv);
+    const __m256i norm =
+        requant_round_clamp_avx2(_mm256_mul_epi32(t, mant), nbias, ncount,
+                                 offset, noff_sh, wide_lo, wide_hi);
+    const __m256i gq64 = _mm256_cvtepi32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(gq + j)));
+    const __m256i scaled =
+        requant_round_clamp_avx2(_mm256_mul_epi32(norm, gq64), gbias, gcount,
+                                 offset, goff_sh, wide_lo, wide_hi);
+    const __m256i bq64 = _mm256_cvtepi32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bq + j)));
+    __m256i res = _mm256_add_epi64(scaled, bq64);
+    res = _mm256_blendv_epi8(res, i8hi, _mm256_cmpgt_epi64(res, i8hi));
+    res = _mm256_blendv_epi8(res, i8lo, _mm256_cmpgt_epi64(i8lo, res));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), res);
+    out[j] = static_cast<std::int8_t>(lanes[0]);
+    out[j + 1] = static_cast<std::int8_t>(lanes[1]);
+    out[j + 2] = static_cast<std::int8_t>(lanes[2]);
+    out[j + 3] = static_cast<std::int8_t>(lanes[3]);
+  }
+  for (; j < n; ++j) {
+    const std::int64_t t = static_cast<std::int64_t>(n) * g[j] - sum;
+    const std::int64_t norm = rounding_shift_right(t * rs_mantissa, norm_shift);
+    const std::int64_t scaled = rounding_shift_right(norm * gq[j], gamma_shift);
+    out[j] = saturate_i8(scaled + bq[j]);
   }
 }
 
@@ -948,6 +1101,58 @@ void requantize_i16_into(const MatI32& acc, std::int32_t mantissa, int shift,
       }
 #endif
       requantize_rows(acc, mantissa, shift, out);
+      return;
+  }
+}
+
+void layernorm_stats(const std::int16_t* g, int n, std::int64_t* sum,
+                     std::int64_t* sumsq) {
+  TFACC_CHECK_ARG(n >= 0);
+  switch (selected()) {
+    case Kind::kScalar:
+      layernorm_stats_scalar(g, n, sum, sumsq);
+      return;
+    case Kind::kBlocked:
+      layernorm_stats_blocked(g, n, sum, sumsq);
+      return;
+    case Kind::kSimd:
+#if TFACC_KERNELS_X86
+      if (cpu_has_avx2()) {
+        layernorm_stats_avx2(g, n, sum, sumsq);
+        return;
+      }
+#endif
+      layernorm_stats_blocked(g, n, sum, sumsq);
+      return;
+  }
+}
+
+void layernorm_finish_into(const std::int16_t* g, int n, std::int64_t sum,
+                           std::int32_t rs_mantissa, int norm_shift,
+                           int gamma_shift, const std::int32_t* gq,
+                           const std::int32_t* bq, std::int8_t* out) {
+  TFACC_CHECK_ARG(n >= 0);
+  switch (selected()) {
+    case Kind::kScalar:
+    case Kind::kBlocked:
+      // The finish loop is per-element with no reduction — nothing to block,
+      // so kBlocked shares the scalar reference loop.
+      layernorm_finish_scalar(g, n, sum, rs_mantissa, norm_shift, gamma_shift,
+                              gq, bq, out);
+      return;
+    case Kind::kSimd:
+#if TFACC_KERNELS_X86
+      // t = n·g − sum must fit the int32 low dword (n ≤ 2¹⁴ bounds |t| ≤ 2³⁰)
+      // and both emulated arithmetic shifts need 1 ≤ s ≤ 48 (see requantize).
+      if (cpu_has_avx2() && n <= 16384 && norm_shift >= 1 && norm_shift <= 48 &&
+          gamma_shift >= 1 && gamma_shift <= 48) {
+        layernorm_finish_avx2(g, n, sum, rs_mantissa, norm_shift, gamma_shift,
+                              gq, bq, out);
+        return;
+      }
+#endif
+      layernorm_finish_scalar(g, n, sum, rs_mantissa, norm_shift, gamma_shift,
+                              gq, bq, out);
       return;
   }
 }

@@ -108,4 +108,27 @@ void requantize_i8_into(const MatI32& acc, std::int32_t mantissa, int shift,
 void requantize_i16_into(const MatI32& acc, std::int32_t mantissa, int shift,
                          MatI16& out);
 
+// --- Dispatched LayerNorm row kernels --------------------------------------
+// The fixed-point LayerNorm datapath of hwarith/layernorm_unit.cpp, split
+// into its two row loops so the hot serve path can run them blocked/SIMD.
+// Integer-exact in every kind: the stats loop is a pure integer reduction
+// (associative), and the finish loop is per-element independent — the AVX2
+// variant reuses the requantizer's branchless rounding-shift reformulation,
+// proven equal for 1 <= shift <= 48 (blocked fallback otherwise).
+
+/// ΣG and ΣG² of one n-wide INT16 row (Fig. 7 step 1 accumulators).
+void layernorm_stats(const std::int16_t* g, int n, std::int64_t* sum,
+                     std::int64_t* sumsq);
+
+/// The γ/β finish loop of LayerNormUnit::finish_row, per element j:
+///   t      = n·g[j] − sum
+///   norm   = rounding_shift_right(t · rs_mantissa, norm_shift)
+///   scaled = rounding_shift_right(norm · gq[j], gamma_shift)
+///   out[j] = saturate_i8(scaled + bq[j])
+/// `norm_shift` may be <= 0 (a left shift), exactly like the scalar loop.
+void layernorm_finish_into(const std::int16_t* g, int n, std::int64_t sum,
+                           std::int32_t rs_mantissa, int norm_shift,
+                           int gamma_shift, const std::int32_t* gq,
+                           const std::int32_t* bq, std::int8_t* out);
+
 }  // namespace tfacc::kernels

@@ -18,6 +18,7 @@
 #include "common/fixed_point.hpp"
 #include "common/random.hpp"
 #include "core/backend.hpp"
+#include "hwarith/softmax_unit.hpp"
 #include "quant/qtransformer.hpp"
 #include "reference/transformer.hpp"
 #include "tensor/kernels.hpp"
@@ -231,12 +232,170 @@ TEST_P(KernelEquivalence, RequantizeMatchesFixedPointScale) {
   }
 }
 
+// --- LayerNorm row kernels (PR 9) -------------------------------------------
+// The dispatched stats/finish loops must be bit-identical to scalar over the
+// serve datapath's envelope: ragged n (vector tails), constant rows (zero
+// variance — t = n·g − sum vanishes), extreme INT16 values, and every
+// norm/gamma shift class the AVX2 path accepts, plus the fallback edges
+// (n > 16384, shifts outside [1, 48] including left shifts) where dispatch
+// must detour to the scalar loop.
+
+struct LayerNormCase {
+  int norm_shift, gamma_shift;
+  int max_mant;  // keeps |norm| inside the AVX2 path's proven envelope
+  int max_n;
+};
+
+void expect_layernorm_rows_match(const std::vector<LayerNormCase>& cases,
+                                 const std::vector<int>& sizes,
+                                 kernels::Kind kind, int16_t g_lo,
+                                 int16_t g_hi) {
+  Rng rng(5150);
+  for (const int n : sizes) {
+    // Three row flavors: random, constant (v == 0), alternating extremes.
+    for (int flavor = 0; flavor < 3; ++flavor) {
+      std::vector<std::int16_t> g(static_cast<std::size_t>(n));
+      for (int j = 0; j < n; ++j) {
+        if (flavor == 0)
+          g[static_cast<std::size_t>(j)] =
+              static_cast<std::int16_t>(rng.uniform_int(g_lo, g_hi));
+        else if (flavor == 1)
+          g[static_cast<std::size_t>(j)] = 7;
+        else
+          g[static_cast<std::size_t>(j)] = static_cast<std::int16_t>(
+              j % 2 == 0 ? g_hi : (j % 4 == 1 ? g_lo : 0));
+      }
+      std::int64_t want_sum = 0, want_sumsq = 0;
+      {
+        KindGuard guard(kernels::Kind::kScalar);
+        kernels::layernorm_stats(g.data(), n, &want_sum, &want_sumsq);
+      }
+      std::int64_t got_sum = 0, got_sumsq = 0;
+      {
+        KindGuard guard(kind);
+        kernels::layernorm_stats(g.data(), n, &got_sum, &got_sumsq);
+      }
+      EXPECT_EQ(got_sum, want_sum)
+          << "layernorm_stats sum, n=" << n << " flavor=" << flavor
+          << " under " << kernels::kind_name(kind);
+      EXPECT_EQ(got_sumsq, want_sumsq)
+          << "layernorm_stats sumsq, n=" << n << " flavor=" << flavor
+          << " under " << kernels::kind_name(kind);
+
+      for (const LayerNormCase& c : cases) {
+        if (n > c.max_n) continue;
+        const std::int32_t mant = rng.uniform_int(1, c.max_mant);
+        std::vector<std::int32_t> gq(static_cast<std::size_t>(n));
+        std::vector<std::int32_t> bq(static_cast<std::size_t>(n));
+        for (int j = 0; j < n; ++j) {
+          gq[static_cast<std::size_t>(j)] =
+              rng.uniform_int(-(1 << 20), 1 << 20);
+          bq[static_cast<std::size_t>(j)] = rng.uniform_int(-100000, 100000);
+        }
+        std::vector<std::int8_t> want(static_cast<std::size_t>(n));
+        std::vector<std::int8_t> got(static_cast<std::size_t>(n));
+        {
+          KindGuard guard(kernels::Kind::kScalar);
+          kernels::layernorm_finish_into(g.data(), n, want_sum, mant,
+                                         c.norm_shift, c.gamma_shift,
+                                         gq.data(), bq.data(), want.data());
+        }
+        {
+          KindGuard guard(kind);
+          kernels::layernorm_finish_into(g.data(), n, want_sum, mant,
+                                         c.norm_shift, c.gamma_shift,
+                                         gq.data(), bq.data(), got.data());
+        }
+        EXPECT_EQ(got, want)
+            << "layernorm_finish, n=" << n << " flavor=" << flavor
+            << " norm_shift=" << c.norm_shift
+            << " gamma_shift=" << c.gamma_shift << " under "
+            << kernels::kind_name(kind);
+      }
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, LayerNormRowsMatchScalarBitExact) {
+  // AVX2-eligible shift classes. max_mant bounds |t·mant| >> norm_shift so
+  // the intermediate norm stays within the int32 range the vector gamma
+  // stage multiplies from — the envelope the real datapath guarantees.
+  const std::vector<LayerNormCase> cases = {
+      {1, 7, 16, 64},          {14, 1, 32767, 16384},
+      {20, 7, 32767, 16384},   {33, 48, 32767, 16384},
+      {48, 20, 32767, 16384},
+  };
+  expect_layernorm_rows_match(cases, {1, 3, 7, 8, 15, 64, 100, 1023, 16384},
+                              GetParam(), -32768, 32767);
+}
+
+TEST_P(KernelEquivalence, LayerNormFinishFallbackEdges) {
+  // Outside the AVX2 gate every kind must detour to the scalar loop:
+  // n > 16384, shift 0, left shifts (norm_shift < 0), and shifts > 48.
+  // Magnitudes are kept small so the left-shifted intermediates stay exact.
+  const std::vector<LayerNormCase> big_n = {{20, 7, 1000, 1 << 20}};
+  expect_layernorm_rows_match(big_n, {16385, 16390}, GetParam(), -1000, 1000);
+  const std::vector<LayerNormCase> edge_shifts = {
+      {0, 7, 1000, 100},  {-2, 7, 1000, 100},  {49, 7, 1000, 100},
+      {20, 0, 1000, 100}, {20, 49, 1000, 100},
+  };
+  expect_layernorm_rows_match(edge_shifts, {1, 5, 40, 100}, GetParam(),
+                              -1000, 1000);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllKinds, KernelEquivalence,
                          ::testing::Values(kernels::Kind::kBlocked,
                                            kernels::Kind::kSimd),
                          [](const auto& info) {
                            return std::string(kernels::kind_name(info.param));
                          });
+
+// --- Softmax row model (PR 9) -----------------------------------------------
+// The batched AVX2 row path inside SoftmaxUnit::row dispatches off the same
+// kernel knob; every selection must produce bit-identical INT8 probability
+// rows, including the gates that force the scalar stages: n < 8, a fully
+// masked row, and an unmasked spread wider than int32.
+
+TEST(SoftmaxRowDispatch, RowsMatchScalarBitExact) {
+  Rng rng(2718);
+  for (const double d_scale : {0.02, 1e-4}) {
+    const hw::SoftmaxUnit unit(d_scale);
+    for (const int n : {1, 5, 8, 24, 33, 100}) {
+      for (int flavor = 0; flavor < 4; ++flavor) {
+        std::vector<std::int32_t> d(static_cast<std::size_t>(n));
+        std::vector<std::uint8_t> mask(static_cast<std::size_t>(n), 0);
+        for (int j = 0; j < n; ++j)
+          d[static_cast<std::size_t>(j)] = rng.uniform_int(-200000, 200000);
+        if (flavor == 1)
+          for (int j = 0; j < n; ++j)
+            mask[static_cast<std::size_t>(j)] =
+                static_cast<std::uint8_t>(rng.uniform_int(0, 1));
+        if (flavor == 2)  // fully masked: all-zero outputs on every path
+          for (int j = 0; j < n; ++j) mask[static_cast<std::size_t>(j)] = 1;
+        if (flavor == 3) {  // int32-overflow spread: AVX2 bails to scalar
+          d[0] = std::numeric_limits<std::int32_t>::max() - 7;
+          d[static_cast<std::size_t>(n - 1)] =
+              std::numeric_limits<std::int32_t>::min() + 7;
+        }
+        std::vector<std::int8_t> want(static_cast<std::size_t>(n));
+        {
+          KindGuard g(kernels::Kind::kScalar);
+          unit.row(d.data(), mask.data(), n, want.data());
+        }
+        for (const kernels::Kind kind :
+             {kernels::Kind::kBlocked, kernels::Kind::kSimd}) {
+          std::vector<std::int8_t> got(static_cast<std::size_t>(n));
+          KindGuard g(kind);
+          unit.row(d.data(), mask.data(), n, got.data());
+          EXPECT_EQ(got, want)
+              << "softmax row, d_scale=" << d_scale << " n=" << n
+              << " flavor=" << flavor << " under "
+              << kernels::kind_name(kind);
+        }
+      }
+    }
+  }
+}
 
 // --- Packed layout ----------------------------------------------------------
 
