@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Determinism invariant lint (PR 7).
+"""Determinism + concurrency invariant lint (PR 7, extended in PR 10).
 
-Three repo-specific rules that clang-tidy cannot express, enforced over
+Repo-specific rules that clang-tidy cannot express, enforced over
 src/ and tools/ (tests may do what they like):
 
 1. pointer-keyed-iteration — every ``std::unordered_map`` with a pointer
@@ -22,11 +22,43 @@ src/ and tools/ (tests may do what they like):
    line until the matching ``// hot-path: region end`` (PR 8: the GEMM /
    requantize kernel block in src/tensor/kernels.cpp).
 
+Concurrency rules (PR 10, the thread-safety-annotation wall's escape
+hatch police):
+
+4. raw-mutex-member — ``std::mutex`` / ``std::condition_variable`` (and
+   kin) appear nowhere outside ``src/common/thread_annotations.hpp``.
+   libstdc++'s primitives carry no capability attributes, so a raw mutex
+   is invisible to Clang's -Wthread-safety: every lock must be the
+   annotated ``Mutex`` / ``CondVar`` wrapper or the compile-time wall has
+   a hole. Exemption: ``// lint: tsa-exempt <reason>`` on the line.
+
+5. naked-lock — no ``.lock()`` / ``.unlock()`` / ``try_lock()`` calls
+   outside ``src/common/thread_annotations.hpp``: critical sections are
+   RAII-scoped (``MutexLock``), so no early return or exception can leak
+   a held mutex, and the scoped capability is what -Wthread-safety
+   tracks. (``MutexLock::Unlock``/``Lock`` — capitalized — remain the
+   sanctioned mid-scope escape, themselves annotated.)
+
+6. thread-spawn — ``std::thread`` is constructed only in
+   ``src/serve/worker_pool.*``: every host thread runs under the
+   WorkerPool's annotated park/unpark discipline, so there is no thread
+   the admission-gate model (tools/gate_model_check) doesn't cover.
+   ``std::thread::hardware_concurrency()`` queries are fine anywhere.
+
+7. no-tsa-escape — ``TFACC_NO_TSA`` never appears under ``src/serve/``:
+   the serving stack is the concurrency hot spot the wall exists for, so
+   its annotation budget is pinned at zero escapes (no exemption syntax;
+   loosening this rule is an explicit review decision).
+
 Per-line exemption: append ``// lint: allow(<rule>)`` with the rule name
 above (e.g. ``// lint: allow(hot-path-alloc)`` on a one-time warm-up
-resize).
+resize); rule 4 uses ``// lint: tsa-exempt <reason>`` instead so the
+exemption names its justification.
 
 Exit 0 when clean; exit 1 with file:line diagnostics otherwise.
+``--self-test`` seeds one violation per rule against the rule engine and
+exits 0 iff every one is caught (CI runs this before the real scan, so a
+regex regression cannot silently disarm the lint).
 """
 
 from __future__ import annotations
@@ -38,6 +70,9 @@ import sys
 REPO = pathlib.Path(__file__).resolve().parent.parent
 SCAN_DIRS = ("src", "tools")
 RANDOM_HOME = REPO / "src" / "common" / "random.hpp"
+TSA_HOME = REPO / "src" / "common" / "thread_annotations.hpp"
+THREAD_HOMES = (REPO / "src" / "serve" / "worker_pool.hpp",
+                REPO / "src" / "serve" / "worker_pool.cpp")
 
 ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)")
 LOOKUP_ONLY_RE = re.compile(r"//\s*lint:\s*lookup-only")
@@ -60,6 +95,16 @@ ALLOC_RE = re.compile(
     r"|\.insert\s*\(|\.append\s*\(|\bstd::vector<|\bstd::string\s+\w"
     r"|\bto_string\s*\("
 )
+
+TSA_EXEMPT_RE = re.compile(r"//\s*lint:\s*tsa-exempt\s+\S+")
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|timed_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?)\b"
+)
+NAKED_LOCK_RE = re.compile(r"(?:\.|->)\s*(?:try_)?(?:un)?lock\s*\(")
+THREAD_SPAWN_RE = re.compile(r"\bstd::(?:j)?thread\b(?!\s*::)")
+NO_TSA_RE = re.compile(r"\bTFACC_NO_TSA\b")
+SERVE_DIR = REPO / "src" / "serve"
 
 HOT_PATH_RE = re.compile(r"//\s*hot-path:\s*allocation-free")
 HOT_REGION_RE = re.compile(r"//\s*hot-path:\s*allocation-free\s+region")
@@ -157,17 +202,153 @@ def lint_hot_paths(path: pathlib.Path, lines: list[str],
         i = j + 1
 
 
-def main() -> int:
+def lint_raw_mutex(path: pathlib.Path, lines: list[str],
+                   errors: list[str]) -> None:
+    if path == TSA_HOME:
+        return
+    for i, line in enumerate(lines, start=1):
+        code = line.split("//", 1)[0]
+        if RAW_MUTEX_RE.search(code) and not TSA_EXEMPT_RE.search(line):
+            errors.append(
+                f"{path}:{i}: raw-mutex-member: raw std::mutex/"
+                f"condition_variable outside common/thread_annotations.hpp "
+                f"— use the annotated Mutex/CondVar wrappers so "
+                f"-Wthread-safety can see the lock (or justify with "
+                f"'// lint: tsa-exempt <reason>')")
+
+
+def lint_naked_lock(path: pathlib.Path, lines: list[str],
+                    errors: list[str]) -> None:
+    if path == TSA_HOME:
+        return
+    for i, line in enumerate(lines, start=1):
+        code = line.split("//", 1)[0]
+        if NAKED_LOCK_RE.search(code) and not allowed(line, "naked-lock"):
+            errors.append(
+                f"{path}:{i}: naked-lock: manual lock()/unlock() outside "
+                f"an RAII guard — hold critical sections via MutexLock "
+                f"(mid-scope escapes go through its annotated "
+                f"Unlock()/Lock())")
+
+
+def lint_thread_spawn(path: pathlib.Path, lines: list[str],
+                      errors: list[str]) -> None:
+    if path in THREAD_HOMES:
+        return
+    for i, line in enumerate(lines, start=1):
+        code = line.split("//", 1)[0]
+        if THREAD_SPAWN_RE.search(code) and not allowed(line, "thread-spawn"):
+            errors.append(
+                f"{path}:{i}: thread-spawn: std::thread outside "
+                f"serve/worker_pool — host threads run under the "
+                f"WorkerPool's park/unpark discipline (the one the "
+                f"admission-gate model checker covers)")
+
+
+def lint_no_tsa_escape(path: pathlib.Path, lines: list[str],
+                       errors: list[str]) -> None:
+    if SERVE_DIR not in path.parents:
+        return
+    for i, line in enumerate(lines, start=1):
+        code = line.split("//", 1)[0]
+        if NO_TSA_RE.search(code):
+            errors.append(
+                f"{path}:{i}: no-tsa-escape: TFACC_NO_TSA inside src/serve/ "
+                f"— the serving stack's annotation budget is zero escapes; "
+                f"restructure the access instead")
+
+
+def lint_file(path: pathlib.Path, text: str, errors: list[str]) -> None:
+    lines = text.splitlines()
+    lint_pointer_maps(path, text, lines, errors)
+    lint_nondeterminism(path, lines, errors)
+    lint_hot_paths(path, lines, errors)
+    lint_raw_mutex(path, lines, errors)
+    lint_naked_lock(path, lines, errors)
+    lint_thread_spawn(path, lines, errors)
+    lint_no_tsa_escape(path, lines, errors)
+
+
+# One seeded violation (and one exempted twin that must stay clean) per
+# rule; --self-test runs each through the real rule engine.
+SELF_TEST_CASES = [
+    ("pointer-keyed-iteration",
+     "std::unordered_map<const Op*, int> uses_;\n",
+     "std::unordered_map<const Op*, int> uses_;  // lint: lookup-only\n"),
+    ("nondeterminism-source",
+     "const unsigned seed = std::random_device{}();\n",
+     "const unsigned seed = 1;  // std::random_device via comment is fine\n"),
+    ("hot-path-alloc",
+     "// hot-path: allocation-free\n"
+     "void f() {\n  v.push_back(1);\n}\n",
+     "// hot-path: allocation-free\n"
+     "void f() {\n  v.push_back(1);  // lint: allow(hot-path-alloc)\n}\n"),
+    ("raw-mutex-member",
+     "mutable std::mutex mu_;\n",
+     "mutable std::mutex mu_;  // lint: tsa-exempt ffi-boundary\n"),
+    ("naked-lock",
+     "mu_.lock();\ncount += 1;\nmu_.unlock();\n",
+     "const MutexLock lock(mu_);\ncount += 1;\n"),
+    ("thread-spawn",
+     "std::thread worker([] { run(); });\n",
+     "const unsigned hw = std::thread::hardware_concurrency();\n"),
+]
+
+# no-tsa-escape is path-scoped (src/serve only), so it gets its own pair
+# of fake paths rather than a SELF_TEST_CASES row.
+NO_TSA_SNIPPET = "void poke() TFACC_NO_TSA { slots_.clear(); }\n"
+
+
+def self_test() -> int:
+    failures = 0
+    fake = REPO / "src" / "self_test" / "seeded.cpp"
+    for rule, bad, good in SELF_TEST_CASES:
+        errors: list[str] = []
+        lint_file(fake, bad, errors)
+        caught = [e for e in errors if f" {rule}: " in e]
+        if not caught:
+            print(f"self-test: seeded {rule} violation NOT caught",
+                  file=sys.stderr)
+            failures += 1
+        clean: list[str] = []
+        lint_file(fake, good, clean)
+        if any(f" {rule}: " in e for e in clean):
+            print(f"self-test: exempted {rule} twin flagged spuriously",
+                  file=sys.stderr)
+            failures += 1
+
+    serve_errors: list[str] = []
+    lint_file(SERVE_DIR / "seeded.hpp", NO_TSA_SNIPPET, serve_errors)
+    if not any(" no-tsa-escape: " in e for e in serve_errors):
+        print("self-test: seeded no-tsa-escape violation NOT caught",
+              file=sys.stderr)
+        failures += 1
+    outside_errors: list[str] = []
+    lint_file(REPO / "src" / "sim" / "seeded.hpp", NO_TSA_SNIPPET,
+              outside_errors)
+    if any(" no-tsa-escape: " in e for e in outside_errors):
+        print("self-test: no-tsa-escape flagged outside src/serve",
+              file=sys.stderr)
+        failures += 1
+
+    print(f"lint_invariants --self-test: {len(SELF_TEST_CASES) + 1} rules, "
+          f"{failures} failure(s)")
+    return 0 if failures == 0 else 1
+
+
+def main(argv: list[str]) -> int:
+    if argv == ["--self-test"]:
+        return self_test()
+    if argv:
+        print("usage: lint_invariants.py [--self-test]", file=sys.stderr)
+        return 2
+
     errors: list[str] = []
     files = sorted(
         p for d in SCAN_DIRS for p in (REPO / d).rglob("*")
         if p.suffix in (".cpp", ".hpp", ".h", ".cc"))
     for path in files:
-        text = path.read_text(encoding="utf-8")
-        lines = text.splitlines()
-        lint_pointer_maps(path, text, lines, errors)
-        lint_nondeterminism(path, lines, errors)
-        lint_hot_paths(path, lines, errors)
+        lint_file(path, path.read_text(encoding="utf-8"), errors)
 
     for e in errors:
         print(e, file=sys.stderr)
@@ -177,4 +358,4 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

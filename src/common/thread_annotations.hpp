@@ -1,0 +1,160 @@
+// Clang Thread Safety Analysis wall (PR 10).
+//
+// PR 9 made the measured farm concurrent; until now every lock-discipline
+// invariant (which mutex guards which field, which functions must be called
+// with the gate mutex held) was enforced only dynamically, by TSan over
+// whatever interleavings the host happened to produce. This header moves the
+// discipline to *compile time*: the TFACC_* macros expand to Clang's
+// -Wthread-safety attributes (no-ops on GCC and MSVC), and the Mutex /
+// MutexLock / CondVar wrappers give the analysis an annotated lock vocabulary
+// — libstdc++'s std::mutex carries no annotations, so raw std::mutex members
+// are invisible to the analysis and are banned by scripts/lint_invariants.py
+// (rule raw-mutex-member) outside this file.
+//
+// Usage pattern (see src/serve/admission_gate.hpp for the real thing):
+//
+//   class Gate {
+//    public:
+//     void poke() TFACC_EXCLUDES(mu_) {
+//       const MutexLock lock(mu_);
+//       scan_locked();
+//     }
+//    private:
+//     void scan_locked() TFACC_REQUIRES(mu_);
+//     mutable Mutex mu_;
+//     std::vector<Slot> slots_ TFACC_GUARDED_BY(mu_);
+//   };
+//
+// A Clang build (the clang CI jobs compile with -Wthread-safety -Werror)
+// then rejects, at compile time, any access to slots_ without mu_ held and
+// any call to scan_locked() outside the lock — on every path, not just the
+// interleavings a stress test samples. tests/negative/ holds WILL_FAIL
+// compile probes proving the wall actually rejects both violation shapes.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros. Clang-only: GCC's -Wthread-safety does not exist and its
+// __attribute__ parser rejects the capability spellings, so everything
+// compiles away outside Clang.
+// ---------------------------------------------------------------------------
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define TFACC_TSA_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef TFACC_TSA_ATTR
+#define TFACC_TSA_ATTR(x)  // not Clang: no thread safety analysis
+#endif
+
+/// Type is a lockable capability (name shows up in diagnostics).
+#define TFACC_CAPABILITY(name) TFACC_TSA_ATTR(capability(name))
+/// RAII type that acquires a capability at construction, releases at scope
+/// exit; the analysis tracks its held/released state across Unlock()/Lock().
+#define TFACC_SCOPED_CAPABILITY TFACC_TSA_ATTR(scoped_lockable)
+/// Field may only be read/written with the named capability held.
+#define TFACC_GUARDED_BY(x) TFACC_TSA_ATTR(guarded_by(x))
+/// Pointer field whose *pointee* is guarded by the named capability.
+#define TFACC_PT_GUARDED_BY(x) TFACC_TSA_ATTR(pt_guarded_by(x))
+/// Function requires the capability held on entry (and does not release it).
+#define TFACC_REQUIRES(...) TFACC_TSA_ATTR(requires_capability(__VA_ARGS__))
+/// Function acquires the capability (must not be held on entry).
+#define TFACC_ACQUIRE(...) TFACC_TSA_ATTR(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (must be held on entry).
+#define TFACC_RELEASE(...) TFACC_TSA_ATTR(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define TFACC_TRY_ACQUIRE(...) \
+  TFACC_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock guard for
+/// non-reentrant locks).
+#define TFACC_EXCLUDES(...) TFACC_TSA_ATTR(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define TFACC_RETURN_CAPABILITY(x) TFACC_TSA_ATTR(lock_returned(x))
+/// Escape hatch: function body is not analyzed. Budgeted: the determinism
+/// lint forbids this in src/serve/** — exemptions are allowed only outside
+/// the serving stack and each use must carry a reason comment.
+#define TFACC_NO_TSA TFACC_TSA_ATTR(no_thread_safety_analysis)
+
+namespace tfacc {
+
+class CondVar;
+
+/// std::mutex with the capability annotation the analysis needs. Same cost:
+/// the wrapper is a single std::mutex member and every method inlines to the
+/// underlying call.
+class TFACC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TFACC_ACQUIRE() { mu_.lock(); }
+  void unlock() TFACC_RELEASE() { mu_.unlock(); }
+  bool try_lock() TFACC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // wait() needs the raw mutex for the cv protocol
+  std::mutex mu_;
+};
+
+/// RAII lock with the scoped-capability annotation (the std::lock_guard /
+/// std::unique_lock replacement — those types are unannotated in libstdc++,
+/// so the analysis cannot see their acquisitions). Unlock()/Lock() support
+/// the worker-pool pattern of dropping the lock around a job invocation; the
+/// analysis tracks the held state through both.
+class TFACC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TFACC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() TFACC_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily drop the lock (e.g. around a parked-job invocation).
+  void Unlock() TFACC_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+  /// Re-acquire after Unlock().
+  void Lock() TFACC_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable bound to the annotated Mutex. wait() requires the
+/// mutex held (enforced at compile time under Clang) and returns with it
+/// held again; predicates stay in the caller as explicit while-loops so
+/// every guarded read sits inside an analyzed, annotated function rather
+/// than an unannotatable lambda.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, sleep, and re-acquire before returning.
+  /// Spurious wakeups happen; callers loop on their predicate.
+  void wait(Mutex& mu) TFACC_REQUIRES(mu) {
+    // The caller already holds mu (compile-time enforced), so adopt it for
+    // the duration of the underlying wait and hand it back on return.
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    cv_.wait(relock);
+    relock.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tfacc

@@ -83,7 +83,7 @@ Transformer::Transformer(TransformerWeights weights)
 }
 
 std::shared_ptr<const MatF> Transformer::positions(int rows) const {
-  const std::lock_guard<std::mutex> lock(pos_mu_);
+  const MutexLock lock(pos_mu_);
   if (rows > pos_encoding_->rows()) {
     const int grown = std::max(rows, 2 * pos_encoding_->rows());
     pos_encoding_ = std::make_shared<const MatF>(

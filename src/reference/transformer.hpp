@@ -8,9 +8,9 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "reference/decode_state.hpp"
 #include "reference/functional.hpp"
 #include "reference/weights.hpp"
@@ -174,12 +174,14 @@ class Transformer {
   /// so concurrent const decodes on one model remain safe — and the
   /// encoding is a pure function of (position, d_model), so every regrowth
   /// reproduces existing rows bit-for-bit.
-  std::shared_ptr<const MatF> positions(int rows) const;
+  std::shared_ptr<const MatF> positions(int rows) const
+      TFACC_EXCLUDES(pos_mu_);
 
   TransformerWeights weights_;
   ResBlockBackend backend_;
-  mutable std::shared_ptr<const MatF> pos_encoding_;  // see positions()
-  mutable std::mutex pos_mu_;
+  mutable Mutex pos_mu_;
+  mutable std::shared_ptr<const MatF> pos_encoding_
+      TFACC_GUARDED_BY(pos_mu_);  // see positions()
 };
 
 }  // namespace tfacc

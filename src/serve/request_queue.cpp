@@ -15,10 +15,11 @@ RequestQueue::RequestQueue(int num_shards)
 
 void RequestQueue::push(TranslationRequest req) {
   TFACC_CHECK_MSG(!closed(), "push after close");
-  const std::size_t s =
-      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
-  const std::lock_guard<std::mutex> lock(shards_[s].mu);
-  shards_[s].q.push_back(std::move(req));
+  Shard& shard =
+      shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) %
+              shards_.size()];
+  const MutexLock lock(shard.mu);
+  shard.q.push_back(std::move(req));
 }
 
 void RequestQueue::close() { closed_.store(true, std::memory_order_release); }
@@ -37,7 +38,7 @@ RequestQueue::PopOutcome RequestQueue::try_pop(int shard, Cycle now,
                   shard < static_cast<int>(shards_.size()));
   {
     Shard& own = shards_[static_cast<std::size_t>(shard)];
-    const std::lock_guard<std::mutex> lock(own.mu);
+    const MutexLock lock(own.mu);
     if (!own.q.empty() && own.q.front().arrival <= now) {
       out = std::move(own.q.front());
       own.q.pop_front();
@@ -53,8 +54,9 @@ RequestQueue::PopOutcome RequestQueue::try_pop(int shard, Cycle now,
     bool any_request = false;
     Cycle earliest = std::numeric_limits<Cycle>::max();
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      const std::lock_guard<std::mutex> lock(shards_[s].mu);
-      const auto& q = shards_[s].q;
+      Shard& sh = shards_[s];
+      const MutexLock lock(sh.mu);
+      const auto& q = sh.q;
       if (q.empty()) continue;
       any_request = true;
       for (const TranslationRequest& r : q)
@@ -73,7 +75,7 @@ RequestQueue::PopOutcome RequestQueue::try_pop(int shard, Cycle now,
       return PopOutcome::kPending;
     }
     Shard& v = shards_[static_cast<std::size_t>(victim)];
-    const std::lock_guard<std::mutex> lock(v.mu);
+    const MutexLock lock(v.mu);
     // Thief-back among eligibles: the back-most entry that has arrived
     // (the plain back once every arrival has passed).
     std::ptrdiff_t idx = -1;
@@ -90,7 +92,7 @@ RequestQueue::PopOutcome RequestQueue::try_pop(int shard, Cycle now,
 std::size_t RequestQueue::pending() const {
   std::size_t n = 0;
   for (const Shard& s : shards_) {
-    const std::lock_guard<std::mutex> lock(s.mu);
+    const MutexLock lock(s.mu);
     n += s.q.size();
   }
   return n;

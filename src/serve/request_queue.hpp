@@ -15,9 +15,9 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "reference/transformer.hpp"
 #include "sim/timeline.hpp"
 
@@ -75,9 +75,12 @@ class RequestQueue {
   std::size_t pending() const;
 
  private:
+  // Shard mutexes are leaves: try_pop locks at most one at a time (scan
+  // scopes close before the steal lock opens), and nothing is called out to
+  // while one is held.
   struct Shard {
-    mutable std::mutex mu;
-    std::deque<TranslationRequest> q;
+    mutable Mutex mu;
+    std::deque<TranslationRequest> q TFACC_GUARDED_BY(mu);
   };
 
   std::vector<Shard> shards_;

@@ -2,17 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/schedules.hpp"
 #include "reference/search.hpp"
+#include "serve/admission_gate.hpp"
+#include "serve/worker_pool.hpp"
 
 namespace tfacc {
 
@@ -141,310 +142,11 @@ struct Scheduler::Card {
   }
 };
 
-/// Convoy-free simulated-time admission order (the PR 9 tentpole).
-///
-/// Card threads race on the host, but the farm being modeled has every card
-/// live at once, so "who takes the next request" must follow *simulated*
-/// time, not host scheduling. The old protocol had each vacant card
-/// host-block in wait_turn() until it held the global minimum (clock, id) —
-/// cards with live decode work convoyed behind the slowest sibling's step
-/// compute. Here admission is reservation-based and a card never blocks
-/// while it has work:
-///
-///  * reserve(c, key) posts card c's intent to pop at simulated time `key`.
-///    The key is frozen — computed from simulated state only, so it is
-///    identical on every host and at every thread count.
-///  * Whichever thread next touches the gate and observes that c's
-///    (key, id) pair is the strict minimum over every live card's blocking
-///    pair resolves the admission: the queue pop runs right there, under
-///    the gate mutex, at c's frozen key — pops execute in exact (key, id)
-///    order regardless of host scheduling. The outcome is parked in the
-///    slot as a Grant.
-///  * The card collects its grant with the non-blocking try_consume() at
-///    its next drain point; with in-flight work it keeps stepping while the
-///    grant is pending and only parks (WorkerPool) when it truly cannot
-///    progress. A card with no reservation blocks siblings at its published
-///    clock, exactly like the old protocol.
-///
-/// Blocking pair of live card i: (key_i, i) while a reservation is posted
-/// (pending, granted or held), else (clock_i, i). A pending slot is granted
-/// iff its pair is strictly below every other live card's pair — the same
-/// total order wait_turn() enforced, so the admission sequence (and with it
-/// every per-card cycle ledger) is unchanged from the blocking protocol.
-class AdmissionGate {
- public:
-  struct Grant {
-    RequestQueue::PopOutcome outcome = RequestQueue::PopOutcome::kDrained;
-    TranslationRequest req;
-    Cycle next_arrival = 0;
-  };
-
-  AdmissionGate(std::size_t n, RequestQueue& queue,
-                std::function<void(std::size_t)> on_grant)
-      : queue_(&queue), on_grant_(std::move(on_grant)), slots_(n) {}
-
-  /// Post card c's intent to pop at simulated time `key`. Raises the card's
-  /// clock to the key (a reservation is also a progress publication). Legal
-  /// from idle or held (re-reserving right after consuming a grant).
-  void reserve(std::size_t c, Cycle key) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    Slot& s = slots_[c];
-    TFACC_CHECK(s.phase == Phase::kIdle || s.phase == Phase::kHeld);
-    s.key = std::max(key, s.clock);
-    s.clock = s.key;
-    s.phase = Phase::kPending;
-    scan_locked();
-  }
-
-  /// Collect a resolved reservation. Non-blocking: true moves the grant out
-  /// and holds the turn (the slot keeps blocking siblings at its key until
-  /// release()/reserve()); false means the reservation is still pending.
-  bool try_consume(std::size_t c, Grant* out) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    Slot& s = slots_[c];
-    if (s.phase != Phase::kGranted) {
-      TFACC_CHECK(s.phase == Phase::kPending);
-      return false;
-    }
-    *out = std::move(s.grant);
-    s.phase = Phase::kHeld;
-    return true;
-  }
-
-  /// Drop a held turn without re-reserving (card is full or done popping).
-  void release(std::size_t c) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    Slot& s = slots_[c];
-    TFACC_CHECK(s.phase == Phase::kHeld);
-    s.phase = Phase::kIdle;
-    scan_locked();
-  }
-
-  /// Monotonically raise card c's published clock (end of a step).
-  void publish(std::size_t c, Cycle t) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    slots_[c].clock = std::max(slots_[c].clock, t);
-    scan_locked();
-  }
-
-  /// Card c is done (no further admissions); scans stop considering it.
-  void retire(std::size_t c) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    slots_[c].live = false;
-    slots_[c].phase = Phase::kIdle;
-    scan_locked();
-  }
-
- private:
-  enum class Phase { kIdle, kPending, kGranted, kHeld };
-
-  struct Slot {
-    bool live = true;
-    Cycle clock = 0;
-    Phase phase = Phase::kIdle;
-    Cycle key = 0;
-    Grant grant;
-  };
-
-  // Resolve at most one admission: if the globally minimal blocking pair
-  // belongs to a PENDING slot, pop for it at its frozen key and mark it
-  // granted. A granted/held minimum blocks everyone (its pop is already in
-  // the total order but its card has not folded it in yet); an idle minimum
-  // means that card is mid-step and may still reserve an earlier key.
-  void scan_locked() {
-    std::size_t min_c = slots_.size();
-    Cycle min_k = 0;
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      const Slot& s = slots_[i];
-      if (!s.live) continue;
-      const Cycle k = s.phase == Phase::kIdle ? s.clock : s.key;
-      if (min_c == slots_.size() || k < min_k) {
-        min_c = i;
-        min_k = k;
-      }
-    }
-    if (min_c == slots_.size()) return;
-    Slot& s = slots_[min_c];
-    if (s.phase != Phase::kPending) return;
-    s.grant.outcome = queue_->try_pop(static_cast<int>(min_c), s.key,
-                                      s.grant.req, &s.grant.next_arrival);
-    s.phase = Phase::kGranted;
-    if (on_grant_) on_grant_(min_c);
-  }
-
-  RequestQueue* queue_;
-  std::function<void(std::size_t)> on_grant_;
-  mutable std::mutex mu_;
-  std::vector<Slot> slots_;
-};
-
-/// Persistent host worker pool owned by the Scheduler: the threads are
-/// spawned once at construction and reused by every run() (and by the
-/// concurrent card builds), replacing the old per-run spawn/join. Job i is
-/// pinned to worker i % threads, so a card's state is only ever touched by
-/// one thread across park/unpark cycles. A job returns kParked when it
-/// cannot progress (admission grant pending); unpark(i) makes it runnable
-/// again. With one effective thread there are no workers at all: run()
-/// drives every job cooperatively on the calling thread — the forced-serial
-/// mode the thread-stress test compares against.
-class Scheduler::WorkerPool {
- public:
-  enum class Status { kDone, kParked };
-  using Job = std::function<Status()>;
-
-  explicit WorkerPool(int threads) {
-    TFACC_CHECK(threads >= 1);
-    if (threads == 1) return;  // inline cooperative mode
-    workers_.resize(static_cast<std::size_t>(threads));
-    for (auto& w : workers_) w = std::make_unique<Worker>();
-    threads_.reserve(workers_.size());
-    for (std::size_t w = 0; w < workers_.size(); ++w)
-      threads_.emplace_back([this, w] { worker_main(w); });
-  }
-
-  ~WorkerPool() {
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      shutdown_ = true;
-    }
-    for (auto& w : workers_) w->cv.notify_all();
-    for (std::thread& t : threads_) t.join();
-  }
-
-  int threads() const {
-    return threads_.empty() ? 1 : static_cast<int>(threads_.size());
-  }
-
-  /// Run `jobs` to completion (every job returned kDone). Blocks the caller.
-  /// Jobs must not throw — wrap them.
-  void run(std::vector<Job> jobs) {
-    if (jobs.empty()) return;
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      jobs_ = std::move(jobs);
-      live_.assign(jobs_.size(), 1);
-      runnable_.assign(jobs_.size(), 1);
-      remaining_ = jobs_.size();
-      ++generation_;
-    }
-    if (threads_.empty()) {
-      run_inline();
-    } else {
-      for (auto& w : workers_) w->cv.notify_all();
-      std::unique_lock<std::mutex> lock(mu_);
-      done_cv_.wait(lock, [&] { return remaining_ == 0; });
-    }
-    jobs_.clear();
-  }
-
-  /// Make a parked job runnable again and wake its worker. Callable from
-  /// any thread (the admission gate's grant callback, possibly while that
-  /// thread is executing a different job).
-  void unpark(std::size_t job) {
-    std::size_t w = 0;
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      if (job >= runnable_.size() || !live_[job]) return;
-      runnable_[job] = 1;
-      if (threads_.empty()) return;
-      w = job % workers_.size();
-    }
-    workers_[w]->cv.notify_all();
-  }
-
- private:
-  struct Worker {
-    std::condition_variable cv;
-  };
-
-  // Cooperative single-thread mode: round-robin over runnable jobs. All
-  // parked with work remaining would be a deadlock — unreachable, because a
-  // job only parks on a pending reservation, and the gate grants the
-  // minimal pending reservation at every interaction (the grant callback
-  // marks its job runnable before the owner can observe it parked).
-  void run_inline() {
-    std::size_t next = 0;
-    for (;;) {
-      std::size_t j = jobs_.size();
-      {
-        const std::lock_guard<std::mutex> lock(mu_);
-        if (remaining_ == 0) return;
-        for (std::size_t k = 0; k < jobs_.size(); ++k) {
-          const std::size_t cand = (next + k) % jobs_.size();
-          if (live_[cand] && runnable_[cand]) {
-            j = cand;
-            break;
-          }
-        }
-        TFACC_CHECK_MSG(j < jobs_.size(),
-                        "worker pool deadlock: every live job is parked");
-        runnable_[j] = 0;
-      }
-      next = j + 1;
-      const Status st = jobs_[j]();
-      if (st == Status::kDone) {
-        const std::lock_guard<std::mutex> lock(mu_);
-        live_[j] = 0;
-        --remaining_;
-      }
-    }
-  }
-
-  void worker_main(std::size_t w) {
-    std::unique_lock<std::mutex> lock(mu_);
-    std::uint64_t seen = 0;
-    for (;;) {
-      workers_[w]->cv.wait(
-          lock, [&] { return shutdown_ || generation_ != seen; });
-      if (shutdown_) return;
-      seen = generation_;
-      for (;;) {
-        std::size_t j = jobs_.size();
-        bool any_live = false;
-        for (std::size_t cand = w; cand < jobs_.size();
-             cand += workers_.size()) {
-          if (!live_[cand]) continue;
-          any_live = true;
-          if (runnable_[cand]) {
-            j = cand;
-            break;
-          }
-        }
-        if (!any_live) break;  // this generation is done for this worker
-        if (j == jobs_.size()) {
-          workers_[w]->cv.wait(lock, [&] {
-            if (shutdown_) return true;
-            for (std::size_t cand = w; cand < jobs_.size();
-                 cand += workers_.size())
-              if (live_[cand] && runnable_[cand]) return true;
-            return false;
-          });
-          if (shutdown_) return;
-          continue;
-        }
-        runnable_[j] = 0;
-        lock.unlock();
-        const Status st = jobs_[j]();
-        lock.lock();
-        if (st == Status::kDone) {
-          live_[j] = 0;
-          if (--remaining_ == 0) done_cv_.notify_all();
-        }
-      }
-    }
-  }
-
-  std::mutex mu_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;
-  std::vector<Job> jobs_;
-  std::vector<char> live_;
-  std::vector<char> runnable_;
-  std::size_t remaining_ = 0;
-  bool shutdown_ = false;
-  std::vector<std::unique_ptr<Worker>> workers_;
-  std::vector<std::thread> threads_;
-};
+// AdmissionGate (convoy-free simulated-time admission, PR 9) and WorkerPool
+// (persistent host worker pool) were defined here until PR 10 hoisted them
+// into annotatable headers — serve/admission_gate.hpp and
+// serve/worker_pool.hpp — so Clang's -Wthread-safety can check their lock
+// discipline at compile time.
 
 namespace {
 
@@ -488,6 +190,27 @@ int effective_threads(const SchedulerConfig& cfg) {
   }
   return std::min(t, cfg.num_cards);
 }
+
+// First exception thrown by any pool job; later ones are dropped (the first
+// is what the caller rethrows). Annotated so the TSA wall covers the one
+// piece of shared state the job wrappers touch.
+struct FirstError {
+  Mutex mu;
+  std::exception_ptr eptr TFACC_GUARDED_BY(mu);
+
+  void capture() TFACC_EXCLUDES(mu) {
+    const MutexLock lock(mu);
+    if (!eptr) eptr = std::current_exception();
+  }
+  void rethrow_if_set() TFACC_EXCLUDES(mu) {
+    std::exception_ptr e;
+    {
+      const MutexLock lock(mu);
+      e = eptr;
+    }
+    if (e) std::rethrow_exception(e);
+  }
+};
 
 }  // namespace
 
@@ -940,8 +663,7 @@ Scheduler::Scheduler(const TransformerWeights& weights,
   // own quantization), so build them concurrently on the pool like run()
   // decodes.
   cards_.resize(static_cast<std::size_t>(cfg_.num_cards));
-  std::exception_ptr error;
-  std::mutex error_mu;
+  FirstError error;
   std::vector<WorkerPool::Job> jobs;
   jobs.reserve(cards_.size());
   for (std::size_t c = 0; c < cards_.size(); ++c)
@@ -949,13 +671,12 @@ Scheduler::Scheduler(const TransformerWeights& weights,
       try {
         cards_[c] = std::make_unique<Card>(weights, calib_sources, cfg_);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mu);
-        if (!error) error = std::current_exception();
+        error.capture();
       }
       return WorkerPool::Status::kDone;
     });
   pool_->run(std::move(jobs));
-  if (error) std::rethrow_exception(error);
+  error.rethrow_if_set();
 }
 
 Scheduler::~Scheduler() = default;
@@ -1001,8 +722,7 @@ ScheduleReport Scheduler::run(const std::vector<TokenSeq>& sources,
   for (std::size_t c = 0; c < cards_.size(); ++c)
     runs.push_back(
         std::make_unique<CardRun>(cfg_, c, *cards_[c], gate, rep));
-  std::exception_ptr error;
-  std::mutex error_mu;
+  FirstError error;
   std::vector<WorkerPool::Job> jobs;
   jobs.reserve(cards_.size());
   for (std::size_t c = 0; c < cards_.size(); ++c)
@@ -1010,10 +730,7 @@ ScheduleReport Scheduler::run(const std::vector<TokenSeq>& sources,
       try {
         return runs[c]->resume();
       } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(error_mu);
-          if (!error) error = std::current_exception();
-        }
+        error.capture();
         // Retire the card so siblings do not wait forever on its clock —
         // the old per-run threads would deadlock here instead.
         gate.retire(c);
@@ -1026,7 +743,7 @@ ScheduleReport Scheduler::run(const std::vector<TokenSeq>& sources,
   rep.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  if (error) std::rethrow_exception(error);
+  error.rethrow_if_set();
   return rep;
 }
 

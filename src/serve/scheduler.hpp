@@ -32,7 +32,8 @@
 
 namespace tfacc {
 
-class AdmissionGate;  // simulated-time admission ordering (scheduler.cpp)
+class AdmissionGate;  // simulated-time admission (serve/admission_gate.hpp)
+class WorkerPool;     // persistent host worker pool (serve/worker_pool.hpp)
 
 /// Which per-card execution engine the scheduler drives. The accelerator is
 /// the deployment target; the functional backends exist so the bit-identity
@@ -157,7 +158,6 @@ class Scheduler {
  private:
   struct Card;
   struct CardRun;  // resumable per-card step machine (scheduler.cpp)
-  class WorkerPool;  // persistent host worker pool (scheduler.cpp)
 
   SchedulerConfig cfg_;
   std::vector<std::unique_ptr<Card>> cards_;

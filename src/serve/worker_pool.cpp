@@ -1,0 +1,145 @@
+#include "serve/worker_pool.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace tfacc {
+
+WorkerPool::WorkerPool(int threads) {
+  TFACC_CHECK(threads >= 1);
+  if (threads == 1) return;  // inline cooperative mode
+  workers_.resize(static_cast<std::size_t>(threads));
+  for (auto& w : workers_) w = std::make_unique<Worker>();
+  threads_.reserve(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    threads_.emplace_back([this, w] { worker_main(w); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const MutexLock lock(mu_);
+    shutdown_ = true;
+  }
+  for (auto& w : workers_) w->cv.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(std::vector<Job> jobs) {
+  if (jobs.empty()) return;
+  {
+    const MutexLock lock(mu_);
+    jobs_ = std::move(jobs);
+    live_.assign(jobs_.size(), 1);
+    runnable_.assign(jobs_.size(), 1);
+    remaining_ = jobs_.size();
+    ++generation_;
+  }
+  if (threads_.empty()) {
+    run_inline();
+  } else {
+    for (auto& w : workers_) w->cv.notify_all();
+    const MutexLock lock(mu_);
+    while (remaining_ != 0) done_cv_.wait(mu_);
+  }
+  const MutexLock lock(mu_);
+  jobs_.clear();
+}
+
+void WorkerPool::unpark(std::size_t job) {
+  std::size_t w = 0;
+  {
+    const MutexLock lock(mu_);
+    if (job >= runnable_.size() || !live_[job]) return;
+    runnable_[job] = 1;
+    if (threads_.empty()) return;
+    w = job % workers_.size();
+  }
+  workers_[w]->cv.notify_all();
+}
+
+void WorkerPool::run_inline() {
+  std::size_t next = 0;
+  for (;;) {
+    std::size_t j = 0;
+    Job* job = nullptr;
+    {
+      const MutexLock lock(mu_);
+      if (remaining_ == 0) return;
+      std::size_t found = jobs_.size();
+      for (std::size_t k = 0; k < jobs_.size(); ++k) {
+        const std::size_t cand = (next + k) % jobs_.size();
+        if (live_[cand] && runnable_[cand]) {
+          found = cand;
+          break;
+        }
+      }
+      TFACC_CHECK_MSG(found < jobs_.size(),
+                      "worker pool deadlock: every live job is parked");
+      j = found;
+      // Claiming the runnable flag makes this thread the job's sole owner,
+      // and jobs_ is never resized during a generation, so the invocation
+      // below is safe outside the lock.
+      runnable_[j] = 0;
+      job = &jobs_[j];
+    }
+    next = j + 1;
+    const Status st = (*job)();
+    if (st == Status::kDone) {
+      const MutexLock lock(mu_);
+      live_[j] = 0;
+      --remaining_;
+    }
+  }
+}
+
+bool WorkerPool::has_runnable(std::size_t w) const {
+  for (std::size_t cand = w; cand < jobs_.size(); cand += workers_.size())
+    if (live_[cand] && runnable_[cand]) return true;
+  return false;
+}
+
+void WorkerPool::worker_main(std::size_t w) {
+  Worker& self = *workers_[w];
+  MutexLock lock(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    while (!shutdown_ && generation_ == seen) self.cv.wait(mu_);
+    if (shutdown_) return;
+    seen = generation_;
+    for (;;) {
+      std::size_t j = jobs_.size();
+      bool any_live = false;
+      for (std::size_t cand = w; cand < jobs_.size();
+           cand += workers_.size()) {
+        if (!live_[cand]) continue;
+        any_live = true;
+        if (runnable_[cand]) {
+          j = cand;
+          break;
+        }
+      }
+      if (!any_live) break;  // this generation is done for this worker
+      if (j == jobs_.size()) {
+        // Every job this worker owns is parked: sleep until one is
+        // unparked (or the pool shuts down).
+        while (!shutdown_ && !has_runnable(w)) self.cv.wait(mu_);
+        if (shutdown_) return;
+        continue;
+      }
+      // Sole ownership as in run_inline(): claim under the lock, invoke
+      // with it released so sibling workers keep scheduling.
+      runnable_[j] = 0;
+      Job* job = &jobs_[j];
+      lock.Unlock();
+      const Status st = (*job)();
+      lock.Lock();
+      if (st == Status::kDone) {
+        live_[j] = 0;
+        if (--remaining_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace tfacc

@@ -22,6 +22,24 @@
 //  * Static-destruction safe: a trivially-destructible thread_local state
 //    flag routes frees arriving after the pool's destructor straight to
 //    operator delete.
+//
+// Ownership rules under the PR 10 concurrency wall. The pool carries no
+// mutex on purpose, so Clang's -Wthread-safety has nothing to track here;
+// its safety argument is CONFINEMENT, stated once and policed by
+// structure:
+//  * Every BytePool is thread_local: only its owning thread ever touches
+//    its free lists, so there is no shared state to guard. The pool must
+//    never be reached through a pointer that crosses threads — nothing in
+//    this header hands out a pool reference, and pool_alloc/pool_free
+//    always resolve the CALLING thread's pool.
+//  * The blocks themselves may cross threads (a Matrix built on a worker
+//    and read on the host): hand-off ordering is the responsibility of
+//    whatever publishes the matrix — in this repo always a WorkerPool
+//    job completion or an annotated Mutex, both of which synchronize.
+//  * Cross-thread free is safe by the migration rule above (the block
+//    simply joins the freeing thread's pool); what remains forbidden is
+//    two threads freeing or resizing the SAME matrix concurrently —
+//    that is a data race on the Matrix, not on the pool.
 #pragma once
 
 #include <bit>

@@ -43,6 +43,20 @@ Kind kind_from_env_or_default() {
   return kind;
 }
 
+// Memory-ordering contract for the dispatch slot (PR 10, pinned):
+// std::memory_order_relaxed is sufficient on BOTH sides, by design. The
+// slot is the only cross-thread state in the dispatch, and every kernel
+// kind is bit-identical on every input (the test_kernels equivalence grid
+// + bench_gemm --smoke prove it), so dispatch is idempotent: a racing
+// reader observing the old kind merely runs the other, equally-correct
+// kernel once — no other memory is published alongside the store, hence
+// nothing to acquire/release. kRelaxedDispatchOrder names the contract so
+// a future non-idempotent publication (e.g. a kind-specific lookup table)
+// cannot silently inherit it: such a change must replace the named
+// constant, not add one more bare memory_order argument.
+constexpr std::memory_order kRelaxedDispatchOrder =
+    std::memory_order_relaxed;
+
 std::atomic<Kind>& kind_slot() {
   static std::atomic<Kind> slot{kind_from_env_or_default()};
   return slot;
@@ -841,10 +855,10 @@ bool parse_kind(const char* spec, Kind* out) {
   return true;
 }
 
-Kind selected() { return kind_slot().load(std::memory_order_relaxed); }
+Kind selected() { return kind_slot().load(kRelaxedDispatchOrder); }
 
 void set_kind(Kind kind) {
-  kind_slot().store(kind, std::memory_order_relaxed);
+  kind_slot().store(kind, kRelaxedDispatchOrder);
 }
 
 Kind refresh_from_env() {

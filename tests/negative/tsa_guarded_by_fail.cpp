@@ -1,0 +1,38 @@
+// Negative-compilation test: Clang's -Wthread-safety (with -Werror) MUST
+// reject this file — it reads and writes a TFACC_GUARDED_BY member without
+// holding the guarding mutex. Registered in ctest (Clang builds only) with
+// WILL_FAIL, so CI proves the annotation wall actually stops an unguarded
+// access rather than silently expanding to nothing.
+//
+// Keep this file free of heavy includes: it is compiled with
+// -fsyntax-only straight from ctest, not through the normal build graph.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment_unguarded() {
+    // BUG (intentional): touches value_ without acquiring mu_. Under
+    // -Wthread-safety this is "writing variable 'value_' requires holding
+    // mutex 'mu_'", promoted to an error by -Werror.
+    value_ = value_ + 1;
+  }
+
+  int read_guarded() {
+    const tfacc::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  tfacc::Mutex mu_;
+  int value_ TFACC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.increment_unguarded();
+  return c.read_guarded();
+}
